@@ -1,0 +1,83 @@
+// Shared driver for the DBLP clustering-accuracy benches (Figs. 5 and 6):
+// runs NetPLSA, iTopicModel and GenClus `runs` times each with different
+// seeds on a four-area network and prints mean/std NMI per object type —
+// the quantities plotted in the paper's bar charts.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/topic_models.h"
+#include "bench/bench_util.h"
+#include "common/flags.h"
+#include "core/genclus.h"
+#include "datagen/dblp_generator.h"
+
+namespace genclus::bench {
+
+struct DblpBenchOptions {
+  size_t runs = 5;
+  size_t num_authors = 1000;
+  size_t num_papers = 2500;
+  size_t num_conferences = 20;
+  size_t outer_iterations = 10;
+  uint64_t data_seed = 21;
+  bool fixed_gamma = false;  // ablation: skip strength learning
+
+  static DblpBenchOptions FromFlags(const Flags& flags) {
+    DblpBenchOptions opt;
+    opt.runs = static_cast<size_t>(flags.GetInt("runs", 5));
+    if (flags.GetBool("full", false)) {
+      // Paper-scale-ish sizes (the real snapshot has 14.4k papers).
+      opt.num_authors = 4000;
+      opt.num_papers = 12000;
+      opt.runs = static_cast<size_t>(flags.GetInt("runs", 20));
+    }
+    opt.num_authors = static_cast<size_t>(
+        flags.GetInt("authors", static_cast<int64_t>(opt.num_authors)));
+    opt.num_papers = static_cast<size_t>(
+        flags.GetInt("papers", static_cast<int64_t>(opt.num_papers)));
+    opt.data_seed = static_cast<uint64_t>(flags.GetInt("data-seed", 21));
+    opt.fixed_gamma = flags.GetBool("fixed-gamma", false);
+    return opt;
+  }
+
+  DblpConfig MakeDataConfig() const {
+    DblpConfig config;
+    config.num_authors = num_authors;
+    config.num_papers = num_papers;
+    config.num_conferences = num_conferences;
+    config.seed = data_seed;
+    return config;
+  }
+
+  GenClusConfig MakeGenClusConfig(uint64_t seed) const {
+    GenClusConfig config;
+    config.num_clusters = 4;
+    config.outer_iterations = outer_iterations;
+    config.em_iterations = 40;
+    config.num_init_seeds = 3;
+    config.init_em_steps = 3;
+    config.seed = seed;
+    config.learn_strengths = !fixed_gamma;
+    return config;
+  }
+};
+
+/// Per-type NMI samples over runs for one method.
+struct MethodSamples {
+  std::string name;
+  std::vector<std::vector<double>> per_group;  // [group][run]
+};
+
+/// Runs the three methods on `dataset`; groups[g] is a (label, node-subset)
+/// pair — the first group must be the overall set (empty subset = all).
+/// Prints the Fig. 5 / Fig. 6 style table and the mean learned strengths.
+void RunDblpAccuracyBench(
+    const Dataset& dataset,
+    const std::vector<std::pair<std::string, std::vector<NodeId>>>& groups,
+    const DblpBenchOptions& options,
+    const std::vector<std::string>& relation_names);
+
+}  // namespace genclus::bench

@@ -1,0 +1,125 @@
+// google-benchmark microbenches for the hot kernels: one EM sweep, the
+// strength learner's gradient/Hessian/Newton step, network construction,
+// and the special functions the learner leans on.
+#include <benchmark/benchmark.h>
+
+#include "core/em.h"
+#include "core/init.h"
+#include "core/strength.h"
+#include "datagen/weather_generator.h"
+#include "prob/special_functions.h"
+
+namespace genclus {
+namespace {
+
+// Shared medium weather network (T:500, P:250, nobs=5).
+const WeatherData& SharedWeather() {
+  static const WeatherData data = [] {
+    WeatherConfig config = WeatherConfig::Setting1();
+    config.num_temperature_sensors = 500;
+    config.num_precipitation_sensors = 250;
+    config.observations_per_sensor = 5;
+    config.seed = 11;
+    return *GenerateWeatherNetwork(config);
+  }();
+  return data;
+}
+
+void BM_EmStep(benchmark::State& state) {
+  const WeatherData& data = SharedWeather();
+  GenClusConfig config;
+  config.num_clusters = 4;
+  std::vector<const Attribute*> attrs = {&data.dataset.attributes[0],
+                                         &data.dataset.attributes[1]};
+  EmOptimizer optimizer(&data.dataset.network, attrs, &config, nullptr);
+  Rng rng(3);
+  Matrix theta = RandomTheta(data.dataset.network.num_nodes(), 4, &rng);
+  auto components = InitialComponents(attrs, config, &rng);
+  std::vector<double> gamma(4, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        optimizer.Step(gamma, &theta, &components));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          data.dataset.network.num_nodes());
+}
+BENCHMARK(BM_EmStep);
+
+void BM_StrengthGradient(benchmark::State& state) {
+  const WeatherData& data = SharedWeather();
+  GenClusConfig config;
+  config.num_clusters = 4;
+  Rng rng(3);
+  Matrix theta = RandomTheta(data.dataset.network.num_nodes(), 4, &rng);
+  StrengthLearner learner(&data.dataset.network, &theta, &config);
+  std::vector<double> gamma(4, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(learner.Gradient(gamma));
+  }
+}
+BENCHMARK(BM_StrengthGradient);
+
+void BM_StrengthHessian(benchmark::State& state) {
+  const WeatherData& data = SharedWeather();
+  GenClusConfig config;
+  config.num_clusters = 4;
+  Rng rng(3);
+  Matrix theta = RandomTheta(data.dataset.network.num_nodes(), 4, &rng);
+  StrengthLearner learner(&data.dataset.network, &theta, &config);
+  std::vector<double> gamma(4, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(learner.Hessian(gamma));
+  }
+}
+BENCHMARK(BM_StrengthHessian);
+
+void BM_StrengthLearn(benchmark::State& state) {
+  const WeatherData& data = SharedWeather();
+  GenClusConfig config;
+  config.num_clusters = 4;
+  config.newton_iterations = 20;
+  Rng rng(3);
+  Matrix theta = RandomTheta(data.dataset.network.num_nodes(), 4, &rng);
+  StrengthLearner learner(&data.dataset.network, &theta, &config);
+  std::vector<double> gamma(4, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(learner.Learn(gamma, nullptr));
+  }
+}
+BENCHMARK(BM_StrengthLearn);
+
+void BM_WeatherGeneration(benchmark::State& state) {
+  WeatherConfig config = WeatherConfig::Setting1();
+  config.num_temperature_sensors = static_cast<size_t>(state.range(0));
+  config.num_precipitation_sensors = config.num_temperature_sensors / 4;
+  config.seed = 7;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GenerateWeatherNetwork(config));
+  }
+}
+BENCHMARK(BM_WeatherGeneration)->Arg(200)->Arg(800);
+
+void BM_Digamma(benchmark::State& state) {
+  double x = 0.3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Digamma(x));
+    x += 0.1;
+    if (x > 50.0) x = 0.3;
+  }
+}
+BENCHMARK(BM_Digamma);
+
+void BM_Trigamma(benchmark::State& state) {
+  double x = 0.3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Trigamma(x));
+    x += 0.1;
+    if (x > 50.0) x = 0.3;
+  }
+}
+BENCHMARK(BM_Trigamma);
+
+}  // namespace
+}  // namespace genclus
+
+BENCHMARK_MAIN();

@@ -1,0 +1,133 @@
+// Table 1: case study of cluster membership vectors on the AC network.
+// The paper lists SIGMOD (DB-pure), KDD (DM-pure), CIKM (broad) and three
+// authors; the qualitative signature is that pure venues concentrate on
+// one cluster while broad venues (CIKM: 0.28/0.14/0.48/0.10) and
+// multi-area authors (Faloutsos: 0.43/0.31/0.14/0.13) spread.
+//
+// We report the learned memberships of: one pure conference per area, one
+// broad conference, one single-area author, and one author with papers in
+// several areas. Clusters are aligned to areas with the Hungarian match on
+// conference labels.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "core/genclus.h"
+#include "datagen/dblp_generator.h"
+#include "eval/hungarian.h"
+
+int main(int argc, char** argv) {
+  using namespace genclus;
+  using namespace genclus::bench;
+  Flags flags = Flags::Parse(argc, argv);
+
+  DblpConfig data_config;
+  data_config.num_authors =
+      static_cast<size_t>(flags.GetInt("authors", 1000));
+  data_config.num_papers = static_cast<size_t>(flags.GetInt("papers", 2500));
+  data_config.seed = static_cast<uint64_t>(flags.GetInt("data-seed", 21));
+  auto corpus = GenerateDblpCorpus(data_config);
+  if (!corpus.ok()) return 1;
+  auto ac = BuildAcNetwork(*corpus, data_config);
+  if (!ac.ok()) return 1;
+
+  GenClusConfig config;
+  config.num_clusters = 4;
+  config.outer_iterations = 10;
+  config.em_iterations = 40;
+  config.num_init_seeds = 5;
+  config.init_em_steps = 3;
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  auto result = RunGenClus(ac->dataset, {"text"}, config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  // Align cluster ids to areas using the pure conferences' ground truth.
+  const size_t k = 4;
+  Matrix votes(k, k);
+  for (size_t c = 0; c < ac->conference_nodes.size(); ++c) {
+    if (corpus->conference_is_broad[c]) continue;
+    const NodeId v = ac->conference_nodes[c];
+    const double* row = result->theta.Row(v);
+    for (size_t j = 0; j < k; ++j) {
+      votes(corpus->conference_area[c], j) += row[j];
+    }
+  }
+  HungarianResult match = SolveMaxAssignment(votes);  // area -> cluster
+
+  PrintHeader("Table 1 — Case studies of cluster membership (AC network)");
+  PrintRow({"object", "area1", "area2", "area3", "area4"});
+  auto print_membership = [&](const std::string& name, NodeId v) {
+    std::vector<std::string> row = {name};
+    const double* theta = result->theta.Row(v);
+    for (size_t area = 0; area < k; ++area) {
+      row.push_back(Fmt(theta[match.assignment[area]]));
+    }
+    PrintRow(row);
+  };
+
+  // One pure conference per area.
+  for (size_t area = 0; area < k; ++area) {
+    for (size_t c = 0; c < ac->conference_nodes.size(); ++c) {
+      if (!corpus->conference_is_broad[c] &&
+          corpus->conference_area[c] == area) {
+        print_membership(StrFormat("pure_conf%zu(area%zu)", c, area),
+                         ac->conference_nodes[c]);
+        break;
+      }
+    }
+  }
+  // Broad conferences: the paper's "CIKM" rows.
+  for (size_t c = 0; c < ac->conference_nodes.size(); ++c) {
+    if (corpus->conference_is_broad[c]) {
+      print_membership(StrFormat("broad_conf%zu(CIKM-like)", c),
+                       ac->conference_nodes[c]);
+    }
+  }
+  // A prolific single-area author and the author with the most diverse
+  // paper-area profile (the paper's Faloutsos row).
+  std::vector<std::vector<double>> author_area_counts(
+      corpus->author_area.size(), std::vector<double>(k, 0.0));
+  for (const auto& paper : corpus->papers) {
+    for (size_t a : paper.authors) author_area_counts[a][paper.area] += 1.0;
+  }
+  size_t focused = 0;
+  double best_focus = -1.0;
+  size_t diverse = 0;
+  double best_entropy = -1.0;
+  for (size_t a = 0; a < author_area_counts.size(); ++a) {
+    double total = 0.0;
+    for (double c : author_area_counts[a]) total += c;
+    if (total < 4.0) continue;
+    double max_share = 0.0;
+    double entropy = 0.0;
+    for (double c : author_area_counts[a]) {
+      const double p = c / total;
+      max_share = std::max(max_share, p);
+      if (p > 0.0) entropy -= p * std::log(p);
+    }
+    if (max_share * total > best_focus) {
+      best_focus = max_share * total;
+      focused = a;
+    }
+    if (entropy > best_entropy) {
+      best_entropy = entropy;
+      diverse = a;
+    }
+  }
+  print_membership(StrFormat("author%zu(single-area)", focused),
+                   ac->author_nodes[focused]);
+  print_membership(StrFormat("author%zu(multi-area)", diverse),
+                   ac->author_nodes[diverse]);
+
+  std::printf(
+      "\npaper (Table 1): SIGMOD 0.86 in DB; KDD 0.70 in DM; CIKM spread\n"
+      "0.28/0.14/0.48/0.10; Widom/Gray concentrated; Faloutsos spread.\n"
+      "Expected shape: pure venues/authors concentrate on one area, broad\n"
+      "venues and multi-area authors spread across several.\n");
+  return 0;
+}

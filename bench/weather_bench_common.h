@@ -1,0 +1,43 @@
+// Shared driver for the weather-network accuracy benches (Figs. 7 and 8):
+// for each network size (#P) and observation count, run k-means,
+// SpectralCombine and GenClus and print NMI against the planted weather
+// patterns — the paper's 3x3 panels per setting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/flags.h"
+#include "datagen/weather_generator.h"
+
+namespace genclus::bench {
+
+struct WeatherBenchOptions {
+  std::vector<size_t> precipitation_sizes = {250, 500, 1000};
+  std::vector<size_t> observation_counts = {1, 5, 20};
+  size_t num_temperature_sensors = 1000;
+  size_t runs = 3;
+  uint64_t data_seed = 11;
+  bool fixed_gamma = false;
+
+  static WeatherBenchOptions FromFlags(const Flags& flags) {
+    WeatherBenchOptions opt;
+    opt.runs = static_cast<size_t>(flags.GetInt("runs", 1));
+    opt.num_temperature_sensors =
+        static_cast<size_t>(flags.GetInt("temperature-sensors", 1000));
+    opt.data_seed = static_cast<uint64_t>(flags.GetInt("data-seed", 11));
+    opt.fixed_gamma = flags.GetBool("fixed-gamma", false);
+    if (flags.Has("quick")) {
+      opt.precipitation_sizes = {250};
+      opt.observation_counts = {5};
+      opt.runs = 1;
+    }
+    return opt;
+  }
+};
+
+/// Runs the full grid for one pattern setting (1 or 2) and prints the
+/// Fig. 7 / Fig. 8 style table.
+void RunWeatherAccuracyBench(int setting, const WeatherBenchOptions& options);
+
+}  // namespace genclus::bench

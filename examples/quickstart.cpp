@@ -1,0 +1,100 @@
+// Quickstart: build the paper's Fig. 2/Fig. 4 style toy bibliographic
+// network by hand, run GenClus, and print the soft clustering and the
+// learned relation strengths.
+//
+//   papers carry text; authors and venues carry nothing — their membership
+//   comes purely from links, and the strength of each relation is learned.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/genclus.h"
+#include "hin/dataset.h"
+
+using namespace genclus;
+
+int main() {
+  // 1. Declare the schema: object types and directed relations.
+  Schema schema;
+  ObjectTypeId author = schema.AddObjectType("author").value();
+  ObjectTypeId paper = schema.AddObjectType("paper").value();
+  ObjectTypeId venue = schema.AddObjectType("venue").value();
+  LinkTypeId write = schema.AddLinkType("write", author, paper).value();
+  LinkTypeId written_by =
+      schema.AddLinkType("written_by", paper, author).value();
+  LinkTypeId published_by =
+      schema.AddLinkType("published_by", paper, venue).value();
+  LinkTypeId publish = schema.AddLinkType("publish", venue, paper).value();
+  (void)schema.SetInverse(write, written_by);
+  (void)schema.SetInverse(publish, published_by);
+
+  // 2. Add objects: 2 authors, 6 papers, 2 venues. Authors 0/1 work on
+  //    "databases" / "learning"; venues 0/1 host those areas.
+  NetworkBuilder builder(schema);
+  NodeId authors[2];
+  NodeId papers[6];
+  NodeId venues[2];
+  for (int i = 0; i < 2; ++i) {
+    authors[i] =
+        builder.AddNode(author, i == 0 ? "alice" : "bob").value();
+    venues[i] = builder.AddNode(venue, i == 0 ? "VLDB" : "ICML").value();
+  }
+  for (int p = 0; p < 6; ++p) {
+    papers[p] = builder.AddNode(paper, "paper" + std::to_string(p)).value();
+  }
+
+  // 3. Links: author i writes papers 3i..3i+2, published in venue i.
+  for (int p = 0; p < 6; ++p) {
+    const int a = p / 3;
+    (void)builder.AddLink(authors[a], papers[p], write);
+    (void)builder.AddLink(papers[p], authors[a], written_by);
+    (void)builder.AddLink(papers[p], venues[a], published_by);
+    (void)builder.AddLink(venues[a], papers[p], publish);
+  }
+
+  Dataset dataset;
+  dataset.network = std::move(builder).Build().value();
+
+  // 4. Text attribute on papers only (vocabulary of 4 terms; terms 0-1 are
+  //    database words, terms 2-3 learning words). Authors/venues have NO
+  //    attributes — the incomplete case GenClus is built for.
+  Attribute text =
+      Attribute::Categorical("text", 4, dataset.network.num_nodes());
+  for (int p = 0; p < 6; ++p) {
+    const uint32_t base = p < 3 ? 0 : 2;
+    (void)text.AddTermCount(papers[p], base, 2.0);
+    (void)text.AddTermCount(papers[p], base + 1, 1.0);
+  }
+  dataset.attributes.push_back(std::move(text));
+
+  // 5. Run GenClus with K = 2.
+  GenClusConfig config;
+  config.num_clusters = 2;
+  config.outer_iterations = 5;
+  config.seed = 1;
+  auto result = RunGenClus(dataset, {"text"}, config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "GenClus failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  // 6. Inspect the output: every object now has a membership vector, and
+  //    every relation a learned strength.
+  std::printf("soft clustering (theta):\n");
+  for (NodeId v = 0; v < dataset.network.num_nodes(); ++v) {
+    std::printf("  %-8s [%.3f, %.3f]\n",
+                dataset.network.node_name(v).c_str(), result->theta(v, 0),
+                result->theta(v, 1));
+  }
+  std::printf("learned relation strengths (gamma):\n");
+  for (LinkTypeId r = 0; r < schema.num_link_types(); ++r) {
+    std::printf("  %-14s %.3f\n",
+                dataset.network.schema().link_type(r).name.c_str(),
+                result->gamma[r]);
+  }
+  std::printf("\nExpected: papers/authors/venues of the two areas fall in\n"
+              "opposite clusters; all objects get memberships even though\n"
+              "only papers carry text.\n");
+  return 0;
+}

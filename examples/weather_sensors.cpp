@@ -1,0 +1,81 @@
+// Weather sensor walkthrough (the paper's Example 2): generate a sensor
+// network where temperature and precipitation sensors each observe only
+// their own attribute (incomplete by construction), cluster with GenClus
+// over BOTH attributes, and use the soft memberships for link prediction.
+//
+// Run: ./build/examples/weather_sensors [--setting 1|2] [--nobs N]
+#include <cstdio>
+
+#include "common/flags.h"
+#include "core/genclus.h"
+#include "datagen/weather_generator.h"
+#include "eval/link_prediction.h"
+#include "eval/nmi.h"
+
+using namespace genclus;
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  const int setting = static_cast<int>(flags.GetInt("setting", 2));
+
+  WeatherConfig wconfig =
+      setting == 1 ? WeatherConfig::Setting1() : WeatherConfig::Setting2();
+  wconfig.num_temperature_sensors =
+      static_cast<size_t>(flags.GetInt("temperature-sensors", 600));
+  wconfig.num_precipitation_sensors =
+      static_cast<size_t>(flags.GetInt("precipitation-sensors", 300));
+  wconfig.observations_per_sensor =
+      static_cast<size_t>(flags.GetInt("nobs", 5));
+  wconfig.seed = 2025;
+  auto data = GenerateWeatherNetwork(wconfig);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("weather network (setting %d): %zu T + %zu P sensors, "
+              "%zu kNN links, %zu observations per sensor\n",
+              setting, wconfig.num_temperature_sensors,
+              wconfig.num_precipitation_sensors,
+              data->dataset.network.num_links(),
+              wconfig.observations_per_sensor);
+  std::printf("every sensor observes ONE attribute; the 4 weather patterns\n"
+              "are only identifiable from both — links must combine them.\n\n");
+
+  GenClusConfig config;
+  config.num_clusters = 4;
+  config.outer_iterations = 5;
+  config.em_iterations = 40;
+  config.num_init_seeds = 5;
+  config.init_em_steps = 5;
+  config.seed = 3;
+  auto result = RunGenClus(data->dataset, {"temperature", "precipitation"},
+                           config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("NMI vs planted weather patterns: %.3f\n",
+              NormalizedMutualInformation(result->HardLabels(),
+                                          data->dataset.labels.raw()));
+  std::printf("learned strengths: TT=%.2f TP=%.2f PT=%.2f PP=%.2f\n",
+              result->gamma[data->tt_link], result->gamma[data->tp_link],
+              result->gamma[data->pt_link], result->gamma[data->pp_link]);
+
+  // Link prediction: who are a temperature sensor's precipitation
+  // neighbors? Rank by membership similarity.
+  std::printf("\nlink prediction for <T,P> (MAP):\n");
+  for (SimilarityKind kind :
+       {SimilarityKind::kCosine, SimilarityKind::kNegativeEuclidean,
+        SimilarityKind::kNegativeCrossEntropy}) {
+    auto map = EvaluateLinkPrediction(data->dataset.network, result->theta,
+                                      data->tp_link, kind);
+    if (map.ok()) {
+      std::printf("  %-12s %.4f over %zu queries\n",
+                  SimilarityKindName(kind), map->map, map->num_queries);
+    }
+  }
+  std::printf("\nThe asymmetric -H(tj,ti) typically ranks best (paper\n"
+              "Table 4) — membership vectors are not interchangeable.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+#include "baselines/interpolation.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace genclus {
+
+Result<Matrix> InterpolateNumericalAttributes(
+    const Network& network,
+    const std::vector<const Attribute*>& attributes) {
+  const size_t n = network.num_nodes();
+  for (const Attribute* attr : attributes) {
+    if (attr == nullptr || attr->kind() != AttributeKind::kNumerical) {
+      return Status::InvalidArgument(
+          "interpolation requires numerical attributes");
+    }
+    if (attr->num_nodes() != n) {
+      return Status::InvalidArgument(
+          StrFormat("attribute '%s' sized for a different network",
+                    attr->name().c_str()));
+    }
+  }
+
+  Matrix features(n, attributes.size());
+  for (size_t t = 0; t < attributes.size(); ++t) {
+    const Attribute& attr = *attributes[t];
+    // Global mean as the last-resort fallback.
+    double global_sum = 0.0;
+    double global_count = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      for (double x : attr.Values(v)) {
+        global_sum += x;
+        global_count += 1.0;
+      }
+    }
+    const double global_mean =
+        global_count > 0.0 ? global_sum / global_count : 0.0;
+
+    for (NodeId v = 0; v < n; ++v) {
+      double sum = 0.0;
+      double count = 0.0;
+      for (double x : attr.Values(v)) {
+        sum += x;
+        count += 1.0;
+      }
+      for (const LinkEntry& e : network.OutLinks(v)) {
+        for (double x : attr.Values(e.neighbor)) {
+          sum += x;
+          count += 1.0;
+        }
+      }
+      features(v, t) = count > 0.0 ? sum / count : global_mean;
+    }
+  }
+  return features;
+}
+
+void StandardizeColumns(Matrix* features) {
+  GENCLUS_CHECK(features != nullptr);
+  const size_t n = features->rows();
+  const size_t dim = features->cols();
+  if (n == 0) return;
+  for (size_t c = 0; c < dim; ++c) {
+    double mean = 0.0;
+    for (size_t r = 0; r < n; ++r) mean += (*features)(r, c);
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (size_t r = 0; r < n; ++r) {
+      const double d = (*features)(r, c) - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(n);
+    const double stddev = std::sqrt(var);
+    for (size_t r = 0; r < n; ++r) {
+      (*features)(r, c) =
+          stddev > 1e-12 ? ((*features)(r, c) - mean) / stddev : 0.0;
+    }
+  }
+}
+
+}  // namespace genclus

@@ -1,0 +1,28 @@
+// Neighbor-mean interpolation for incomplete numerical attributes
+// (§5.2.1): "we use interpolation to make each sensor have a regular
+// 2-dimensional attribute, by using the mean of all the observations of
+// its neighbors and itself". Needed by the k-means and spectral baselines,
+// which cannot consume observation bags or missing values.
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "hin/attributes.h"
+#include "hin/network.h"
+#include "linalg/matrix.h"
+
+namespace genclus {
+
+/// Builds a dense num_nodes x attributes.size() feature matrix. Column t
+/// for node v is the mean of all observations of attributes[t] on v and
+/// v's out-link neighbors; if none of them carries the attribute, the
+/// global attribute mean is used (0 if the attribute is empty network-wide).
+Result<Matrix> InterpolateNumericalAttributes(
+    const Network& network, const std::vector<const Attribute*>& attributes);
+
+/// Standardizes each column in place: subtract mean, divide by standard
+/// deviation (columns with zero variance become all-zero).
+void StandardizeColumns(Matrix* features);
+
+}  // namespace genclus

@@ -1,0 +1,158 @@
+#include "baselines/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace genclus {
+namespace {
+
+double SquaredDistance(const double* a, const double* b, size_t dim) {
+  double acc = 0.0;
+  for (size_t i = 0; i < dim; ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+// k-means++ seeding: first center uniform, then proportional to squared
+// distance to the nearest chosen center.
+Matrix SeedCenters(const Matrix& points, size_t k, Rng* rng) {
+  const size_t n = points.rows();
+  const size_t dim = points.cols();
+  Matrix centers(k, dim);
+  std::vector<double> min_dist(n, std::numeric_limits<double>::infinity());
+
+  size_t first = rng->UniformIndex(n);
+  for (size_t d = 0; d < dim; ++d) centers(0, d) = points(first, d);
+  for (size_t c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double dist =
+          SquaredDistance(points.Row(i), centers.Row(c - 1), dim);
+      min_dist[i] = std::min(min_dist[i], dist);
+      total += min_dist[i];
+    }
+    size_t chosen;
+    if (total <= 0.0) {
+      chosen = rng->UniformIndex(n);  // all points identical
+    } else {
+      double u = rng->Uniform() * total;
+      chosen = n - 1;
+      double acc = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        acc += min_dist[i];
+        if (u < acc) {
+          chosen = i;
+          break;
+        }
+      }
+    }
+    for (size_t d = 0; d < dim; ++d) centers(c, d) = points(chosen, d);
+  }
+  return centers;
+}
+
+KMeansResult RunOnce(const Matrix& points, const KMeansConfig& config,
+                     Rng* rng) {
+  const size_t n = points.rows();
+  const size_t dim = points.cols();
+  const size_t k = config.num_clusters;
+
+  KMeansResult result;
+  result.centers = SeedCenters(points, k, rng);
+  result.labels.assign(n, 0);
+
+  for (size_t iter = 0; iter < config.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment step.
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      uint32_t best_c = 0;
+      for (size_t c = 0; c < k; ++c) {
+        const double d =
+            SquaredDistance(points.Row(i), result.centers.Row(c), dim);
+        if (d < best) {
+          best = d;
+          best_c = static_cast<uint32_t>(c);
+        }
+      }
+      if (result.labels[i] != best_c) {
+        result.labels[i] = best_c;
+        changed = true;
+      }
+    }
+    // Update step.
+    Matrix new_centers(k, dim);
+    std::vector<double> counts(k, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t c = result.labels[i];
+      counts[c] += 1.0;
+      for (size_t d = 0; d < dim; ++d) {
+        new_centers(c, d) += points(i, d);
+      }
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] > 0.0) {
+        for (size_t d = 0; d < dim; ++d) new_centers(c, d) /= counts[c];
+      } else {
+        // Empty cluster: re-seed at the point farthest from its center.
+        size_t farthest = 0;
+        double far_dist = -1.0;
+        for (size_t i = 0; i < n; ++i) {
+          const double d = SquaredDistance(
+              points.Row(i), result.centers.Row(result.labels[i]), dim);
+          if (d > far_dist) {
+            far_dist = d;
+            farthest = i;
+          }
+        }
+        for (size_t d = 0; d < dim; ++d) {
+          new_centers(c, d) = points(farthest, d);
+        }
+        changed = true;
+      }
+    }
+    const double movement = Matrix::MaxAbsDiff(result.centers, new_centers);
+    result.centers = std::move(new_centers);
+    if (!changed || movement < config.tolerance) break;
+  }
+
+  result.inertia = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    result.inertia += SquaredDistance(points.Row(i),
+                                      result.centers.Row(result.labels[i]),
+                                      dim);
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<KMeansResult> RunKMeans(const Matrix& points,
+                               const KMeansConfig& config) {
+  if (config.num_clusters == 0) {
+    return Status::InvalidArgument("num_clusters must be positive");
+  }
+  if (points.rows() < config.num_clusters) {
+    return Status::InvalidArgument("fewer points than clusters");
+  }
+  if (points.cols() == 0) {
+    return Status::InvalidArgument("points have zero dimension");
+  }
+  Rng rng(config.seed);
+  KMeansResult best;
+  best.inertia = std::numeric_limits<double>::infinity();
+  const size_t restarts = std::max<size_t>(1, config.num_restarts);
+  for (size_t r = 0; r < restarts; ++r) {
+    KMeansResult attempt = RunOnce(points, config, &rng);
+    if (attempt.inertia < best.inertia) best = std::move(attempt);
+  }
+  return best;
+}
+
+}  // namespace genclus

@@ -1,0 +1,38 @@
+// Lloyd's k-means with k-means++ seeding: the first weather-network
+// baseline (§5.2.1). Operates on a dense feature matrix; the incomplete
+// sensor attributes are first densified with neighbor-mean interpolation
+// (see interpolation.h), exactly as the paper does for this baseline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace genclus {
+
+struct KMeansConfig {
+  size_t num_clusters = 4;
+  size_t max_iterations = 100;
+  /// Converged when no assignment changes or center movement is below this.
+  double tolerance = 1e-8;
+  /// Independent restarts; the lowest-inertia solution wins.
+  size_t num_restarts = 1;
+  uint64_t seed = 1;
+};
+
+struct KMeansResult {
+  std::vector<uint32_t> labels;  // cluster per row of the input
+  Matrix centers;                // num_clusters x dim
+  double inertia = 0.0;          // sum of squared distances to centers
+  size_t iterations = 0;
+};
+
+/// Clusters the rows of `points`. Fails if there are fewer points than
+/// clusters.
+Result<KMeansResult> RunKMeans(const Matrix& points,
+                               const KMeansConfig& config);
+
+}  // namespace genclus

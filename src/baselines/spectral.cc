@@ -1,0 +1,90 @@
+#include "baselines/spectral.h"
+
+#include <cmath>
+
+#include "baselines/kmeans.h"
+#include "common/check.h"
+#include "common/random.h"
+#include "linalg/eigen.h"
+
+namespace genclus {
+
+Matrix SymmetrizedAdjacency(const Network& network) {
+  const size_t n = network.num_nodes();
+  Matrix w(n, n);
+  for (NodeId v = 0; v < n; ++v) {
+    for (const LinkEntry& e : network.OutLinks(v)) {
+      if (e.neighbor == v) continue;  // self-loops carry no modularity signal
+      w(v, e.neighbor) += 0.5 * e.weight;
+      w(e.neighbor, v) += 0.5 * e.weight;
+    }
+  }
+  return w;
+}
+
+Matrix ModularityMatrix(const Matrix& adjacency) {
+  GENCLUS_CHECK_EQ(adjacency.rows(), adjacency.cols());
+  const size_t n = adjacency.rows();
+  std::vector<double> degree(n, 0.0);
+  double two_m = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) degree[i] += adjacency(i, j);
+    two_m += degree[i];
+  }
+  Matrix b = adjacency;
+  if (two_m <= 0.0) return b;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      b(i, j) -= degree[i] * degree[j] / two_m;
+    }
+  }
+  return b;
+}
+
+Result<SpectralCombineResult> RunSpectralCombine(
+    const Network& network, const Matrix& features,
+    const SpectralCombineConfig& config) {
+  const size_t n = network.num_nodes();
+  if (features.rows() != n) {
+    return Status::InvalidArgument("features do not match network size");
+  }
+  if (config.num_clusters < 2 || config.num_clusters > n) {
+    return Status::InvalidArgument("bad num_clusters");
+  }
+  if (config.network_weight < 0.0 || config.network_weight > 1.0) {
+    return Status::InvalidArgument("network_weight must be in [0, 1]");
+  }
+
+  // Modularity part.
+  Matrix combined = ModularityMatrix(SymmetrizedAdjacency(network));
+  const double b_norm = combined.FrobeniusNorm();
+  if (b_norm > 0.0) combined.Scale(config.network_weight / b_norm);
+
+  // Attribute part: Gram matrix of the feature rows.
+  Matrix gram = features.Multiply(features.Transpose());
+  const double s_norm = gram.FrobeniusNorm();
+  if (s_norm > 0.0) {
+    combined.AddScaled(gram, (1.0 - config.network_weight) / s_norm);
+  }
+
+  Rng rng(config.seed);
+  GENCLUS_ASSIGN_OR_RETURN(
+      EigenDecomposition eig,
+      TopKEigenSymmetric(combined, config.num_clusters, &rng,
+                         config.eigen_tolerance, config.eigen_max_iters));
+
+  SpectralCombineResult result;
+  result.embedding = std::move(eig.vectors);
+  result.eigenvalues = std::move(eig.values);
+
+  KMeansConfig kconfig;
+  kconfig.num_clusters = config.num_clusters;
+  kconfig.num_restarts = config.kmeans_restarts;
+  kconfig.seed = config.seed ^ 0xABCDEF;
+  GENCLUS_ASSIGN_OR_RETURN(KMeansResult kres,
+                           RunKMeans(result.embedding, kconfig));
+  result.labels = std::move(kres.labels);
+  return result;
+}
+
+}  // namespace genclus

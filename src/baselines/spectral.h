@@ -1,0 +1,57 @@
+// SpectralCombine: the second weather-network baseline (§5.2.1), following
+// the framework of Shiga et al. [20] with the attribute part replaced by
+// the spectral-relaxation-of-k-means Gram matrix [26]:
+//
+//   M = w_net * B / ||B||_F  +  (1 - w_net) * S / ||S||_F
+//
+// where B = W - d d^T / (2m) is the (symmetrized) modularity matrix and
+// S = X X^T is the Gram matrix of the standardized, interpolated attribute
+// matrix. The top-K eigenvectors of M form the embedding, clustered with
+// k-means. Both parts get equal weights (w_net = 0.5) as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "hin/network.h"
+#include "linalg/matrix.h"
+
+namespace genclus {
+
+struct SpectralCombineConfig {
+  size_t num_clusters = 4;
+  /// Weight of the modularity part (attribute part gets 1 - this).
+  double network_weight = 0.5;
+  /// k-means restarts on the spectral embedding.
+  size_t kmeans_restarts = 5;
+  /// Subspace-iteration stopping parameters; the embedding needs only a
+  /// loose eigenbasis, so benches can trade accuracy for time.
+  double eigen_tolerance = 1e-7;
+  size_t eigen_max_iters = 300;
+  uint64_t seed = 1;
+};
+
+struct SpectralCombineResult {
+  std::vector<uint32_t> labels;
+  /// num_nodes x num_clusters spectral embedding (top eigenvectors).
+  Matrix embedding;
+  /// Top eigenvalues of the combined matrix.
+  std::vector<double> eigenvalues;
+};
+
+/// Clusters network nodes from links + dense standardized features (rows
+/// aligned with node ids; use InterpolateNumericalAttributes +
+/// StandardizeColumns to produce them).
+Result<SpectralCombineResult> RunSpectralCombine(
+    const Network& network, const Matrix& features,
+    const SpectralCombineConfig& config);
+
+/// Symmetrized weighted adjacency: W_ij = W_ji = sum of weights of links
+/// between i and j in either direction, halved.
+Matrix SymmetrizedAdjacency(const Network& network);
+
+/// Modularity matrix B = W - d d^T / (2m) of a symmetric adjacency.
+Matrix ModularityMatrix(const Matrix& adjacency);
+
+}  // namespace genclus

@@ -1,0 +1,212 @@
+#include "baselines/topic_models.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "prob/simplex.h"
+
+namespace genclus {
+namespace {
+
+Status ValidateTextInput(const Network& network, const Attribute& text,
+                         size_t num_clusters) {
+  if (text.kind() != AttributeKind::kCategorical) {
+    return Status::InvalidArgument("topic models need a categorical attribute");
+  }
+  if (text.num_nodes() != network.num_nodes()) {
+    return Status::InvalidArgument("attribute sized for a different network");
+  }
+  if (num_clusters < 2) {
+    return Status::InvalidArgument("num_clusters must be >= 2");
+  }
+  return Status::OK();
+}
+
+// Random simplex rows for theta; perturbed-uniform rows for beta.
+void RandomInit(size_t n, size_t k, size_t vocab, Rng* rng, Matrix* theta,
+                Matrix* beta) {
+  *theta = Matrix(n, k);
+  for (size_t v = 0; v < n; ++v) {
+    theta->SetRow(v, rng->SimplexUniform(k));
+  }
+  *beta = Matrix(k, vocab);
+  for (size_t c = 0; c < k; ++c) {
+    double total = 0.0;
+    for (size_t l = 0; l < vocab; ++l) {
+      const double x = 0.5 + rng->Uniform();
+      (*beta)(c, l) = x;
+      total += x;
+    }
+    for (size_t l = 0; l < vocab; ++l) (*beta)(c, l) /= total;
+  }
+}
+
+// PLSA corpus log-likelihood: sum_v sum_l c_vl log sum_k theta_vk beta_kl.
+double PlsaLogLikelihood(const Attribute& text, const Matrix& theta,
+                         const Matrix& beta) {
+  double total = 0.0;
+  const size_t k = theta.cols();
+  for (NodeId v = 0; v < text.num_nodes(); ++v) {
+    const double* theta_v = theta.Row(v);
+    for (const TermCount& tc : text.TermCounts(v)) {
+      double p = 0.0;
+      for (size_t c = 0; c < k; ++c) p += theta_v[c] * beta(c, tc.term);
+      total += tc.count * std::log(p > 0.0 ? p : 1e-300);
+    }
+  }
+  return total;
+}
+
+// One PLSA E+M sweep producing unsmoothed theta_raw and new beta.
+// theta_raw rows for nodes without text are left all-zero.
+void PlsaSweep(const Attribute& text, const Matrix& theta, Matrix* theta_raw,
+               Matrix* beta, double beta_smoothing) {
+  const size_t n = text.num_nodes();
+  const size_t k = theta.cols();
+  const size_t vocab = text.vocab_size();
+  *theta_raw = Matrix(n, k);
+  Matrix beta_acc(k, vocab);
+  std::vector<double> resp(k);
+
+  for (NodeId v = 0; v < n; ++v) {
+    const double* theta_v = theta.Row(v);
+    for (const TermCount& tc : text.TermCounts(v)) {
+      double total = 0.0;
+      for (size_t c = 0; c < k; ++c) {
+        resp[c] = theta_v[c] * (*beta)(c, tc.term);
+        total += resp[c];
+      }
+      if (total <= 0.0) {
+        std::fill(resp.begin(), resp.end(), 1.0 / k);
+        total = 1.0;
+      }
+      for (size_t c = 0; c < k; ++c) {
+        const double r = tc.count * resp[c] / total;
+        (*theta_raw)(v, c) += r;
+        beta_acc(c, tc.term) += r;
+      }
+    }
+  }
+  // New beta with additive smoothing.
+  for (size_t c = 0; c < k; ++c) {
+    double row_total = 0.0;
+    for (size_t l = 0; l < vocab; ++l) row_total += beta_acc(c, l);
+    const double smooth =
+        beta_smoothing * (row_total > 0.0 ? row_total : 1.0);
+    const double denom = row_total + smooth * static_cast<double>(vocab);
+    for (size_t l = 0; l < vocab; ++l) {
+      (*beta)(c, l) = (beta_acc(c, l) + smooth) / denom;
+    }
+  }
+}
+
+}  // namespace
+
+Result<TopicModelResult> RunNetPlsa(const Network& network,
+                                    const Attribute& text,
+                                    const NetPlsaConfig& config) {
+  GENCLUS_RETURN_IF_ERROR(
+      ValidateTextInput(network, text, config.num_clusters));
+  if (config.lambda < 0.0 || config.lambda >= 1.0) {
+    return Status::InvalidArgument("lambda must be in [0, 1)");
+  }
+  const size_t n = network.num_nodes();
+  const size_t k = config.num_clusters;
+
+  Rng rng(config.seed);
+  TopicModelResult result;
+  RandomInit(n, k, text.vocab_size(), &rng, &result.theta, &result.beta);
+
+  Matrix theta_raw;
+  std::vector<double> smoothed(k);
+  for (size_t iter = 0; iter < config.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    PlsaSweep(text, result.theta, &theta_raw, &result.beta,
+              config.beta_smoothing);
+
+    // Normalize PLSA part and blend with the weighted neighbor average
+    // (the network-regularization step; all link types treated alike).
+    Matrix new_theta(n, k);
+    for (NodeId v = 0; v < n; ++v) {
+      std::fill(smoothed.begin(), smoothed.end(), 0.0);
+      double neighbor_weight = 0.0;
+      for (const LinkEntry& e : network.OutLinks(v)) {
+        const double* theta_u = result.theta.Row(e.neighbor);
+        for (size_t c = 0; c < k; ++c) smoothed[c] += e.weight * theta_u[c];
+        neighbor_weight += e.weight;
+      }
+      const bool has_text = text.HasObservations(v);
+      double* out = new_theta.Row(v);
+      double plsa_total = 0.0;
+      for (size_t c = 0; c < k; ++c) plsa_total += theta_raw(v, c);
+      for (size_t c = 0; c < k; ++c) {
+        const double plsa_part =
+            has_text && plsa_total > 0.0 ? theta_raw(v, c) / plsa_total : 0.0;
+        const double smooth_part =
+            neighbor_weight > 0.0 ? smoothed[c] / neighbor_weight : 1.0 / k;
+        if (has_text) {
+          out[c] = (1.0 - config.lambda) * plsa_part +
+                   config.lambda * smooth_part;
+        } else {
+          out[c] = smooth_part;  // attribute-free nodes: pure propagation
+        }
+      }
+      std::vector<double> row(out, out + k);
+      ClampToSimplex(&row);
+      new_theta.SetRow(v, row);
+    }
+    const double delta = Matrix::MaxAbsDiff(result.theta, new_theta);
+    result.theta = std::move(new_theta);
+    if (delta < config.tolerance) break;
+  }
+  result.log_likelihood = PlsaLogLikelihood(text, result.theta, result.beta);
+  return result;
+}
+
+Result<TopicModelResult> RunITopicModel(const Network& network,
+                                        const Attribute& text,
+                                        const ITopicModelConfig& config) {
+  GENCLUS_RETURN_IF_ERROR(
+      ValidateTextInput(network, text, config.num_clusters));
+  if (config.neighbor_weight < 0.0) {
+    return Status::InvalidArgument("neighbor_weight must be >= 0");
+  }
+  const size_t n = network.num_nodes();
+  const size_t k = config.num_clusters;
+
+  Rng rng(config.seed);
+  TopicModelResult result;
+  RandomInit(n, k, text.vocab_size(), &rng, &result.theta, &result.beta);
+
+  Matrix theta_raw;
+  for (size_t iter = 0; iter < config.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    PlsaSweep(text, result.theta, &theta_raw, &result.beta,
+              config.beta_smoothing);
+
+    // MRF prior in the M-step: text responsibilities plus lambda-weighted
+    // neighbor memberships, normalized together.
+    Matrix new_theta(n, k);
+    std::vector<double> mix(k);
+    for (NodeId v = 0; v < n; ++v) {
+      for (size_t c = 0; c < k; ++c) mix[c] = theta_raw(v, c);
+      for (const LinkEntry& e : network.OutLinks(v)) {
+        const double* theta_u = result.theta.Row(e.neighbor);
+        for (size_t c = 0; c < k; ++c) {
+          mix[c] += config.neighbor_weight * e.weight * theta_u[c];
+        }
+      }
+      ClampToSimplex(&mix);
+      new_theta.SetRow(v, mix);
+    }
+    const double delta = Matrix::MaxAbsDiff(result.theta, new_theta);
+    result.theta = std::move(new_theta);
+    if (delta < config.tolerance) break;
+  }
+  result.log_likelihood = PlsaLogLikelihood(text, result.theta, result.beta);
+  return result;
+}
+
+}  // namespace genclus

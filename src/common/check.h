@@ -1,0 +1,50 @@
+// CHECK macros for programming errors (never for recoverable conditions;
+// those use Status). A failed CHECK prints the condition and location and
+// aborts, so invariant violations fail fast in both Debug and Release.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace genclus::internal {
+
+[[noreturn]] inline void CheckFailed(const char* cond, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d%s%s\n", cond, file, line,
+               (msg != nullptr && msg[0] != '\0') ? " — " : "",
+               msg != nullptr ? msg : "");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace genclus::internal
+
+#define GENCLUS_CHECK(cond)                                               \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::genclus::internal::CheckFailed(#cond, __FILE__, __LINE__, "");    \
+    }                                                                     \
+  } while (0)
+
+#define GENCLUS_CHECK_MSG(cond, msg)                                      \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::genclus::internal::CheckFailed(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                     \
+  } while (0)
+
+#define GENCLUS_CHECK_EQ(a, b) GENCLUS_CHECK((a) == (b))
+#define GENCLUS_CHECK_NE(a, b) GENCLUS_CHECK((a) != (b))
+#define GENCLUS_CHECK_LT(a, b) GENCLUS_CHECK((a) < (b))
+#define GENCLUS_CHECK_LE(a, b) GENCLUS_CHECK((a) <= (b))
+#define GENCLUS_CHECK_GT(a, b) GENCLUS_CHECK((a) > (b))
+#define GENCLUS_CHECK_GE(a, b) GENCLUS_CHECK((a) >= (b))
+
+// Debug-only check for hot paths.
+#ifndef NDEBUG
+#define GENCLUS_DCHECK(cond) GENCLUS_CHECK(cond)
+#else
+#define GENCLUS_DCHECK(cond) \
+  do {                       \
+  } while (0)
+#endif

@@ -1,0 +1,37 @@
+// Tiny command-line flag parser used by the bench and example binaries.
+// Accepts "--name value", "--name=value", and boolean "--name".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace genclus {
+
+/// Parsed command-line flags with typed, defaulted accessors.
+class Flags {
+ public:
+  /// Parses argv. Unrecognized positional arguments are kept in order and
+  /// available via positional().
+  static Flags Parse(int argc, char** argv);
+
+  /// True if --name was present (with or without a value).
+  bool Has(const std::string& name) const;
+
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  int64_t GetInt(const std::string& name, int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  /// Boolean flag: present without value, or value in
+  /// {1, true, yes, on} (case-insensitive).
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace genclus

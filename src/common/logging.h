@@ -1,0 +1,70 @@
+// Minimal leveled logger. Thread-safe; writes to stderr. Intended for
+// library-internal progress/diagnostic output, controllable by callers.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace genclus {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Sets the global minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+
+/// Current global minimum level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Builds one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a log statement below the active level without evaluating
+/// the streamed expressions' formatting.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace genclus
+
+#define GENCLUS_LOG(level)                                            \
+  (static_cast<int>(::genclus::LogLevel::k##level) <                  \
+   static_cast<int>(::genclus::GetLogLevel()))                        \
+      ? (void)0                                                       \
+      : (void)(::genclus::internal::LogMessage(                       \
+                   ::genclus::LogLevel::k##level, __FILE__, __LINE__) \
+                   .stream())
+
+// Streaming form: GENCLUS_LOGS(Info) << "x=" << x;
+#define GENCLUS_LOGS(level)                                          \
+  if (static_cast<int>(::genclus::LogLevel::k##level) <              \
+      static_cast<int>(::genclus::GetLogLevel())) {                  \
+  } else                                                             \
+    ::genclus::internal::LogMessage(::genclus::LogLevel::k##level,   \
+                                    __FILE__, __LINE__)              \
+        .stream()

@@ -1,0 +1,50 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace genclus {
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  GENCLUS_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    GENCLUS_DCHECK(w >= 0.0);
+    total += w;
+  }
+  GENCLUS_CHECK_MSG(total > 0.0, "Categorical requires a positive weight");
+  double u = Uniform() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (u < acc) return i;
+  }
+  // Floating point slack: return the last index with positive weight.
+  for (size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<double> Rng::SimplexUniform(size_t k) {
+  GENCLUS_CHECK(k > 0);
+  // Sample k iid Exp(1) variables and normalize.
+  std::vector<double> out(k);
+  double total = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    double u = Uniform();
+    // Guard against log(0).
+    if (u <= 0.0) u = 1e-300;
+    out[i] = -std::log(u);
+    total += out[i];
+  }
+  for (double& v : out) v /= total;
+  return out;
+}
+
+void Rng::Shuffle(std::vector<size_t>* indices) {
+  GENCLUS_CHECK(indices != nullptr);
+  std::shuffle(indices->begin(), indices->end(), engine_);
+}
+
+}  // namespace genclus

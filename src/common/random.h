@@ -1,0 +1,76 @@
+// Deterministic random number generation. Every stochastic component in the
+// library takes an explicit Rng so that runs are reproducible given a seed,
+// and so that parallel code can split independent streams.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/check.h"
+
+namespace genclus {
+
+/// Seeded pseudo-random generator wrapping mt19937_64 with the sampling
+/// helpers the library needs. Copyable; copies evolve independently.
+class Rng {
+ public:
+  /// Seeds deterministically. The same seed always yields the same stream.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double Uniform() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    GENCLUS_DCHECK(lo <= hi);
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  size_t UniformIndex(size_t n) {
+    GENCLUS_DCHECK(n > 0);
+    return std::uniform_int_distribution<size_t>(0, n - 1)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    GENCLUS_DCHECK(lo <= hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Standard normal sample.
+  double Gaussian() {
+    return std::normal_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Normal sample with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    GENCLUS_DCHECK(stddev >= 0.0);
+    return mean + stddev * Gaussian();
+  }
+
+  /// Samples an index from an unnormalized non-negative weight vector.
+  /// Requires at least one strictly positive weight.
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// Samples a point uniformly from a probability simplex of dimension k
+  /// (i.e. a uniform Dirichlet(1,...,1) draw).
+  std::vector<double> SimplexUniform(size_t k);
+
+  /// Fisher-Yates shuffles [first, last) of an index vector.
+  void Shuffle(std::vector<size_t>* indices);
+
+  /// Derives a child generator with an independent stream; useful for
+  /// splitting work across threads deterministically.
+  Rng Split() { return Rng(engine_() ^ 0xD1B54A32D192ED03ULL); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace genclus

@@ -1,0 +1,30 @@
+// Small string helpers shared across IO, benches and tests.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace genclus {
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Splits on any run of whitespace, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Strips leading and trailing whitespace.
+std::string Trim(std::string_view s);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace genclus

@@ -1,0 +1,58 @@
+// Fixed-size worker pool with a blocking ParallelFor. Used by the EM
+// cluster-optimization step (paper §5.4 reports a 3.19x speedup with four
+// threads for exactly this loop structure).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace genclus {
+
+/// A fixed set of worker threads executing submitted closures.
+///
+/// ParallelFor partitions an index range into contiguous shards, one per
+/// worker, and blocks until all shards complete. Shards receive
+/// (shard_index, begin, end) so callers can keep per-shard accumulators
+/// without atomics.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers. `num_threads == 0` means "hardware
+  /// concurrency" (at least 1).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Runs fn(shard, begin, end) over a partition of [0, n) into
+  /// min(num_threads, n) contiguous shards. Blocks until done. Runs inline
+  /// when n is small or the pool has a single thread.
+  void ParallelFor(size_t n,
+                   const std::function<void(size_t, size_t, size_t)>& fn);
+
+  /// Submits one task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have finished.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace genclus

@@ -1,0 +1,52 @@
+#include "core/components.h"
+
+#include "common/check.h"
+
+namespace genclus {
+
+AttributeComponents AttributeComponents::CategoricalUniform(
+    size_t num_clusters, size_t vocab_size) {
+  GENCLUS_CHECK_GT(num_clusters, 0u);
+  GENCLUS_CHECK_GT(vocab_size, 0u);
+  Matrix beta(num_clusters, vocab_size, 1.0 / static_cast<double>(vocab_size));
+  return AttributeComponents(AttributeKind::kCategorical, std::move(beta), {});
+}
+
+AttributeComponents AttributeComponents::Numerical(
+    std::vector<GaussianDistribution> g) {
+  GENCLUS_CHECK(!g.empty());
+  return AttributeComponents(AttributeKind::kNumerical, Matrix(),
+                             std::move(g));
+}
+
+size_t AttributeComponents::num_clusters() const {
+  return kind_ == AttributeKind::kCategorical ? beta_.rows()
+                                              : gaussians_.size();
+}
+
+const Matrix& AttributeComponents::beta() const {
+  GENCLUS_CHECK(kind_ == AttributeKind::kCategorical);
+  return beta_;
+}
+
+Matrix* AttributeComponents::mutable_beta() {
+  GENCLUS_CHECK(kind_ == AttributeKind::kCategorical);
+  return &beta_;
+}
+
+const GaussianDistribution& AttributeComponents::gaussian(ClusterId k) const {
+  GENCLUS_CHECK(kind_ == AttributeKind::kNumerical);
+  GENCLUS_CHECK_LT(k, gaussians_.size());
+  return gaussians_[k];
+}
+
+std::vector<GaussianDistribution>* AttributeComponents::mutable_gaussians() {
+  GENCLUS_CHECK(kind_ == AttributeKind::kNumerical);
+  return &gaussians_;
+}
+
+double AttributeComponents::LogPdf(ClusterId k, double x) const {
+  return gaussian(k).LogPdf(x);
+}
+
+}  // namespace genclus

@@ -1,0 +1,55 @@
+// Cluster component parameters beta for one attribute: a K x vocab matrix
+// of term probabilities (categorical attributes, Eq. 3) or K Gaussians
+// (numerical attributes, Eq. 4).
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "hin/attributes.h"
+#include "linalg/matrix.h"
+#include "prob/distributions.h"
+
+namespace genclus {
+
+/// Per-cluster mixture components for a single attribute.
+class AttributeComponents {
+ public:
+  /// Uniform categorical components: beta_{k,l} = 1/vocab for all k.
+  static AttributeComponents CategoricalUniform(size_t num_clusters,
+                                                size_t vocab_size);
+
+  /// Gaussian components at the given initial parameters (one per cluster).
+  static AttributeComponents Numerical(std::vector<GaussianDistribution> g);
+
+  AttributeKind kind() const { return kind_; }
+  size_t num_clusters() const;
+
+  // --- categorical ---
+  /// K x vocab matrix; row k is the term distribution of cluster k.
+  const Matrix& beta() const;
+  Matrix* mutable_beta();
+  double TermProb(ClusterId k, uint32_t term) const {
+    return beta_(k, term);
+  }
+
+  // --- numerical ---
+  const GaussianDistribution& gaussian(ClusterId k) const;
+  std::vector<GaussianDistribution>* mutable_gaussians();
+
+  /// log p(x | beta_k) for a numerical observation.
+  double LogPdf(ClusterId k, double x) const;
+
+ private:
+  AttributeComponents(AttributeKind kind, Matrix beta,
+                      std::vector<GaussianDistribution> gaussians)
+      : kind_(kind),
+        beta_(std::move(beta)),
+        gaussians_(std::move(gaussians)) {}
+
+  AttributeKind kind_;
+  Matrix beta_;  // categorical only
+  std::vector<GaussianDistribution> gaussians_;  // numerical only
+};
+
+}  // namespace genclus

@@ -1,0 +1,302 @@
+#include "core/em.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "core/objective.h"
+#include "prob/simplex.h"
+#include "prob/special_functions.h"
+
+namespace genclus {
+
+EmOptimizer::EmOptimizer(const Network* network,
+                         std::vector<const Attribute*> attributes,
+                         const GenClusConfig* config, ThreadPool* pool)
+    : network_(network),
+      attributes_(std::move(attributes)),
+      config_(config),
+      pool_(pool) {
+  GENCLUS_CHECK(network_ != nullptr);
+  GENCLUS_CHECK(config_ != nullptr);
+  GENCLUS_CHECK_GE(config_->num_clusters, 2u);
+  for (const Attribute* a : attributes_) {
+    GENCLUS_CHECK(a != nullptr);
+    GENCLUS_CHECK_EQ(a->num_nodes(), network_->num_nodes());
+  }
+}
+
+void EmOptimizer::InitAccumulators(
+    std::vector<std::vector<ComponentAccumulator>>* acc) const {
+  const size_t shards = pool_ != nullptr ? pool_->num_threads() : 1;
+  const size_t num_clusters = config_->num_clusters;
+  acc->assign(shards, {});
+  for (auto& shard : *acc) {
+    shard.resize(attributes_.size());
+    for (size_t t = 0; t < attributes_.size(); ++t) {
+      if (attributes_[t]->kind() == AttributeKind::kCategorical) {
+        shard[t].counts.assign(num_clusters * attributes_[t]->vocab_size(),
+                               0.0);
+      } else {
+        shard[t].weight_sum.assign(num_clusters, 0.0);
+        shard[t].value_sum.assign(num_clusters, 0.0);
+        shard[t].square_sum.assign(num_clusters, 0.0);
+      }
+    }
+  }
+}
+
+void EmOptimizer::ProcessNodes(
+    size_t begin, size_t end, const std::vector<double>& gamma,
+    const Matrix& theta, const std::vector<AttributeComponents>& components,
+    Matrix* new_theta, std::vector<ComponentAccumulator>* acc) const {
+  const size_t num_clusters = config_->num_clusters;
+  std::vector<double> mix(num_clusters);   // theta_v contributions
+  std::vector<double> resp(num_clusters);  // per-observation responsibilities
+
+  for (size_t vi = begin; vi < end; ++vi) {
+    const NodeId v = static_cast<NodeId>(vi);
+    std::fill(mix.begin(), mix.end(), 0.0);
+
+    // Link part of Eq. 10/11/12: out-neighbors weighted by link weight and
+    // relation strength.
+    for (const LinkEntry& e : network_->OutLinks(v)) {
+      const double coeff = gamma[e.type] * e.weight;
+      if (coeff == 0.0) continue;
+      const double* theta_u = theta.Row(e.neighbor);
+      for (size_t k = 0; k < num_clusters; ++k) {
+        mix[k] += coeff * theta_u[k];
+      }
+    }
+
+    // Attribute part: responsibilities of v's own observations.
+    const double* theta_v = theta.Row(v);
+    for (size_t t = 0; t < attributes_.size(); ++t) {
+      const Attribute& attr = *attributes_[t];
+      const AttributeComponents& comp = components[t];
+      if (attr.kind() == AttributeKind::kCategorical) {
+        const Matrix& beta = comp.beta();
+        const size_t vocab = attr.vocab_size();
+        for (const TermCount& tc : attr.TermCounts(v)) {
+          double total = 0.0;
+          for (size_t k = 0; k < num_clusters; ++k) {
+            resp[k] = theta_v[k] * beta(k, tc.term);
+            total += resp[k];
+          }
+          if (total <= 0.0) {
+            // All clusters assign zero mass (possible with zero smoothing):
+            // treat the observation as uninformative.
+            std::fill(resp.begin(), resp.end(), 1.0 / num_clusters);
+            total = 1.0;
+          }
+          double* counts = (*acc)[t].counts.data();
+          for (size_t k = 0; k < num_clusters; ++k) {
+            const double r = tc.count * resp[k] / total;
+            mix[k] += r;
+            counts[k * vocab + tc.term] += r;
+          }
+        }
+      } else {
+        for (double x : attr.Values(v)) {
+          // Log-space for numerical stability of the Gaussian E-step.
+          double max_log = -1e308;
+          for (size_t k = 0; k < num_clusters; ++k) {
+            const double tk = theta_v[k] > 0.0 ? theta_v[k] : 1e-300;
+            resp[k] = std::log(tk) + comp.LogPdf(k, x);
+            max_log = std::max(max_log, resp[k]);
+          }
+          double total = 0.0;
+          for (size_t k = 0; k < num_clusters; ++k) {
+            resp[k] = std::exp(resp[k] - max_log);
+            total += resp[k];
+          }
+          auto& a = (*acc)[t];
+          for (size_t k = 0; k < num_clusters; ++k) {
+            const double r = resp[k] / total;
+            mix[k] += r;
+            a.weight_sum[k] += r;
+            a.value_sum[k] += r * x;
+            a.square_sum[k] += r * x * x;
+          }
+        }
+      }
+    }
+
+    // Normalize onto the simplex; isolated attribute-free nodes fall back
+    // to uniform inside NormalizeToSimplex.
+    double total = 0.0;
+    for (size_t k = 0; k < num_clusters; ++k) total += mix[k];
+    double* out = new_theta->Row(v);
+    if (total <= 0.0 || !std::isfinite(total)) {
+      const double u = 1.0 / static_cast<double>(num_clusters);
+      for (size_t k = 0; k < num_clusters; ++k) out[k] = u;
+    } else {
+      const double floor = config_->theta_floor;
+      double clamped_total = 0.0;
+      for (size_t k = 0; k < num_clusters; ++k) {
+        double val = mix[k] / total;
+        if (val < floor) val = floor;
+        out[k] = val;
+        clamped_total += val;
+      }
+      for (size_t k = 0; k < num_clusters; ++k) out[k] /= clamped_total;
+    }
+  }
+}
+
+void EmOptimizer::UpdateComponents(
+    const std::vector<std::vector<ComponentAccumulator>>& acc,
+    std::vector<AttributeComponents>* components) const {
+  const size_t num_clusters = config_->num_clusters;
+  for (size_t t = 0; t < attributes_.size(); ++t) {
+    if (attributes_[t]->kind() == AttributeKind::kCategorical) {
+      const size_t vocab = attributes_[t]->vocab_size();
+      Matrix* beta = (*components)[t].mutable_beta();
+      for (size_t k = 0; k < num_clusters; ++k) {
+        double row_total = 0.0;
+        for (size_t l = 0; l < vocab; ++l) {
+          double c = 0.0;
+          for (const auto& shard : acc) c += shard[t].counts[k * vocab + l];
+          (*beta)(k, l) = c;
+          row_total += c;
+        }
+        // Additive smoothing scaled by the cluster's count mass keeps the
+        // relative flattening comparable across clusters of any size.
+        const double smooth =
+            config_->beta_smoothing * (row_total > 0.0 ? row_total : 1.0);
+        const double denom = row_total + smooth * static_cast<double>(vocab);
+        if (denom <= 0.0) {
+          // Empty cluster: keep a uniform term distribution.
+          const double u = 1.0 / static_cast<double>(vocab);
+          for (size_t l = 0; l < vocab; ++l) (*beta)(k, l) = u;
+        } else {
+          for (size_t l = 0; l < vocab; ++l) {
+            (*beta)(k, l) = ((*beta)(k, l) + smooth) / denom;
+          }
+        }
+      }
+    } else {
+      auto* gaussians = (*components)[t].mutable_gaussians();
+      for (size_t k = 0; k < num_clusters; ++k) {
+        double w = 0.0;
+        double wx = 0.0;
+        double wx2 = 0.0;
+        for (const auto& shard : acc) {
+          w += shard[t].weight_sum[k];
+          wx += shard[t].value_sum[k];
+          wx2 += shard[t].square_sum[k];
+        }
+        if (w <= 1e-12) continue;  // empty cluster: keep previous parameters
+        const double mean = wx / w;
+        double var = wx2 / w - mean * mean;
+        if (var < config_->variance_floor) var = config_->variance_floor;
+        (*gaussians)[k] = GaussianDistribution(mean, var);
+      }
+    }
+  }
+}
+
+double EmOptimizer::Step(const std::vector<double>& gamma, Matrix* theta,
+                         std::vector<AttributeComponents>* components) const {
+  GENCLUS_CHECK(theta != nullptr && components != nullptr);
+  GENCLUS_CHECK_EQ(theta->rows(), network_->num_nodes());
+  GENCLUS_CHECK_EQ(theta->cols(), config_->num_clusters);
+  GENCLUS_CHECK_EQ(gamma.size(), network_->schema().num_link_types());
+  GENCLUS_CHECK_EQ(components->size(), attributes_.size());
+
+  const size_t n = network_->num_nodes();
+  Matrix new_theta(n, config_->num_clusters);
+  std::vector<std::vector<ComponentAccumulator>> acc;
+  InitAccumulators(&acc);
+
+  if (pool_ != nullptr && pool_->num_threads() > 1) {
+    pool_->ParallelFor(n, [&](size_t shard, size_t begin, size_t end) {
+      ProcessNodes(begin, end, gamma, *theta, *components, &new_theta,
+                   &acc[shard]);
+    });
+  } else {
+    ProcessNodes(0, n, gamma, *theta, *components, &new_theta, &acc[0]);
+  }
+
+  UpdateComponents(acc, components);
+  const double delta = Matrix::MaxAbsDiff(*theta, new_theta);
+  *theta = std::move(new_theta);
+  return delta;
+}
+
+EmStats EmOptimizer::Run(const std::vector<double>& gamma, Matrix* theta,
+                         std::vector<AttributeComponents>* components,
+                         bool track_objective) const {
+  EmStats stats;
+  for (size_t iter = 0; iter < config_->em_iterations; ++iter) {
+    const double delta = Step(gamma, theta, components);
+    stats.iterations = iter + 1;
+    stats.final_delta = delta;
+    if (track_objective) {
+      stats.objective_trace.push_back(
+          G1Objective(*network_, attributes_, *components, *theta, gamma));
+    }
+    if (delta < config_->em_tolerance) {
+      stats.converged = true;
+      break;
+    }
+  }
+  return stats;
+}
+
+void EmOptimizer::EstimateComponents(
+    const Matrix& theta, std::vector<AttributeComponents>* components) const {
+  const size_t num_clusters = config_->num_clusters;
+  GENCLUS_CHECK(components != nullptr);
+  GENCLUS_CHECK_EQ(components->size(), attributes_.size());
+
+  for (size_t t = 0; t < attributes_.size(); ++t) {
+    const Attribute& attr = *attributes_[t];
+    if (attr.kind() == AttributeKind::kCategorical) {
+      const size_t vocab = attr.vocab_size();
+      Matrix* beta = (*components)[t].mutable_beta();
+      Matrix counts(num_clusters, vocab);
+      for (NodeId v = 0; v < attr.num_nodes(); ++v) {
+        const double* theta_v = theta.Row(v);
+        for (const TermCount& tc : attr.TermCounts(v)) {
+          for (size_t k = 0; k < num_clusters; ++k) {
+            counts(k, tc.term) += theta_v[k] * tc.count;
+          }
+        }
+      }
+      for (size_t k = 0; k < num_clusters; ++k) {
+        double row_total = 0.0;
+        for (size_t l = 0; l < vocab; ++l) row_total += counts(k, l);
+        const double smooth =
+            config_->beta_smoothing * (row_total > 0.0 ? row_total : 1.0) +
+            1e-12;
+        const double denom = row_total + smooth * static_cast<double>(vocab);
+        for (size_t l = 0; l < vocab; ++l) {
+          (*beta)(k, l) = (counts(k, l) + smooth) / denom;
+        }
+      }
+    } else {
+      auto* gaussians = (*components)[t].mutable_gaussians();
+      for (size_t k = 0; k < num_clusters; ++k) {
+        double w = 0.0;
+        double wx = 0.0;
+        double wx2 = 0.0;
+        for (NodeId v = 0; v < attr.num_nodes(); ++v) {
+          const double tv = theta(v, k);
+          for (double x : attr.Values(v)) {
+            w += tv;
+            wx += tv * x;
+            wx2 += tv * x * x;
+          }
+        }
+        if (w <= 1e-12) continue;
+        const double mean = wx / w;
+        double var = wx2 / w - mean * mean;
+        if (var < config_->variance_floor) var = config_->variance_floor;
+        (*gaussians)[k] = GaussianDistribution(mean, var);
+      }
+    }
+  }
+}
+
+}  // namespace genclus

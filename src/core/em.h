@@ -1,0 +1,98 @@
+// Cluster optimization (§4.1): EM over Theta and beta with gamma fixed.
+//
+// Per EM iteration (update rules Eqs. 10-12, all right-hand sides at the
+// previous iterate):
+//   E-step: responsibilities of each observation,
+//     categorical:  p(z_vl = k)  ∝ theta_vk * beta_kl
+//     numerical:    p(z_vx = k)  ∝ theta_vk * N(x | mu_k, sigma_k^2)
+//   M-step:
+//     theta_vk ∝ sum_{e=<v,u>} gamma(phi(e)) w(e) theta_uk
+//                + sum over v's observations of responsibilities for k
+//     beta_kl  ∝ sum_v c_vl p(z_vl = k)                  (categorical)
+//     mu_k, sigma_k^2 = responsibility-weighted moments  (numerical)
+//
+// Objects without observations are clustered purely from their out-link
+// neighborhood — the incomplete-attribute case. The node sweep is
+// parallelized across a ThreadPool with per-shard component accumulators.
+#pragma once
+
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/components.h"
+#include "core/config.h"
+#include "hin/attributes.h"
+#include "hin/network.h"
+#include "linalg/matrix.h"
+
+namespace genclus {
+
+/// Outcome of one cluster-optimization step.
+struct EmStats {
+  size_t iterations = 0;
+  bool converged = false;
+  /// g1 objective after each EM iteration (monitoring only; computing it
+  /// costs an extra pass, so it is filled only when track_objective).
+  std::vector<double> objective_trace;
+  /// Max |Theta_t - Theta_{t-1}| at the last iteration.
+  double final_delta = 0.0;
+};
+
+/// Runs the EM loop of Algorithm 1's Step 1 for fixed gamma.
+class EmOptimizer {
+ public:
+  /// `network`, `attributes` and `config` must outlive the optimizer.
+  /// `pool` may be null for single-threaded execution.
+  EmOptimizer(const Network* network,
+              std::vector<const Attribute*> attributes,
+              const GenClusConfig* config, ThreadPool* pool);
+
+  /// Runs EM until convergence or config->em_iterations, updating `theta`
+  /// (num_nodes x K, rows on the simplex) and `components` in place.
+  EmStats Run(const std::vector<double>& gamma, Matrix* theta,
+              std::vector<AttributeComponents>* components,
+              bool track_objective = false) const;
+
+  /// One EM iteration; returns max |Theta_new - Theta_old|.
+  double Step(const std::vector<double>& gamma, Matrix* theta,
+              std::vector<AttributeComponents>* components) const;
+
+  /// Re-estimates components from scratch treating `theta` rows as
+  /// observation responsibilities (used for initialization).
+  void EstimateComponents(const Matrix& theta,
+                          std::vector<AttributeComponents>* components) const;
+
+ private:
+  // Accumulators for one attribute's M-step statistics within one shard.
+  struct ComponentAccumulator {
+    // categorical: counts[k * vocab + l]
+    std::vector<double> counts;
+    // numerical: per-cluster moment sums
+    std::vector<double> weight_sum;
+    std::vector<double> value_sum;
+    std::vector<double> square_sum;
+  };
+
+  void InitAccumulators(
+      std::vector<std::vector<ComponentAccumulator>>* acc) const;
+
+  // Processes nodes [begin, end): fills new_theta rows and adds this
+  // shard's component statistics into acc.
+  void ProcessNodes(size_t begin, size_t end,
+                    const std::vector<double>& gamma, const Matrix& theta,
+                    const std::vector<AttributeComponents>& components,
+                    Matrix* new_theta,
+                    std::vector<ComponentAccumulator>* acc) const;
+
+  // Merges shard accumulators and writes the new beta values.
+  void UpdateComponents(
+      const std::vector<std::vector<ComponentAccumulator>>& acc,
+      std::vector<AttributeComponents>* components) const;
+
+  const Network* network_;
+  std::vector<const Attribute*> attributes_;
+  const GenClusConfig* config_;
+  ThreadPool* pool_;
+};
+
+}  // namespace genclus

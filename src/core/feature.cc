@@ -1,0 +1,62 @@
+#include "core/feature.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "prob/simplex.h"
+
+namespace genclus {
+
+double CrossEntropyScore(std::span<const double> theta_i,
+                         std::span<const double> theta_j) {
+  GENCLUS_DCHECK(theta_i.size() == theta_j.size());
+  double acc = 0.0;
+  for (size_t k = 0; k < theta_i.size(); ++k) {
+    if (theta_j[k] == 0.0) continue;
+    const double ti =
+        theta_i[k] < kDefaultThetaFloor ? kDefaultThetaFloor : theta_i[k];
+    acc += theta_j[k] * std::log(ti);
+  }
+  return acc;
+}
+
+double LinkFeature(std::span<const double> theta_i,
+                   std::span<const double> theta_j, double gamma_r,
+                   double weight) {
+  return gamma_r * weight * CrossEntropyScore(theta_i, theta_j);
+}
+
+double StructuralScore(const Network& network, const Matrix& theta,
+                       const std::vector<double>& gamma) {
+  GENCLUS_CHECK_EQ(theta.rows(), network.num_nodes());
+  GENCLUS_CHECK_EQ(gamma.size(), network.schema().num_link_types());
+  const size_t k = theta.cols();
+  double total = 0.0;
+  for (NodeId v = 0; v < network.num_nodes(); ++v) {
+    std::span<const double> theta_v(theta.Row(v), k);
+    for (const LinkEntry& e : network.OutLinks(v)) {
+      std::span<const double> theta_u(theta.Row(e.neighbor), k);
+      total += LinkFeature(theta_v, theta_u, gamma[e.type], e.weight);
+    }
+  }
+  return total;
+}
+
+double PerRelationScore(const Network& network, const Matrix& theta,
+                        LinkTypeId relation) {
+  GENCLUS_CHECK_EQ(theta.rows(), network.num_nodes());
+  GENCLUS_CHECK(network.schema().ValidLinkType(relation));
+  const size_t k = theta.cols();
+  double total = 0.0;
+  for (NodeId v = 0; v < network.num_nodes(); ++v) {
+    std::span<const double> theta_v(theta.Row(v), k);
+    for (const LinkEntry& e : network.OutLinks(v)) {
+      if (e.type != relation) continue;
+      std::span<const double> theta_u(theta.Row(e.neighbor), k);
+      total += e.weight * CrossEntropyScore(theta_v, theta_u);
+    }
+  }
+  return total;
+}
+
+}  // namespace genclus

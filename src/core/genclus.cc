@@ -1,0 +1,159 @@
+#include "core/genclus.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/em.h"
+#include "core/init.h"
+#include "core/objective.h"
+#include "core/strength.h"
+#include "prob/simplex.h"
+
+namespace genclus {
+
+std::vector<uint32_t> GenClusResult::HardLabels() const {
+  std::vector<uint32_t> labels(theta.rows());
+  for (size_t v = 0; v < theta.rows(); ++v) {
+    const double* row = theta.Row(v);
+    size_t best = 0;
+    for (size_t k = 1; k < theta.cols(); ++k) {
+      if (row[k] > row[best]) best = k;
+    }
+    labels[v] = static_cast<uint32_t>(best);
+  }
+  return labels;
+}
+
+GenClus::GenClus(const Network* network,
+                 std::vector<const Attribute*> attributes,
+                 GenClusConfig config)
+    : network_(network),
+      attributes_(std::move(attributes)),
+      config_(std::move(config)) {
+  GENCLUS_CHECK(network_ != nullptr);
+  if (config_.num_threads != 1) {
+    pool_ = std::make_unique<ThreadPool>(config_.num_threads);
+  }
+}
+
+GenClus::~GenClus() = default;
+
+void GenClus::SetIterationCallback(IterationCallback callback) {
+  callback_ = std::move(callback);
+}
+
+Result<GenClusResult> GenClus::Run() {
+  if (config_.num_clusters < 2) {
+    return Status::InvalidArgument("num_clusters must be >= 2");
+  }
+  const size_t num_relations = network_->schema().num_link_types();
+  if (!config_.initial_gamma.empty() &&
+      config_.initial_gamma.size() != num_relations) {
+    return Status::InvalidArgument(StrFormat(
+        "initial_gamma has %zu entries, schema declares %zu link types",
+        config_.initial_gamma.size(), num_relations));
+  }
+  for (const Attribute* a : attributes_) {
+    if (a == nullptr || a->num_nodes() != network_->num_nodes()) {
+      return Status::InvalidArgument(
+          "attribute is null or sized for a different network");
+    }
+  }
+
+  Rng rng(config_.seed);
+  EmOptimizer optimizer(network_, attributes_, &config_, pool_.get());
+
+  // gamma^0: all link types equally important unless overridden (§4.3).
+  std::vector<double> gamma = config_.initial_gamma.empty()
+                                  ? std::vector<double>(num_relations, 1.0)
+                                  : config_.initial_gamma;
+
+  GenClusResult result;
+  result.gamma = gamma;
+  {
+    OuterIterationRecord initial;
+    initial.iteration = 0;
+    initial.gamma = gamma;
+    result.trace.push_back(std::move(initial));
+  }
+
+  // Theta'_0, beta'_0 via best-of-seeds (§4.3 initialization).
+  BestOfSeedsInit(optimizer, *network_, attributes_, config_, gamma, &rng,
+                  &result.theta, &result.components);
+
+  for (size_t outer = 1; outer <= config_.outer_iterations; ++outer) {
+    OuterIterationRecord record;
+    record.iteration = outer;
+
+    // Step 1: optimize Theta, beta for fixed gamma.
+    WallTimer em_timer;
+    if (!config_.warm_start && outer > 1) {
+      BestOfSeedsInit(optimizer, *network_, attributes_, config_, gamma,
+                      &rng, &result.theta, &result.components);
+    }
+    EmStats em_stats = optimizer.Run(gamma, &result.theta,
+                                     &result.components);
+    record.em_seconds = em_timer.Seconds();
+    record.em_iterations = em_stats.iterations;
+    record.em_objective = G1Objective(*network_, attributes_,
+                                      result.components, result.theta, gamma);
+
+    // Step 2: optimize gamma for fixed Theta.
+    double gamma_delta = 0.0;
+    WallTimer strength_timer;
+    if (config_.learn_strengths) {
+      StrengthLearner learner(network_, &result.theta, &config_);
+      StrengthStats strength_stats;
+      std::vector<double> new_gamma = learner.Learn(gamma, &strength_stats);
+      for (size_t r = 0; r < num_relations; ++r) {
+        gamma_delta = std::max(gamma_delta,
+                               std::fabs(new_gamma[r] - gamma[r]));
+      }
+      gamma = std::move(new_gamma);
+      record.strength_objective = strength_stats.objective;
+    }
+    record.strength_seconds = strength_timer.Seconds();
+    record.gamma = gamma;
+
+    GENCLUS_LOGS(Info) << "GenClus outer " << outer
+                       << ": g1=" << record.em_objective
+                       << " em_iters=" << em_stats.iterations
+                       << " gamma_delta=" << gamma_delta;
+
+    result.trace.push_back(record);
+    if (callback_) callback_(result.trace.back(), result.theta);
+
+    if (config_.learn_strengths && outer > 1 &&
+        gamma_delta < config_.outer_tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.gamma = gamma;
+  result.objective = G1Objective(*network_, attributes_, result.components,
+                                 result.theta, gamma);
+  return result;
+}
+
+Result<GenClusResult> RunGenClus(const Dataset& dataset,
+                                 const std::vector<std::string>& attributes,
+                                 const GenClusConfig& config) {
+  GENCLUS_RETURN_IF_ERROR(dataset.Validate());
+  std::vector<const Attribute*> attrs;
+  attrs.reserve(attributes.size());
+  for (const std::string& name : attributes) {
+    AttributeId id = dataset.FindAttribute(name);
+    if (id == kInvalidAttribute) {
+      return Status::NotFound(
+          StrFormat("attribute '%s' not in dataset", name.c_str()));
+    }
+    attrs.push_back(&dataset.attributes[id]);
+  }
+  GenClus algorithm(&dataset.network, std::move(attrs), config);
+  return algorithm.Run();
+}
+
+}  // namespace genclus

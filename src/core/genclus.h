@@ -1,0 +1,87 @@
+// GenClus (Algorithm 1): the public entry point of the library. Alternates
+// cluster optimization (EM over Theta, beta with gamma fixed) and link-type
+// strength learning (Newton-Raphson over gamma with Theta fixed) until the
+// outer iteration budget or gamma convergence.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/components.h"
+#include "core/config.h"
+#include "hin/dataset.h"
+#include "linalg/matrix.h"
+
+namespace genclus {
+
+/// Snapshot of one outer iteration, for convergence traces (Fig. 10).
+struct OuterIterationRecord {
+  size_t iteration = 0;
+  std::vector<double> gamma;     // strengths after this iteration
+  double em_objective = 0.0;     // g1 after the EM step
+  double strength_objective = 0.0;  // g2' after the Newton step
+  size_t em_iterations = 0;
+  double em_seconds = 0.0;
+  double strength_seconds = 0.0;
+};
+
+/// Full output of a GenClus run.
+struct GenClusResult {
+  /// Soft clustering: row v is theta_v on the K-simplex.
+  Matrix theta;
+  /// Learned strength per link type (indexed by LinkTypeId).
+  std::vector<double> gamma;
+  /// Mixture components per specified attribute (same order as the input).
+  std::vector<AttributeComponents> components;
+  /// g1 objective at the final iterate.
+  double objective = 0.0;
+  /// True if the outer loop hit the gamma-change tolerance.
+  bool converged = false;
+  /// Per-outer-iteration records, including the initial gamma at index 0.
+  std::vector<OuterIterationRecord> trace;
+
+  /// Hard labels: argmax_k theta(v, k).
+  std::vector<uint32_t> HardLabels() const;
+};
+
+/// The GenClus algorithm over a network and a user-specified attribute
+/// subset. The network and attributes must outlive the instance.
+class GenClus {
+ public:
+  /// `attributes` is the user-specified subset X (may be empty: pure
+  /// link-based clustering with strength learning).
+  GenClus(const Network* network, std::vector<const Attribute*> attributes,
+          GenClusConfig config);
+  ~GenClus();
+
+  GenClus(const GenClus&) = delete;
+  GenClus& operator=(const GenClus&) = delete;
+
+  /// Called after every outer iteration with the record and current Theta;
+  /// used by the Fig. 10 running-case bench to trace NMI across iterations.
+  using IterationCallback =
+      std::function<void(const OuterIterationRecord&, const Matrix&)>;
+  void SetIterationCallback(IterationCallback callback);
+
+  /// Runs Algorithm 1 and returns the clustering, strengths and trace.
+  Result<GenClusResult> Run();
+
+ private:
+  const Network* network_;
+  std::vector<const Attribute*> attributes_;
+  GenClusConfig config_;
+  std::unique_ptr<ThreadPool> pool_;
+  IterationCallback callback_;
+};
+
+/// Convenience wrapper: resolves attribute names against `dataset` and runs
+/// GenClus. Unknown attribute names fail with NotFound.
+Result<GenClusResult> RunGenClus(const Dataset& dataset,
+                                 const std::vector<std::string>& attributes,
+                                 const GenClusConfig& config);
+
+}  // namespace genclus

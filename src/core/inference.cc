@@ -1,0 +1,101 @@
+#include "core/inference.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "prob/simplex.h"
+
+namespace genclus {
+
+Result<std::vector<double>> InferMembership(
+    const Network& network, const GenClusResult& model,
+    const std::vector<NewObjectLink>& links,
+    const std::vector<NewObjectObservation>& observations,
+    size_t iterations, double theta_floor) {
+  const size_t num_clusters = model.theta.cols();
+  if (num_clusters < 2) {
+    return Status::FailedPrecondition("model has no clustering");
+  }
+  if (model.theta.rows() != network.num_nodes()) {
+    return Status::InvalidArgument("model does not match network");
+  }
+  for (const NewObjectLink& link : links) {
+    if (link.target >= network.num_nodes()) {
+      return Status::InvalidArgument("link target out of range");
+    }
+    if (!network.schema().ValidLinkType(link.type)) {
+      return Status::InvalidArgument("unknown link type");
+    }
+    if (!(link.weight > 0.0) || !std::isfinite(link.weight)) {
+      return Status::InvalidArgument("link weight must be positive");
+    }
+  }
+  for (const NewObjectObservation& obs : observations) {
+    if (obs.attribute >= model.components.size()) {
+      return Status::InvalidArgument("observation attribute out of range");
+    }
+    const AttributeComponents& comp = model.components[obs.attribute];
+    if (comp.kind() == AttributeKind::kCategorical &&
+        obs.term >= comp.beta().cols()) {
+      return Status::InvalidArgument(
+          StrFormat("term %u outside vocabulary", obs.term));
+    }
+  }
+
+  // Link part is constant across sweeps: sum_e gamma w theta_target.
+  std::vector<double> link_part(num_clusters, 0.0);
+  for (const NewObjectLink& link : links) {
+    const double coeff = model.gamma[link.type] * link.weight;
+    if (coeff == 0.0) continue;
+    const double* theta_u = model.theta.Row(link.target);
+    for (size_t k = 0; k < num_clusters; ++k) {
+      link_part[k] += coeff * theta_u[k];
+    }
+  }
+
+  std::vector<double> theta(num_clusters, 1.0 / num_clusters);
+  std::vector<double> resp(num_clusters);
+  for (size_t iter = 0; iter < std::max<size_t>(1, iterations); ++iter) {
+    std::vector<double> mix = link_part;
+    for (const NewObjectObservation& obs : observations) {
+      const AttributeComponents& comp = model.components[obs.attribute];
+      if (comp.kind() == AttributeKind::kCategorical) {
+        double total = 0.0;
+        for (size_t k = 0; k < num_clusters; ++k) {
+          resp[k] = theta[k] * comp.TermProb(static_cast<ClusterId>(k),
+                                             obs.term);
+          total += resp[k];
+        }
+        if (total <= 0.0) continue;  // uninformative term
+        for (size_t k = 0; k < num_clusters; ++k) {
+          mix[k] += obs.count * resp[k] / total;
+        }
+      } else {
+        double max_log = -1e308;
+        for (size_t k = 0; k < num_clusters; ++k) {
+          const double t = theta[k] > 0.0 ? theta[k] : 1e-300;
+          resp[k] = std::log(t) +
+                    comp.LogPdf(static_cast<ClusterId>(k), obs.value);
+          max_log = std::max(max_log, resp[k]);
+        }
+        double total = 0.0;
+        for (size_t k = 0; k < num_clusters; ++k) {
+          resp[k] = std::exp(resp[k] - max_log);
+          total += resp[k];
+        }
+        for (size_t k = 0; k < num_clusters; ++k) {
+          mix[k] += resp[k] / total;
+        }
+      }
+    }
+    NormalizeToSimplex(&mix);
+    ClampToSimplex(&mix, theta_floor);
+    const double delta = MaxAbsDiff(theta, mix);
+    theta = std::move(mix);
+    if (delta < 1e-10) break;
+  }
+  return theta;
+}
+
+}  // namespace genclus

@@ -1,0 +1,52 @@
+// Fold-in inference: compute the membership vector of a NEW object from
+// its links into an already-clustered network plus its own attribute
+// observations, holding the trained model (Theta, beta, gamma) fixed.
+// This is exactly one Eq. 10/11-style update for the new object — the
+// update GenClus applies to attribute-free objects every sweep — so the
+// result is consistent with what a full re-run would assign.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "core/components.h"
+#include "core/config.h"
+#include "core/genclus.h"
+#include "hin/network.h"
+#include "linalg/matrix.h"
+
+namespace genclus {
+
+/// A would-be out-link of the new object into the existing network.
+struct NewObjectLink {
+  NodeId target = kInvalidNode;
+  LinkTypeId type = kInvalidLinkType;
+  double weight = 1.0;
+};
+
+/// A categorical observation of the new object (term + count) for one of
+/// the model's attributes, or a numerical value.
+struct NewObjectObservation {
+  AttributeId attribute = kInvalidAttribute;
+  uint32_t term = 0;      // categorical
+  double count = 1.0;     // categorical
+  double value = 0.0;     // numerical
+};
+
+inline constexpr double kDefaultInferenceThetaFloor = 1e-12;
+
+/// Infers theta for a new object given its out-links and observations.
+/// `iterations` fixed-point sweeps (the responsibilities depend on the
+/// object's own theta, so a few iterations refine the attribute part;
+/// the link part is constant). Fails if a link/observation references
+/// unknown ids or mismatched attribute kinds.
+Result<std::vector<double>> InferMembership(
+    const Network& network, const GenClusResult& model,
+    const std::vector<NewObjectLink>& links,
+    const std::vector<NewObjectObservation>& observations,
+    size_t iterations = 10,
+    double theta_floor = kDefaultInferenceThetaFloor);
+
+}  // namespace genclus

@@ -1,0 +1,49 @@
+// Initialization strategies for Theta and beta (§4.3): plain random
+// membership vectors, and the more stable "several random seeds, keep the
+// best g1 after a few EM steps" variant the paper recommends.
+#pragma once
+
+#include <vector>
+
+#include "common/random.h"
+#include "core/components.h"
+#include "core/config.h"
+#include "core/em.h"
+#include "hin/attributes.h"
+#include "hin/network.h"
+#include "linalg/matrix.h"
+
+namespace genclus {
+
+/// Random membership matrix: each row drawn uniformly from the K-simplex.
+Matrix RandomTheta(size_t num_nodes, size_t num_clusters, Rng* rng);
+
+/// Fresh component parameters breaking cluster symmetry:
+///  * categorical: corpus term distribution perturbed per cluster;
+///  * numerical: means drawn from random observed values, global variance.
+std::vector<AttributeComponents> InitialComponents(
+    const std::vector<const Attribute*>& attributes,
+    const GenClusConfig& config, Rng* rng);
+
+/// Membership matrix from a k-means pass over interpolated numerical
+/// attributes: each node's row concentrates on its assigned cluster.
+/// Returns false (leaving theta untouched) when the attribute set contains
+/// no numerical attribute or k-means fails.
+bool KMeansTheta(const Network& network,
+                 const std::vector<const Attribute*>& attributes,
+                 const GenClusConfig& config, Rng* rng, Matrix* theta);
+
+/// Runs `config.num_init_seeds` tentative starts of `config.init_em_steps`
+/// EM iterations each — plus, under ThetaInit::kRandomSeedsPlusKMeans, a
+/// k-means-derived candidate — and returns the (Theta, components) with
+/// the best g1 objective (ties by first seen). With num_init_seeds == 1
+/// and no k-means candidate this is a plain random initialization plus
+/// init_em_steps warm-up sweeps.
+void BestOfSeedsInit(const EmOptimizer& optimizer, const Network& network,
+                     const std::vector<const Attribute*>& attributes,
+                     const GenClusConfig& config,
+                     const std::vector<double>& gamma, Rng* rng,
+                     Matrix* theta,
+                     std::vector<AttributeComponents>* components);
+
+}  // namespace genclus

@@ -1,0 +1,85 @@
+#include "core/interpret.h"
+
+#include <algorithm>
+
+namespace genclus {
+
+Result<std::vector<std::vector<SalientTerm>>> TopTermsPerCluster(
+    const Attribute& attribute, const AttributeComponents& components,
+    size_t count) {
+  if (attribute.kind() != AttributeKind::kCategorical ||
+      components.kind() != AttributeKind::kCategorical) {
+    return Status::InvalidArgument("TopTermsPerCluster needs categorical");
+  }
+  const Matrix& beta = components.beta();
+  if (beta.cols() != attribute.vocab_size()) {
+    return Status::InvalidArgument("components do not match vocabulary");
+  }
+  const size_t vocab = attribute.vocab_size();
+  const size_t num_clusters = beta.rows();
+
+  // Corpus term frequencies for the lift denominator.
+  std::vector<double> corpus(vocab, 0.0);
+  double total = 0.0;
+  for (NodeId v = 0; v < attribute.num_nodes(); ++v) {
+    for (const TermCount& tc : attribute.TermCounts(v)) {
+      corpus[tc.term] += tc.count;
+      total += tc.count;
+    }
+  }
+  const double uniform = 1.0 / static_cast<double>(vocab);
+
+  std::vector<std::vector<SalientTerm>> out(num_clusters);
+  std::vector<SalientTerm> scored(vocab);
+  for (size_t k = 0; k < num_clusters; ++k) {
+    for (uint32_t l = 0; l < vocab; ++l) {
+      scored[l].term = l;
+      scored[l].probability = beta(k, l);
+      const double freq = total > 0.0 ? corpus[l] / total : uniform;
+      scored[l].lift = freq > 0.0 ? beta(k, l) / freq : 0.0;
+    }
+    const size_t keep = std::min(count, static_cast<size_t>(vocab));
+    std::partial_sort(scored.begin(), scored.begin() + keep, scored.end(),
+                      [](const SalientTerm& a, const SalientTerm& b) {
+                        return a.lift > b.lift;
+                      });
+    out[k].assign(scored.begin(), scored.begin() + keep);
+  }
+  return out;
+}
+
+Result<std::vector<std::vector<NodeId>>> RepresentativeObjects(
+    const Network& network, const Matrix& theta, size_t count,
+    ObjectTypeId type) {
+  if (theta.rows() != network.num_nodes()) {
+    return Status::InvalidArgument("theta does not match network");
+  }
+  if (type != kInvalidObjectType && !network.schema().ValidObjectType(type)) {
+    return Status::InvalidArgument("unknown object type");
+  }
+  const size_t num_clusters = theta.cols();
+  std::vector<std::vector<std::pair<double, NodeId>>> scored(num_clusters);
+  for (NodeId v = 0; v < network.num_nodes(); ++v) {
+    if (type != kInvalidObjectType && network.node_type(v) != type) continue;
+    const double* row = theta.Row(v);
+    size_t best = 0;
+    for (size_t k = 1; k < num_clusters; ++k) {
+      if (row[k] > row[best]) best = k;
+    }
+    scored[best].emplace_back(row[best], v);
+  }
+  std::vector<std::vector<NodeId>> out(num_clusters);
+  for (size_t k = 0; k < num_clusters; ++k) {
+    const size_t keep = std::min(count, scored[k].size());
+    std::partial_sort(scored[k].begin(), scored[k].begin() + keep,
+                      scored[k].end(),
+                      [](const auto& a, const auto& b) {
+                        return a.first > b.first;
+                      });
+    out[k].reserve(keep);
+    for (size_t i = 0; i < keep; ++i) out[k].push_back(scored[k][i].second);
+  }
+  return out;
+}
+
+}  // namespace genclus

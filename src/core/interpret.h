@@ -1,0 +1,40 @@
+// Cluster interpretation utilities: top terms per cluster for categorical
+// attributes (how the paper names its four DBLP areas after clustering)
+// and representative objects per cluster.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/components.h"
+#include "hin/attributes.h"
+#include "hin/network.h"
+#include "linalg/matrix.h"
+
+namespace genclus {
+
+/// One term's salience inside a cluster.
+struct SalientTerm {
+  uint32_t term = 0;
+  double probability = 0.0;  // beta_{k, term}
+  double lift = 0.0;         // beta_{k, term} / corpus frequency
+};
+
+/// Top `count` terms of each cluster for a categorical attribute's fitted
+/// components, ranked by lift (probability relative to corpus frequency)
+/// so that globally common background terms don't dominate. Requires the
+/// components to be categorical with the attribute's vocabulary.
+Result<std::vector<std::vector<SalientTerm>>> TopTermsPerCluster(
+    const Attribute& attribute, const AttributeComponents& components,
+    size_t count);
+
+/// The `count` objects of each cluster with the most concentrated
+/// membership (highest theta(v, k)), optionally restricted to one object
+/// type (kInvalidObjectType = all types).
+Result<std::vector<std::vector<NodeId>>> RepresentativeObjects(
+    const Network& network, const Matrix& theta, size_t count,
+    ObjectTypeId type = kInvalidObjectType);
+
+}  // namespace genclus

@@ -1,0 +1,228 @@
+#include "core/strength.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "core/feature.h"
+#include "linalg/solve.h"
+#include "prob/simplex.h"
+#include "prob/special_functions.h"
+
+namespace genclus {
+
+StrengthLearner::StrengthLearner(const Network* network, const Matrix* theta,
+                                 const GenClusConfig* config)
+    : network_(network), theta_(theta), config_(config) {
+  GENCLUS_CHECK(network_ != nullptr && theta_ != nullptr &&
+                config_ != nullptr);
+  GENCLUS_CHECK_EQ(theta_->rows(), network_->num_nodes());
+  num_relations_ = network_->schema().num_link_types();
+  num_clusters_ = theta_->cols();
+
+  // Precompute per-node sufficient statistics grouped by relation. Out-link
+  // spans are sorted by relation, so each node's groups are contiguous.
+  node_stats_.reserve(network_->num_nodes());
+  for (NodeId v = 0; v < network_->num_nodes(); ++v) {
+    auto links = network_->OutLinks(v);
+    if (links.empty()) continue;
+    NodeStats ns;
+    std::span<const double> theta_v(theta_->Row(v), num_clusters_);
+    size_t pos = 0;
+    while (pos < links.size()) {
+      const LinkTypeId r = links[pos].type;
+      std::vector<double> s(num_clusters_, 0.0);
+      double total_weight = 0.0;
+      double f_coeff = 0.0;
+      while (pos < links.size() && links[pos].type == r) {
+        const LinkEntry& e = links[pos];
+        const double* theta_u = theta_->Row(e.neighbor);
+        for (size_t k = 0; k < num_clusters_; ++k) {
+          s[k] += e.weight * theta_u[k];
+        }
+        total_weight += e.weight;
+        f_coeff += e.weight *
+                   CrossEntropyScore(theta_v, {theta_u, num_clusters_});
+        ++pos;
+      }
+      ns.relations.push_back(r);
+      ns.s.push_back(std::move(s));
+      ns.total_weight.push_back(total_weight);
+      ns.f_coeff.push_back(f_coeff);
+    }
+    node_stats_.push_back(std::move(ns));
+  }
+}
+
+void StrengthLearner::ComputeAlpha(const NodeStats& ns,
+                                   const std::vector<double>& gamma,
+                                   std::vector<double>* alpha) const {
+  alpha->assign(num_clusters_, 1.0);
+  for (size_t j = 0; j < ns.relations.size(); ++j) {
+    const double g = gamma[ns.relations[j]];
+    if (g == 0.0) continue;
+    const std::vector<double>& s = ns.s[j];
+    for (size_t k = 0; k < num_clusters_; ++k) {
+      (*alpha)[k] += g * s[k];
+    }
+  }
+}
+
+double StrengthLearner::Objective(const std::vector<double>& gamma) const {
+  GENCLUS_CHECK_EQ(gamma.size(), num_relations_);
+  double total = 0.0;
+  std::vector<double> alpha;
+  for (const NodeStats& ns : node_stats_) {
+    for (size_t j = 0; j < ns.relations.size(); ++j) {
+      total += gamma[ns.relations[j]] * ns.f_coeff[j];
+    }
+    ComputeAlpha(ns, gamma, &alpha);
+    total -= LogMultivariateBeta(alpha);
+  }
+  const double sigma2 =
+      config_->gamma_prior_sigma * config_->gamma_prior_sigma;
+  for (double g : gamma) total -= g * g / (2.0 * sigma2);
+  return total;
+}
+
+std::vector<double> StrengthLearner::Gradient(
+    const std::vector<double>& gamma) const {
+  GENCLUS_CHECK_EQ(gamma.size(), num_relations_);
+  std::vector<double> grad(num_relations_, 0.0);
+  std::vector<double> alpha;
+  for (const NodeStats& ns : node_stats_) {
+    ComputeAlpha(ns, gamma, &alpha);
+    double alpha0 = 0.0;
+    for (double a : alpha) alpha0 += a;
+    const double psi_alpha0 = Digamma(alpha0);
+    for (size_t j = 0; j < ns.relations.size(); ++j) {
+      const LinkTypeId r = ns.relations[j];
+      // d logB(alpha)/d gamma(r) = sum_k psi(alpha_k) s_k
+      //                            - psi(alpha_0) * W    (Eq. 16).
+      double dlogb = 0.0;
+      for (size_t k = 0; k < num_clusters_; ++k) {
+        dlogb += Digamma(alpha[k]) * ns.s[j][k];
+      }
+      dlogb -= psi_alpha0 * ns.total_weight[j];
+      grad[r] += ns.f_coeff[j] - dlogb;
+    }
+  }
+  const double sigma2 =
+      config_->gamma_prior_sigma * config_->gamma_prior_sigma;
+  for (size_t r = 0; r < num_relations_; ++r) {
+    grad[r] -= gamma[r] / sigma2;
+  }
+  return grad;
+}
+
+Matrix StrengthLearner::Hessian(const std::vector<double>& gamma) const {
+  GENCLUS_CHECK_EQ(gamma.size(), num_relations_);
+  Matrix h(num_relations_, num_relations_);
+  std::vector<double> alpha;
+  for (const NodeStats& ns : node_stats_) {
+    ComputeAlpha(ns, gamma, &alpha);
+    double alpha0 = 0.0;
+    for (double a : alpha) alpha0 += a;
+    const double psi1_alpha0 = Trigamma(alpha0);
+    std::vector<double> psi1(num_clusters_);
+    for (size_t k = 0; k < num_clusters_; ++k) psi1[k] = Trigamma(alpha[k]);
+
+    for (size_t j1 = 0; j1 < ns.relations.size(); ++j1) {
+      for (size_t j2 = j1; j2 < ns.relations.size(); ++j2) {
+        // Eq. 17 per node: -sum_k psi'(alpha_k) s1_k s2_k
+        //                  + psi'(alpha_0) W1 W2.
+        double val = 0.0;
+        for (size_t k = 0; k < num_clusters_; ++k) {
+          val -= psi1[k] * ns.s[j1][k] * ns.s[j2][k];
+        }
+        val += psi1_alpha0 * ns.total_weight[j1] * ns.total_weight[j2];
+        const LinkTypeId r1 = ns.relations[j1];
+        const LinkTypeId r2 = ns.relations[j2];
+        h(r1, r2) += val;
+        if (r1 != r2) h(r2, r1) += val;
+      }
+    }
+  }
+  const double sigma2 =
+      config_->gamma_prior_sigma * config_->gamma_prior_sigma;
+  for (size_t r = 0; r < num_relations_; ++r) {
+    h(r, r) -= 1.0 / sigma2;
+  }
+  return h;
+}
+
+std::vector<double> StrengthLearner::Learn(const std::vector<double>& gamma,
+                                           StrengthStats* stats) const {
+  GENCLUS_CHECK_EQ(gamma.size(), num_relations_);
+  std::vector<double> current = gamma;
+  for (double& g : current) g = std::max(0.0, g);
+
+  StrengthStats local;
+  double current_obj = Objective(current);
+
+  for (size_t iter = 0; iter < config_->newton_iterations; ++iter) {
+    local.iterations = iter + 1;
+    const std::vector<double> grad = Gradient(current);
+    const Matrix hess = Hessian(current);
+
+    // Newton direction: solve H * delta = grad, step gamma - delta.
+    // H is negative definite, so -delta is an ascent direction.
+    std::vector<double> next;
+    bool have_newton = false;
+    auto solve = SolveLinearSystem(hess, grad);
+    if (solve.ok()) {
+      next = current;
+      bool finite = true;
+      for (size_t r = 0; r < num_relations_; ++r) {
+        next[r] -= (*solve)[r];
+        if (!std::isfinite(next[r])) finite = false;
+      }
+      have_newton = finite;
+    }
+    if (!have_newton) {
+      // Fallback: projected gradient ascent with a conservative step.
+      local.used_gradient_fallback = true;
+      double gnorm = Norm2(grad);
+      const double step = gnorm > 0.0 ? 1.0 / (1.0 + gnorm) : 0.0;
+      next = current;
+      for (size_t r = 0; r < num_relations_; ++r) {
+        next[r] += step * grad[r];
+      }
+    }
+    for (double& g : next) g = std::max(0.0, g);  // projection (§4.2 step 2)
+
+    // Damping: the projected Newton step is not guaranteed to ascend, so
+    // backtrack toward the current iterate until the objective improves.
+    double next_obj = Objective(next);
+    double shrink = 0.5;
+    size_t backtracks = 0;
+    while (next_obj < current_obj - 1e-12 && backtracks < 40) {
+      for (size_t r = 0; r < num_relations_; ++r) {
+        next[r] = current[r] + shrink * (next[r] - current[r]);
+      }
+      next_obj = Objective(next);
+      ++backtracks;
+    }
+    if (next_obj < current_obj - 1e-12) {
+      // No ascent possible along this direction: accept the current point.
+      local.converged = true;
+      break;
+    }
+
+    double delta = 0.0;
+    for (size_t r = 0; r < num_relations_; ++r) {
+      delta = std::max(delta, std::fabs(next[r] - current[r]));
+    }
+    current = std::move(next);
+    current_obj = next_obj;
+    if (delta < config_->newton_tolerance) {
+      local.converged = true;
+      break;
+    }
+  }
+  local.objective = current_obj;
+  if (stats != nullptr) *stats = local;
+  return current;
+}
+
+}  // namespace genclus

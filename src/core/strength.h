@@ -1,0 +1,80 @@
+// Link type strength learning (§4.2): maximize the pseudo-log-likelihood
+//
+//   g2'(gamma) = sum_i [ sum_{e=<v_i,v_j>} f(theta_i, theta_j, e, gamma)
+//                        - log Z_i(gamma) ]  -  ||gamma||^2 / (2 sigma^2)
+//
+// subject to gamma >= 0 (Eq. 14). The conditional of theta_i given its
+// out-neighbors is Dirichlet with alpha_ik = sum_e gamma(phi(e)) w(e)
+// theta_jk + 1 (Eq. 15), so Z_i = B(alpha_i); the gradient (Eq. 16) and
+// Hessian (Eq. 17) involve digamma and trigamma. g2' is concave
+// (Appendix B); we run Newton-Raphson with projection onto gamma >= 0,
+// with step damping and a projected-gradient fallback for robustness.
+#pragma once
+
+#include <vector>
+
+#include "core/config.h"
+#include "hin/network.h"
+#include "linalg/matrix.h"
+
+namespace genclus {
+
+/// Outcome of one strength-learning step.
+struct StrengthStats {
+  size_t iterations = 0;
+  bool converged = false;
+  /// g2'(gamma) at the returned iterate.
+  double objective = 0.0;
+  /// True if any Newton step had to fall back to projected gradient.
+  bool used_gradient_fallback = false;
+};
+
+/// Learns gamma for fixed Theta. Construct once per strength step (the
+/// constructor precomputes per-node sufficient statistics in O(|E| K)),
+/// then call Learn.
+class StrengthLearner {
+ public:
+  StrengthLearner(const Network* network, const Matrix* theta,
+                  const GenClusConfig* config);
+
+  /// Maximizes g2' starting from `gamma` (paper: the previous outer
+  /// iterate). Returns the new gamma; `stats` may be null.
+  std::vector<double> Learn(const std::vector<double>& gamma,
+                            StrengthStats* stats) const;
+
+  /// g2'(gamma): the pseudo-log-likelihood plus the Gaussian prior term.
+  double Objective(const std::vector<double>& gamma) const;
+
+  /// Gradient of g2' (Eq. 16); size |R|.
+  std::vector<double> Gradient(const std::vector<double>& gamma) const;
+
+  /// Hessian of g2' (Eq. 17); |R| x |R|, symmetric negative definite.
+  Matrix Hessian(const std::vector<double>& gamma) const;
+
+ private:
+  // Sufficient statistics of one node's out-link neighborhood, grouped by
+  // relation. Only relations that occur among the node's out-links appear.
+  struct NodeStats {
+    std::vector<LinkTypeId> relations;
+    // s[j] is the K-vector sum_{e of relation j} w(e) * theta_target.
+    std::vector<std::vector<double>> s;
+    // total_weight[j] = sum_{e of relation j} w(e)  (== sum_k s[j][k]).
+    std::vector<double> total_weight;
+    // f_coeff[j] = sum_{e of relation j} w(e) * sum_k theta_jk log theta_ik:
+    // the coefficient of gamma(r_j) in the feature-function sum.
+    std::vector<double> f_coeff;
+  };
+
+  // alpha_ik = 1 + sum_j gamma(r_j) s[j][k] for one node.
+  void ComputeAlpha(const NodeStats& ns, const std::vector<double>& gamma,
+                    std::vector<double>* alpha) const;
+
+  const Network* network_;
+  const Matrix* theta_;
+  const GenClusConfig* config_;
+  size_t num_relations_;
+  size_t num_clusters_;
+  std::vector<NodeStats> node_stats_;  // nodes with out-degree >= 1 only
+};
+
+}  // namespace genclus

@@ -1,0 +1,350 @@
+#include "datagen/dblp_generator.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace genclus {
+namespace {
+
+Status ValidateConfig(const DblpConfig& config) {
+  if (config.num_areas < 2) {
+    return Status::InvalidArgument("need at least 2 areas");
+  }
+  if (config.num_conferences < config.num_areas) {
+    return Status::InvalidArgument("need at least one conference per area");
+  }
+  if (config.num_authors == 0 || config.num_papers == 0) {
+    return Status::InvalidArgument("need authors and papers");
+  }
+  if (config.vocab_size <= config.num_areas * config.terms_per_area) {
+    return Status::InvalidArgument(
+        "vocab_size must exceed num_areas * terms_per_area");
+  }
+  if (config.title_min_terms == 0 ||
+      config.title_min_terms > config.title_max_terms) {
+    return Status::InvalidArgument("bad title length range");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<DblpCorpus> GenerateDblpCorpus(const DblpConfig& config) {
+  GENCLUS_RETURN_IF_ERROR(ValidateConfig(config));
+  Rng rng(config.seed);
+  DblpCorpus corpus;
+  corpus.num_areas = config.num_areas;
+
+  // Conferences cycle through the areas so each area gets an equal share.
+  // The last `broad_conference_fraction` of them are broad-spectrum venues
+  // drawing papers from every area (the CIKM phenomenon).
+  corpus.conference_area.resize(config.num_conferences);
+  corpus.conference_is_broad.assign(config.num_conferences, false);
+  const size_t num_broad = std::min(
+      config.num_conferences - 1,
+      static_cast<size_t>(config.broad_conference_fraction *
+                          static_cast<double>(config.num_conferences)));
+  for (size_t c = 0; c < config.num_conferences; ++c) {
+    corpus.conference_area[c] =
+        static_cast<uint32_t>(c % config.num_areas);
+    if (c >= config.num_conferences - num_broad) {
+      corpus.conference_is_broad[c] = true;
+    }
+  }
+  // Pure conferences of each area and the broad pool, for fast sampling.
+  std::vector<std::vector<size_t>> confs_by_area(config.num_areas);
+  std::vector<size_t> broad_confs;
+  for (size_t c = 0; c < config.num_conferences; ++c) {
+    if (corpus.conference_is_broad[c]) {
+      broad_confs.push_back(c);
+    } else {
+      confs_by_area[corpus.conference_area[c]].push_back(c);
+    }
+  }
+  // Degenerate configs (e.g. all venues broad in one area): fall back to
+  // area pools that include broad venues.
+  for (size_t area = 0; area < config.num_areas; ++area) {
+    if (confs_by_area[area].empty()) {
+      for (size_t c = 0; c < config.num_conferences; ++c) {
+        if (corpus.conference_area[c] == area) {
+          confs_by_area[area].push_back(c);
+        }
+      }
+    }
+  }
+
+  // Authors get a uniform primary area.
+  corpus.author_area.resize(config.num_authors);
+  std::vector<std::vector<size_t>> authors_by_area(config.num_areas);
+  for (size_t a = 0; a < config.num_authors; ++a) {
+    corpus.author_area[a] =
+        static_cast<uint32_t>(rng.UniformIndex(config.num_areas));
+    authors_by_area[corpus.author_area[a]].push_back(a);
+  }
+  // Guarantee every area has at least one author (tiny configs).
+  for (size_t area = 0; area < config.num_areas; ++area) {
+    if (authors_by_area[area].empty()) {
+      const size_t a = rng.UniformIndex(config.num_authors);
+      authors_by_area[corpus.author_area[a]].erase(
+          std::find(authors_by_area[corpus.author_area[a]].begin(),
+                    authors_by_area[corpus.author_area[a]].end(), a));
+      corpus.author_area[a] = static_cast<uint32_t>(area);
+      authors_by_area[area].push_back(a);
+    }
+  }
+
+  const size_t background_begin = config.num_areas * config.terms_per_area;
+  corpus.papers.reserve(config.num_papers);
+  for (size_t p = 0; p < config.num_papers; ++p) {
+    DblpCorpus::Paper paper;
+    // Lead author, then the paper's area.
+    const size_t lead = rng.UniformIndex(config.num_authors);
+    paper.authors.push_back(lead);
+    paper.area = rng.Uniform() < config.author_area_fidelity
+                     ? corpus.author_area[lead]
+                     : static_cast<uint32_t>(
+                           rng.UniformIndex(config.num_areas));
+    // Coauthors, preferring the paper's area.
+    const size_t extra = rng.UniformIndex(config.max_coauthors + 1);
+    for (size_t j = 0; j < extra; ++j) {
+      size_t candidate;
+      if (rng.Uniform() < config.coauthor_same_area_prob &&
+          !authors_by_area[paper.area].empty()) {
+        const auto& pool = authors_by_area[paper.area];
+        candidate = pool[rng.UniformIndex(pool.size())];
+      } else {
+        candidate = rng.UniformIndex(config.num_authors);
+      }
+      if (std::find(paper.authors.begin(), paper.authors.end(), candidate) ==
+          paper.authors.end()) {
+        paper.authors.push_back(candidate);
+      }
+    }
+    // Venue: broad-spectrum venues attract papers from every area; pure
+    // venues draw (almost) exclusively from their own area.
+    if (!broad_confs.empty() && rng.Uniform() < config.broad_venue_prob) {
+      paper.conference = broad_confs[rng.UniformIndex(broad_confs.size())];
+    } else if (rng.Uniform() < config.conference_area_fidelity) {
+      const auto& pool = confs_by_area[paper.area];
+      paper.conference = pool[rng.UniformIndex(pool.size())];
+    } else {
+      paper.conference = rng.UniformIndex(config.num_conferences);
+    }
+    // Title terms: area-specific unless a background draw.
+    const size_t len = config.title_min_terms +
+                       rng.UniformIndex(config.title_max_terms -
+                                        config.title_min_terms + 1);
+    paper.title.reserve(len);
+    for (size_t t = 0; t < len; ++t) {
+      uint32_t term;
+      if (rng.Uniform() < config.background_term_prob) {
+        term = static_cast<uint32_t>(
+            background_begin +
+            rng.UniformIndex(config.vocab_size - background_begin));
+      } else {
+        term = static_cast<uint32_t>(paper.area * config.terms_per_area +
+                                     rng.UniformIndex(config.terms_per_area));
+      }
+      paper.title.push_back(term);
+    }
+    corpus.papers.push_back(std::move(paper));
+  }
+  return corpus;
+}
+
+Result<AcNetworkData> BuildAcNetwork(const DblpCorpus& corpus,
+                                     const DblpConfig& config) {
+  AcNetworkData data;
+  Schema schema;
+  GENCLUS_ASSIGN_OR_RETURN(data.author_type, schema.AddObjectType("author"));
+  GENCLUS_ASSIGN_OR_RETURN(data.conference_type,
+                           schema.AddObjectType("conference"));
+  GENCLUS_ASSIGN_OR_RETURN(
+      data.publish_in,
+      schema.AddLinkType("publish_in", data.author_type,
+                         data.conference_type));
+  GENCLUS_ASSIGN_OR_RETURN(
+      data.published_by,
+      schema.AddLinkType("published_by", data.conference_type,
+                         data.author_type));
+  GENCLUS_ASSIGN_OR_RETURN(
+      data.coauthor,
+      schema.AddLinkType("coauthor", data.author_type, data.author_type));
+  GENCLUS_RETURN_IF_ERROR(
+      schema.SetInverse(data.publish_in, data.published_by));
+
+  NetworkBuilder builder(schema);
+  const size_t num_authors = corpus.author_area.size();
+  const size_t num_confs = corpus.conference_area.size();
+  data.author_nodes.resize(num_authors);
+  data.conference_nodes.resize(num_confs);
+  for (size_t a = 0; a < num_authors; ++a) {
+    GENCLUS_ASSIGN_OR_RETURN(
+        data.author_nodes[a],
+        builder.AddNode(data.author_type, StrFormat("author%zu", a)));
+  }
+  for (size_t c = 0; c < num_confs; ++c) {
+    GENCLUS_ASSIGN_OR_RETURN(
+        data.conference_nodes[c],
+        builder.AddNode(data.conference_type, StrFormat("conf%zu", c)));
+  }
+
+  // Count-weighted links.
+  std::map<std::pair<size_t, size_t>, double> ac_weight;   // author, conf
+  std::map<std::pair<size_t, size_t>, double> coauth_weight;
+  for (const DblpCorpus::Paper& paper : corpus.papers) {
+    for (size_t a : paper.authors) {
+      ac_weight[{a, paper.conference}] += 1.0;
+    }
+    for (size_t i = 0; i < paper.authors.size(); ++i) {
+      for (size_t j = i + 1; j < paper.authors.size(); ++j) {
+        const size_t lo = std::min(paper.authors[i], paper.authors[j]);
+        const size_t hi = std::max(paper.authors[i], paper.authors[j]);
+        coauth_weight[{lo, hi}] += 1.0;
+      }
+    }
+  }
+  for (const auto& [key, weight] : ac_weight) {
+    GENCLUS_RETURN_IF_ERROR(builder.AddLink(data.author_nodes[key.first],
+                                            data.conference_nodes[key.second],
+                                            data.publish_in, weight));
+    GENCLUS_RETURN_IF_ERROR(builder.AddLink(data.conference_nodes[key.second],
+                                            data.author_nodes[key.first],
+                                            data.published_by, weight));
+  }
+  for (const auto& [key, weight] : coauth_weight) {
+    GENCLUS_RETURN_IF_ERROR(builder.AddLink(data.author_nodes[key.first],
+                                            data.author_nodes[key.second],
+                                            data.coauthor, weight));
+    GENCLUS_RETURN_IF_ERROR(builder.AddLink(data.author_nodes[key.second],
+                                            data.author_nodes[key.first],
+                                            data.coauthor, weight));
+  }
+  GENCLUS_ASSIGN_OR_RETURN(Network network, std::move(builder).Build());
+  const size_t n = network.num_nodes();
+
+  // Text attribute: every object aggregates the titles of its papers.
+  Attribute text = Attribute::Categorical("text", config.vocab_size, n);
+  for (const DblpCorpus::Paper& paper : corpus.papers) {
+    for (uint32_t term : paper.title) {
+      for (size_t a : paper.authors) {
+        GENCLUS_RETURN_IF_ERROR(
+            text.AddTermCount(data.author_nodes[a], term, 1.0));
+      }
+      GENCLUS_RETURN_IF_ERROR(text.AddTermCount(
+          data.conference_nodes[paper.conference], term, 1.0));
+    }
+  }
+
+  data.dataset.network = std::move(network);
+  data.dataset.attributes.push_back(std::move(text));
+  data.text_attr = 0;
+  data.dataset.labels = Labels(n);
+  for (size_t a = 0; a < num_authors; ++a) {
+    data.dataset.labels.Set(data.author_nodes[a], corpus.author_area[a]);
+  }
+  for (size_t c = 0; c < num_confs; ++c) {
+    data.dataset.labels.Set(data.conference_nodes[c],
+                            corpus.conference_area[c]);
+  }
+  GENCLUS_RETURN_IF_ERROR(data.dataset.Validate());
+  return data;
+}
+
+Result<AcpNetworkData> BuildAcpNetwork(const DblpCorpus& corpus,
+                                       const DblpConfig& config) {
+  AcpNetworkData data;
+  Schema schema;
+  GENCLUS_ASSIGN_OR_RETURN(data.author_type, schema.AddObjectType("author"));
+  GENCLUS_ASSIGN_OR_RETURN(data.conference_type,
+                           schema.AddObjectType("conference"));
+  GENCLUS_ASSIGN_OR_RETURN(data.paper_type, schema.AddObjectType("paper"));
+  GENCLUS_ASSIGN_OR_RETURN(
+      data.write,
+      schema.AddLinkType("write", data.author_type, data.paper_type));
+  GENCLUS_ASSIGN_OR_RETURN(
+      data.written_by,
+      schema.AddLinkType("written_by", data.paper_type, data.author_type));
+  GENCLUS_ASSIGN_OR_RETURN(
+      data.publish,
+      schema.AddLinkType("publish", data.conference_type, data.paper_type));
+  GENCLUS_ASSIGN_OR_RETURN(
+      data.published_by,
+      schema.AddLinkType("published_by", data.paper_type,
+                         data.conference_type));
+  GENCLUS_RETURN_IF_ERROR(schema.SetInverse(data.write, data.written_by));
+  GENCLUS_RETURN_IF_ERROR(
+      schema.SetInverse(data.publish, data.published_by));
+
+  NetworkBuilder builder(schema);
+  const size_t num_authors = corpus.author_area.size();
+  const size_t num_confs = corpus.conference_area.size();
+  const size_t num_papers = corpus.papers.size();
+  data.author_nodes.resize(num_authors);
+  data.conference_nodes.resize(num_confs);
+  data.paper_nodes.resize(num_papers);
+  for (size_t a = 0; a < num_authors; ++a) {
+    GENCLUS_ASSIGN_OR_RETURN(
+        data.author_nodes[a],
+        builder.AddNode(data.author_type, StrFormat("author%zu", a)));
+  }
+  for (size_t c = 0; c < num_confs; ++c) {
+    GENCLUS_ASSIGN_OR_RETURN(
+        data.conference_nodes[c],
+        builder.AddNode(data.conference_type, StrFormat("conf%zu", c)));
+  }
+  for (size_t p = 0; p < num_papers; ++p) {
+    GENCLUS_ASSIGN_OR_RETURN(
+        data.paper_nodes[p],
+        builder.AddNode(data.paper_type, StrFormat("paper%zu", p)));
+  }
+
+  for (size_t p = 0; p < num_papers; ++p) {
+    const DblpCorpus::Paper& paper = corpus.papers[p];
+    for (size_t a : paper.authors) {
+      GENCLUS_RETURN_IF_ERROR(builder.AddLink(
+          data.author_nodes[a], data.paper_nodes[p], data.write, 1.0));
+      GENCLUS_RETURN_IF_ERROR(builder.AddLink(
+          data.paper_nodes[p], data.author_nodes[a], data.written_by, 1.0));
+    }
+    GENCLUS_RETURN_IF_ERROR(builder.AddLink(
+        data.conference_nodes[paper.conference], data.paper_nodes[p],
+        data.publish, 1.0));
+    GENCLUS_RETURN_IF_ERROR(builder.AddLink(
+        data.paper_nodes[p], data.conference_nodes[paper.conference],
+        data.published_by, 1.0));
+  }
+  GENCLUS_ASSIGN_OR_RETURN(Network network, std::move(builder).Build());
+  const size_t n = network.num_nodes();
+
+  // Text only on papers: the incomplete-attribute configuration.
+  Attribute text = Attribute::Categorical("text", config.vocab_size, n);
+  for (size_t p = 0; p < num_papers; ++p) {
+    for (uint32_t term : corpus.papers[p].title) {
+      GENCLUS_RETURN_IF_ERROR(
+          text.AddTermCount(data.paper_nodes[p], term, 1.0));
+    }
+  }
+
+  data.dataset.network = std::move(network);
+  data.dataset.attributes.push_back(std::move(text));
+  data.text_attr = 0;
+  data.dataset.labels = Labels(n);
+  for (size_t a = 0; a < num_authors; ++a) {
+    data.dataset.labels.Set(data.author_nodes[a], corpus.author_area[a]);
+  }
+  for (size_t c = 0; c < num_confs; ++c) {
+    data.dataset.labels.Set(data.conference_nodes[c],
+                            corpus.conference_area[c]);
+  }
+  for (size_t p = 0; p < num_papers; ++p) {
+    data.dataset.labels.Set(data.paper_nodes[p], corpus.papers[p].area);
+  }
+  GENCLUS_RETURN_IF_ERROR(data.dataset.Validate());
+  return data;
+}
+
+}  // namespace genclus

@@ -1,0 +1,119 @@
+// Synthetic DBLP "four-area" bibliographic corpus and the two networks the
+// paper extracts from it (§5.1):
+//
+//  * AC network  — authors (A) and conferences (C); relations
+//    publish_in(A,C), published_by(C,A), coauthor(A,A) with count weights;
+//    both object types carry the text attribute (complete attributes).
+//  * ACP network — authors, conferences and papers (P); binary relations
+//    write(A,P), written_by(P,A), publish(C,P), published_by(P,C); ONLY
+//    papers carry text (incomplete attributes).
+//
+// Substitution note (see DESIGN.md): the real DBLP four-area snapshot is
+// not redistributable; this generator plants the same structure — four
+// research areas with area-specific vocabularies, conferences bound to
+// areas, authors with a primary area, papers written by mostly same-area
+// coauthors and published in mostly same-area venues — so the algorithms
+// exercise identical code paths against a known ground truth.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "hin/dataset.h"
+
+namespace genclus {
+
+struct DblpConfig {
+  size_t num_areas = 4;
+  size_t num_conferences = 20;
+  size_t num_authors = 1000;
+  size_t num_papers = 2500;
+  /// Total vocabulary; must exceed num_areas * terms_per_area (the
+  /// remainder is the shared background vocabulary).
+  size_t vocab_size = 400;
+  /// Area-specific terms per area.
+  size_t terms_per_area = 60;
+  size_t title_min_terms = 6;
+  size_t title_max_terms = 12;
+  /// Probability a title term is drawn from the shared background.
+  double background_term_prob = 0.3;
+  /// Probability a paper stays in its lead author's primary area.
+  double author_area_fidelity = 0.85;
+  /// Probability a paper is published in a conference of its own area,
+  /// used for the residual off-area noise of PURE venues.
+  double conference_area_fidelity = 0.95;
+  /// Fraction of conferences that are "broad-spectrum" venues (the paper's
+  /// CIKM example, §5.2.3): they draw papers from every area. Real venues
+  /// differ in purity; this is what makes written_by(P,A) more reliable
+  /// than published_by(P,C) and gives strength learning something to find.
+  double broad_conference_fraction = 0.25;
+  /// Probability a paper goes to a broad venue instead of a pure venue of
+  /// its own area.
+  double broad_venue_prob = 0.3;
+  /// Probability each coauthor is drawn from the paper's area; the rest
+  /// are uniform ("the spectrum of co-authors may often be quite broad").
+  double coauthor_same_area_prob = 0.5;
+  /// Extra authors per paper beyond the lead (0..max, uniform).
+  size_t max_coauthors = 2;
+  uint64_t seed = 13;
+};
+
+/// The generated corpus: entities, ground-truth areas and paper contents.
+struct DblpCorpus {
+  size_t num_areas = 0;
+  std::vector<uint32_t> conference_area;  // [num_conferences]
+  /// True for broad-spectrum venues (drawing papers from every area).
+  std::vector<bool> conference_is_broad;  // [num_conferences]
+  std::vector<uint32_t> author_area;      // [num_authors]
+  struct Paper {
+    std::vector<size_t> authors;  // author indices; [0] is the lead
+    size_t conference = 0;
+    uint32_t area = 0;
+    std::vector<uint32_t> title;  // term ids
+  };
+  std::vector<Paper> papers;
+};
+
+/// The AC network with node-id maps and schema handles.
+struct AcNetworkData {
+  Dataset dataset;
+  ObjectTypeId author_type = kInvalidObjectType;
+  ObjectTypeId conference_type = kInvalidObjectType;
+  LinkTypeId publish_in = kInvalidLinkType;     // <A,C>
+  LinkTypeId published_by = kInvalidLinkType;   // <C,A>
+  LinkTypeId coauthor = kInvalidLinkType;       // <A,A>
+  AttributeId text_attr = kInvalidAttribute;
+  std::vector<NodeId> author_nodes;
+  std::vector<NodeId> conference_nodes;
+};
+
+/// The ACP network with node-id maps and schema handles.
+struct AcpNetworkData {
+  Dataset dataset;
+  ObjectTypeId author_type = kInvalidObjectType;
+  ObjectTypeId conference_type = kInvalidObjectType;
+  ObjectTypeId paper_type = kInvalidObjectType;
+  LinkTypeId write = kInvalidLinkType;          // <A,P>
+  LinkTypeId written_by = kInvalidLinkType;     // <P,A>
+  LinkTypeId publish = kInvalidLinkType;        // <C,P>
+  LinkTypeId published_by = kInvalidLinkType;   // <P,C>
+  AttributeId text_attr = kInvalidAttribute;
+  std::vector<NodeId> author_nodes;
+  std::vector<NodeId> conference_nodes;
+  std::vector<NodeId> paper_nodes;
+};
+
+/// Generates the corpus. Deterministic given config.seed.
+Result<DblpCorpus> GenerateDblpCorpus(const DblpConfig& config);
+
+/// Builds the AC network from a corpus (author/conference text = bag sum
+/// of their papers' titles; count-weighted links).
+Result<AcNetworkData> BuildAcNetwork(const DblpCorpus& corpus,
+                                     const DblpConfig& config);
+
+/// Builds the ACP network (text on papers only; binary links).
+Result<AcpNetworkData> BuildAcpNetwork(const DblpCorpus& corpus,
+                                       const DblpConfig& config);
+
+}  // namespace genclus

@@ -1,0 +1,203 @@
+#include "datagen/weather_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "prob/simplex.h"
+
+namespace genclus {
+
+WeatherConfig WeatherConfig::Setting1() {
+  WeatherConfig config;
+  config.patterns = {{1.0, 1.0}, {2.0, 2.0}, {3.0, 3.0}, {4.0, 4.0}};
+  return config;
+}
+
+WeatherConfig WeatherConfig::Setting2() {
+  WeatherConfig config;
+  config.patterns = {{1.0, 1.0}, {-1.0, 1.0}, {-1.0, -1.0}, {1.0, -1.0}};
+  return config;
+}
+
+namespace {
+
+// Soft ring membership: reciprocal distance to each ring's center radius,
+// truncated to the `mixing` nearest rings, normalized. The disk is
+// "partitioned equally into K rings" (Appendix C); with sensors uniform in
+// the disk we use equal-AREA rings so the K weather patterns have balanced
+// populations — ring k spans radii [sqrt(k/K), sqrt((k+1)/K)) and its
+// center radius is the one that halves its area.
+std::vector<double> RingMembership(double radius, size_t num_rings,
+                                   size_t mixing, double sharpness) {
+  std::vector<double> weight(num_rings, 0.0);
+  std::vector<std::pair<double, size_t>> by_distance(num_rings);
+  for (size_t k = 0; k < num_rings; ++k) {
+    const double center =
+        std::sqrt((static_cast<double>(k) + 0.5) /
+                  static_cast<double>(num_rings));
+    const double d = std::fabs(radius - center);
+    by_distance[k] = {d, k};
+  }
+  std::sort(by_distance.begin(), by_distance.end());
+  const size_t keep = std::min(mixing, num_rings);
+  double total = 0.0;
+  for (size_t j = 0; j < keep; ++j) {
+    const double w =
+        std::pow(1.0 / (by_distance[j].first + 1e-3), sharpness);
+    weight[by_distance[j].second] = w;
+    total += w;
+  }
+  for (double& w : weight) w /= total;
+  return weight;
+}
+
+}  // namespace
+
+Result<WeatherData> GenerateWeatherNetwork(const WeatherConfig& config_in) {
+  WeatherConfig config = config_in;
+  if (config.patterns.empty()) {
+    config.patterns = WeatherConfig::Setting1().patterns;
+  }
+  const size_t num_clusters = config.patterns.size();
+  const size_t num_t = config.num_temperature_sensors;
+  const size_t num_p = config.num_precipitation_sensors;
+  const size_t n = num_t + num_p;
+  if (num_clusters < 2) {
+    return Status::InvalidArgument("need at least 2 weather patterns");
+  }
+  if (num_t == 0 || num_p == 0) {
+    return Status::InvalidArgument("need sensors of both types");
+  }
+  if (config.k_nearest == 0 ||
+      config.k_nearest >= std::min(num_t, num_p)) {
+    return Status::InvalidArgument("k_nearest out of range");
+  }
+  if (!(config.pattern_stddev > 0.0)) {
+    return Status::InvalidArgument("pattern_stddev must be positive");
+  }
+
+  Rng rng(config.seed);
+  WeatherData data;
+
+  // --- schema ---
+  Schema schema;
+  GENCLUS_ASSIGN_OR_RETURN(ObjectTypeId t_type, schema.AddObjectType("T"));
+  GENCLUS_ASSIGN_OR_RETURN(ObjectTypeId p_type, schema.AddObjectType("P"));
+  GENCLUS_ASSIGN_OR_RETURN(LinkTypeId tt,
+                           schema.AddLinkType("TT", t_type, t_type));
+  GENCLUS_ASSIGN_OR_RETURN(LinkTypeId tp,
+                           schema.AddLinkType("TP", t_type, p_type));
+  GENCLUS_ASSIGN_OR_RETURN(LinkTypeId pt,
+                           schema.AddLinkType("PT", p_type, t_type));
+  GENCLUS_ASSIGN_OR_RETURN(LinkTypeId pp,
+                           schema.AddLinkType("PP", p_type, p_type));
+  GENCLUS_RETURN_IF_ERROR(schema.SetInverse(tp, pt));
+  data.temperature_type = t_type;
+  data.precipitation_type = p_type;
+  data.tt_link = tt;
+  data.tp_link = tp;
+  data.pt_link = pt;
+  data.pp_link = pp;
+
+  // --- nodes and locations (uniform in the unit disk) ---
+  NetworkBuilder builder(schema);
+  data.locations.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const bool is_temp = i < num_t;
+    GENCLUS_ASSIGN_OR_RETURN(
+        NodeId v,
+        builder.AddNode(is_temp ? t_type : p_type,
+                        StrFormat("%s%zu", is_temp ? "t" : "p",
+                                  is_temp ? i : i - num_t)));
+    (void)v;
+    const double r = std::sqrt(rng.Uniform());
+    const double angle = rng.Uniform(0.0, 2.0 * M_PI);
+    data.locations[i] = {r * std::cos(angle), r * std::sin(angle)};
+  }
+
+  // --- ground-truth membership from ring geometry ---
+  data.true_membership = Matrix(n, num_clusters);
+  data.true_labels.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double radius = std::hypot(data.locations[i][0],
+                                     data.locations[i][1]);
+    const size_t mixing = i < num_t ? config.temperature_mixing_rings
+                                    : config.precipitation_mixing_rings;
+    std::vector<double> member = RingMembership(radius, num_clusters, mixing,
+                                                config.membership_sharpness);
+    data.true_membership.SetRow(i, member);
+    data.true_labels[i] = static_cast<uint32_t>(ArgMax(member));
+  }
+
+  // --- kNN out-links per neighbor type ---
+  // Brute-force neighbor search; n <= a few thousand in every experiment.
+  std::vector<std::pair<double, size_t>> dist;
+  dist.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (int target_is_temp = 1; target_is_temp >= 0; --target_is_temp) {
+      dist.clear();
+      const size_t lo = target_is_temp ? 0 : num_t;
+      const size_t hi = target_is_temp ? num_t : n;
+      for (size_t j = lo; j < hi; ++j) {
+        if (j == i) continue;
+        const double dx = data.locations[i][0] - data.locations[j][0];
+        const double dy = data.locations[i][1] - data.locations[j][1];
+        dist.emplace_back(dx * dx + dy * dy, j);
+      }
+      std::partial_sort(dist.begin(), dist.begin() + config.k_nearest,
+                        dist.end());
+      const bool src_is_temp = i < num_t;
+      LinkTypeId link_type;
+      if (src_is_temp) {
+        link_type = target_is_temp ? tt : tp;
+      } else {
+        link_type = target_is_temp ? pt : pp;
+      }
+      for (size_t j = 0; j < config.k_nearest; ++j) {
+        GENCLUS_RETURN_IF_ERROR(builder.AddLink(
+            static_cast<NodeId>(i), static_cast<NodeId>(dist[j].second),
+            link_type, 1.0));
+      }
+    }
+  }
+
+  GENCLUS_ASSIGN_OR_RETURN(Network network, std::move(builder).Build());
+
+  // --- attributes: each sensor observes only its own attribute ---
+  Attribute temperature = Attribute::Numerical("temperature", n);
+  Attribute precipitation = Attribute::Numerical("precipitation", n);
+  for (size_t i = 0; i < n; ++i) {
+    const bool is_temp = i < num_t;
+    std::vector<double> member = data.true_membership.RowVector(i);
+    for (size_t o = 0; o < config.observations_per_sensor; ++o) {
+      const size_t k = rng.Categorical(member);
+      const double mean = is_temp ? config.patterns[k].temperature_mean
+                                  : config.patterns[k].precipitation_mean;
+      const double x = rng.Gaussian(mean, config.pattern_stddev);
+      if (is_temp) {
+        GENCLUS_RETURN_IF_ERROR(
+            temperature.AddValue(static_cast<NodeId>(i), x));
+      } else {
+        GENCLUS_RETURN_IF_ERROR(
+            precipitation.AddValue(static_cast<NodeId>(i), x));
+      }
+    }
+  }
+
+  data.dataset.network = std::move(network);
+  data.dataset.attributes.push_back(std::move(temperature));
+  data.dataset.attributes.push_back(std::move(precipitation));
+  data.temperature_attr = 0;
+  data.precipitation_attr = 1;
+  data.dataset.labels = Labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    data.dataset.labels.Set(static_cast<NodeId>(i), data.true_labels[i]);
+  }
+  GENCLUS_RETURN_IF_ERROR(data.dataset.Validate());
+  return data;
+}
+
+}  // namespace genclus

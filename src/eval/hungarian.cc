@@ -1,0 +1,106 @@
+#include "eval/hungarian.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace genclus {
+namespace {
+
+// Classic O(n^3) potentials-based Kuhn-Munkres on a square cost matrix
+// (minimization). Rows and columns are 1-indexed internally; index 0 is a
+// sentinel.
+HungarianResult SolveMinImpl(const Matrix& cost) {
+  GENCLUS_CHECK_EQ(cost.rows(), cost.cols());
+  const size_t n = cost.rows();
+  HungarianResult result;
+  if (n == 0) return result;
+
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> u(n + 1, 0.0);   // row potentials
+  std::vector<double> v(n + 1, 0.0);   // column potentials
+  std::vector<size_t> p(n + 1, 0);     // p[col] = row matched to col
+  std::vector<size_t> way(n + 1, 0);
+
+  for (size_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    size_t j0 = 0;
+    std::vector<double> minv(n + 1, kInf);
+    std::vector<bool> used(n + 1, false);
+    do {
+      used[j0] = true;
+      const size_t i0 = p[j0];
+      double delta = kInf;
+      size_t j1 = 0;
+      for (size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const double cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      const size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  result.assignment.assign(n, 0);
+  for (size_t j = 1; j <= n; ++j) {
+    if (p[j] != 0) result.assignment[p[j] - 1] = j - 1;
+  }
+  result.total_value = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    result.total_value += cost(r, result.assignment[r]);
+  }
+  return result;
+}
+
+}  // namespace
+
+HungarianResult SolveMinAssignment(const Matrix& cost) {
+  return SolveMinImpl(cost);
+}
+
+HungarianResult SolveMaxAssignment(const Matrix& value) {
+  GENCLUS_CHECK_EQ(value.rows(), value.cols());
+  const size_t n = value.rows();
+  if (n == 0) return {};
+  double max_entry = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) {
+      max_entry = std::max(max_entry, value(r, c));
+    }
+  }
+  Matrix cost(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) {
+      cost(r, c) = max_entry - value(r, c);
+    }
+  }
+  HungarianResult result = SolveMinImpl(cost);
+  result.total_value = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    result.total_value += value(r, result.assignment[r]);
+  }
+  return result;
+}
+
+}  // namespace genclus

@@ -1,0 +1,25 @@
+// Hungarian (Kuhn-Munkres) algorithm for optimal assignment, used to match
+// learned clusters to ground-truth classes (accuracy reporting and the
+// Table 1 case study's cluster naming).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace genclus {
+
+/// Result of an assignment: assignment[r] = column matched to row r.
+struct HungarianResult {
+  std::vector<size_t> assignment;
+  double total_value = 0.0;
+};
+
+/// Maximum-weight perfect assignment on a square value matrix (O(n^3)).
+HungarianResult SolveMaxAssignment(const Matrix& value);
+
+/// Minimum-cost perfect assignment on a square cost matrix (O(n^3)).
+HungarianResult SolveMinAssignment(const Matrix& cost);
+
+}  // namespace genclus

@@ -1,0 +1,143 @@
+#include "eval/link_prediction.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "prob/simplex.h"
+
+namespace genclus {
+
+const char* SimilarityKindName(SimilarityKind kind) {
+  switch (kind) {
+    case SimilarityKind::kCosine:
+      return "cos(ti,tj)";
+    case SimilarityKind::kNegativeEuclidean:
+      return "-||ti-tj||";
+    case SimilarityKind::kNegativeCrossEntropy:
+      return "-H(tj,ti)";
+  }
+  return "?";
+}
+
+double MembershipSimilarity(SimilarityKind kind,
+                            std::span<const double> theta_query,
+                            std::span<const double> theta_candidate) {
+  GENCLUS_DCHECK(theta_query.size() == theta_candidate.size());
+  const size_t k = theta_query.size();
+  switch (kind) {
+    case SimilarityKind::kCosine: {
+      double dot = 0.0;
+      double nq = 0.0;
+      double nc = 0.0;
+      for (size_t i = 0; i < k; ++i) {
+        dot += theta_query[i] * theta_candidate[i];
+        nq += theta_query[i] * theta_query[i];
+        nc += theta_candidate[i] * theta_candidate[i];
+      }
+      if (nq <= 0.0 || nc <= 0.0) return 0.0;
+      return dot / (std::sqrt(nq) * std::sqrt(nc));
+    }
+    case SimilarityKind::kNegativeEuclidean: {
+      double acc = 0.0;
+      for (size_t i = 0; i < k; ++i) {
+        const double d = theta_query[i] - theta_candidate[i];
+        acc += d * d;
+      }
+      return -std::sqrt(acc);
+    }
+    case SimilarityKind::kNegativeCrossEntropy: {
+      // -H(theta_j, theta_i) = sum_k theta_jk log theta_ik with j the
+      // candidate and i the query (asymmetric; §5.2.2).
+      double acc = 0.0;
+      for (size_t i = 0; i < k; ++i) {
+        if (theta_candidate[i] == 0.0) continue;
+        const double t = theta_query[i] < kDefaultThetaFloor
+                             ? kDefaultThetaFloor
+                             : theta_query[i];
+        acc += theta_candidate[i] * std::log(t);
+      }
+      return acc;
+    }
+  }
+  return 0.0;
+}
+
+double AveragePrecision(const std::vector<size_t>& ranked,
+                        const std::vector<bool>& relevant) {
+  size_t hits = 0;
+  double sum_precision = 0.0;
+  for (size_t pos = 0; pos < ranked.size(); ++pos) {
+    GENCLUS_DCHECK(ranked[pos] < relevant.size());
+    if (relevant[ranked[pos]]) {
+      ++hits;
+      sum_precision +=
+          static_cast<double>(hits) / static_cast<double>(pos + 1);
+    }
+  }
+  if (hits == 0) return 0.0;
+  return sum_precision / static_cast<double>(hits);
+}
+
+Result<LinkPredictionResult> EvaluateLinkPrediction(const Network& network,
+                                                    const Matrix& theta,
+                                                    LinkTypeId relation,
+                                                    SimilarityKind kind) {
+  if (!network.schema().ValidLinkType(relation)) {
+    return Status::InvalidArgument("unknown relation");
+  }
+  if (theta.rows() != network.num_nodes()) {
+    return Status::InvalidArgument("theta size does not match network");
+  }
+  const LinkTypeInfo& info = network.schema().link_type(relation);
+  const std::vector<NodeId>& queries =
+      network.NodesOfType(info.source_type);
+  const std::vector<NodeId>& candidates =
+      network.NodesOfType(info.target_type);
+  if (candidates.empty()) {
+    return Status::FailedPrecondition("no candidate nodes for relation");
+  }
+  const size_t k = theta.cols();
+
+  LinkPredictionResult result;
+  double ap_sum = 0.0;
+  std::vector<double> scores(candidates.size());
+  std::vector<size_t> order(candidates.size());
+  std::vector<bool> relevant(candidates.size());
+
+  for (NodeId q : queries) {
+    // Relevant set: observed out-links of this relation.
+    std::fill(relevant.begin(), relevant.end(), false);
+    size_t num_relevant = 0;
+    for (const LinkEntry& e : network.OutLinks(q)) {
+      if (e.type != relation) continue;
+      // Candidate ids are sorted; binary search for the position.
+      auto it = std::lower_bound(candidates.begin(), candidates.end(),
+                                 e.neighbor);
+      GENCLUS_DCHECK(it != candidates.end() && *it == e.neighbor);
+      relevant[static_cast<size_t>(it - candidates.begin())] = true;
+      ++num_relevant;
+    }
+    if (num_relevant == 0) continue;  // queries need >= 1 observed link
+
+    std::span<const double> theta_q(theta.Row(q), k);
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      scores[c] = MembershipSimilarity(
+          kind, theta_q, {theta.Row(candidates[c]), k});
+    }
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return scores[a] > scores[b];
+    });
+    ap_sum += AveragePrecision(order, relevant);
+    ++result.num_queries;
+  }
+  if (result.num_queries == 0) {
+    return Status::FailedPrecondition("no queries with observed links");
+  }
+  result.map = ap_sum / static_cast<double>(result.num_queries);
+  return result;
+}
+
+}  // namespace genclus

@@ -1,0 +1,55 @@
+// Link prediction evaluation (§5.2.2): for a relation <A, B>, rank every
+// B-typed candidate for each A-typed query by a similarity function on the
+// learned membership vectors, and score the ranking against the observed
+// links with Mean Average Precision (MAP).
+//
+// Three similarity functions from the paper:
+//   cosine:             cos(theta_i, theta_j)
+//   negative Euclidean: -||theta_i - theta_j||
+//   negative cross entropy (asymmetric): -H(theta_j, theta_i)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "hin/network.h"
+#include "linalg/matrix.h"
+
+namespace genclus {
+
+enum class SimilarityKind {
+  kCosine,
+  kNegativeEuclidean,
+  kNegativeCrossEntropy,
+};
+
+/// Display name, e.g. "cos" / "-euclid" / "-crossent".
+const char* SimilarityKindName(SimilarityKind kind);
+
+/// Similarity between membership rows; for kNegativeCrossEntropy the order
+/// is -H(theta_candidate, theta_query) per the paper's Table 2-4 setup.
+double MembershipSimilarity(SimilarityKind kind,
+                            std::span<const double> theta_query,
+                            std::span<const double> theta_candidate);
+
+/// Average precision of a ranked candidate list against a relevant set.
+/// `ranked` holds candidate ids best-first; `relevant[i]` marks relevance
+/// of candidate i (indexed by position in the candidate universe).
+double AveragePrecision(const std::vector<size_t>& ranked,
+                        const std::vector<bool>& relevant);
+
+struct LinkPredictionResult {
+  double map = 0.0;
+  size_t num_queries = 0;
+};
+
+/// MAP for predicting out-links of `relation` from membership vectors:
+/// queries are source-typed nodes with at least one link of `relation`;
+/// candidates are all target-typed nodes; relevant = actually linked.
+Result<LinkPredictionResult> EvaluateLinkPrediction(const Network& network,
+                                                    const Matrix& theta,
+                                                    LinkTypeId relation,
+                                                    SimilarityKind kind);
+
+}  // namespace genclus

@@ -1,0 +1,142 @@
+#include "eval/nmi.h"
+
+#include <cmath>
+#include <map>
+
+#include "common/check.h"
+#include "eval/hungarian.h"
+#include "hin/types.h"
+
+namespace genclus {
+namespace {
+
+// Contingency table over jointly-labeled positions, with dense re-indexed
+// labels and marginals.
+struct Contingency {
+  std::map<std::pair<uint32_t, uint32_t>, double> joint;
+  std::map<uint32_t, double> margin_a;
+  std::map<uint32_t, double> margin_b;
+  double total = 0.0;
+};
+
+Contingency BuildContingency(const std::vector<uint32_t>& a,
+                             const std::vector<uint32_t>& b) {
+  GENCLUS_CHECK_EQ(a.size(), b.size());
+  Contingency c;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == kUnlabeled || b[i] == kUnlabeled) continue;
+    c.joint[{a[i], b[i]}] += 1.0;
+    c.margin_a[a[i]] += 1.0;
+    c.margin_b[b[i]] += 1.0;
+    c.total += 1.0;
+  }
+  return c;
+}
+
+double EntropyOfMarginal(const std::map<uint32_t, double>& margin,
+                         double total) {
+  double h = 0.0;
+  for (const auto& [label, count] : margin) {
+    const double p = count / total;
+    if (p > 0.0) h -= p * std::log(p);
+  }
+  return h;
+}
+
+}  // namespace
+
+double MutualInformation(const std::vector<uint32_t>& a,
+                         const std::vector<uint32_t>& b) {
+  Contingency c = BuildContingency(a, b);
+  if (c.total <= 0.0) return 0.0;
+  double mi = 0.0;
+  for (const auto& [pair, count] : c.joint) {
+    const double pxy = count / c.total;
+    const double px = c.margin_a.at(pair.first) / c.total;
+    const double py = c.margin_b.at(pair.second) / c.total;
+    mi += pxy * std::log(pxy / (px * py));
+  }
+  return mi > 0.0 ? mi : 0.0;
+}
+
+double LabelEntropy(const std::vector<uint32_t>& labels) {
+  std::map<uint32_t, double> margin;
+  double total = 0.0;
+  for (uint32_t l : labels) {
+    if (l == kUnlabeled) continue;
+    margin[l] += 1.0;
+    total += 1.0;
+  }
+  if (total <= 0.0) return 0.0;
+  return EntropyOfMarginal(margin, total);
+}
+
+double NormalizedMutualInformation(const std::vector<uint32_t>& a,
+                                   const std::vector<uint32_t>& b) {
+  Contingency c = BuildContingency(a, b);
+  if (c.total <= 0.0) return 0.0;
+  const double ha = EntropyOfMarginal(c.margin_a, c.total);
+  const double hb = EntropyOfMarginal(c.margin_b, c.total);
+  if (ha <= 0.0 && hb <= 0.0) {
+    // Both single-cluster over the joint support: identical partitions.
+    return 1.0;
+  }
+  if (ha <= 0.0 || hb <= 0.0) return 0.0;
+  double mi = 0.0;
+  for (const auto& [pair, count] : c.joint) {
+    const double pxy = count / c.total;
+    const double px = c.margin_a.at(pair.first) / c.total;
+    const double py = c.margin_b.at(pair.second) / c.total;
+    mi += pxy * std::log(pxy / (px * py));
+  }
+  double nmi = mi / std::sqrt(ha * hb);
+  if (nmi < 0.0) nmi = 0.0;
+  if (nmi > 1.0) nmi = 1.0;
+  return nmi;
+}
+
+double Purity(const std::vector<uint32_t>& pred,
+              const std::vector<uint32_t>& truth) {
+  GENCLUS_CHECK_EQ(pred.size(), truth.size());
+  std::map<uint32_t, std::map<uint32_t, double>> by_cluster;
+  double total = 0.0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] == kUnlabeled || truth[i] == kUnlabeled) continue;
+    by_cluster[pred[i]][truth[i]] += 1.0;
+    total += 1.0;
+  }
+  if (total <= 0.0) return 0.0;
+  double correct = 0.0;
+  for (const auto& [cluster, classes] : by_cluster) {
+    double best = 0.0;
+    for (const auto& [cls, count] : classes) best = std::max(best, count);
+    correct += best;
+  }
+  return correct / total;
+}
+
+double MatchedAccuracy(const std::vector<uint32_t>& pred,
+                       const std::vector<uint32_t>& truth) {
+  GENCLUS_CHECK_EQ(pred.size(), truth.size());
+  // Dense re-index both label spaces.
+  std::map<uint32_t, size_t> pred_index;
+  std::map<uint32_t, size_t> truth_index;
+  double total = 0.0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] == kUnlabeled || truth[i] == kUnlabeled) continue;
+    pred_index.emplace(pred[i], pred_index.size());
+    truth_index.emplace(truth[i], truth_index.size());
+    total += 1.0;
+  }
+  if (total <= 0.0) return 0.0;
+  const size_t dim = std::max(pred_index.size(), truth_index.size());
+  Matrix confusion(dim, dim);
+  for (size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] == kUnlabeled || truth[i] == kUnlabeled) continue;
+    confusion(pred_index[pred[i]], truth_index[truth[i]]) += 1.0;
+  }
+  HungarianResult match = SolveMaxAssignment(confusion);
+  return match.total_value / total;
+}
+
+}  // namespace genclus

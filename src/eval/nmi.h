@@ -1,0 +1,36 @@
+// Clustering agreement measures. The paper evaluates against ground truth
+// with Normalized Mutual Information (NMI, Strehl & Ghosh [21]); purity and
+// Hungarian-matched accuracy are provided as auxiliary measures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace genclus {
+
+/// NMI between two labelings restricted to positions where BOTH labels are
+/// defined (!= kUnlabeled). Normalization is sqrt(H(a) * H(b)) per Strehl &
+/// Ghosh. Returns 1.0 when both partitions are single-cluster and
+/// identical in support, and 0.0 when either marginal entropy is 0 but the
+/// partitions differ, or no positions overlap.
+double NormalizedMutualInformation(const std::vector<uint32_t>& a,
+                                   const std::vector<uint32_t>& b);
+
+/// Mutual information I(a; b) in nats over jointly-labeled positions.
+double MutualInformation(const std::vector<uint32_t>& a,
+                         const std::vector<uint32_t>& b);
+
+/// Entropy of a labeling (over labeled positions), in nats.
+double LabelEntropy(const std::vector<uint32_t>& labels);
+
+/// Purity of clustering `pred` against ground truth `truth`: the fraction
+/// of jointly-labeled objects assigned to their cluster's majority class.
+double Purity(const std::vector<uint32_t>& pred,
+              const std::vector<uint32_t>& truth);
+
+/// Accuracy after optimally matching predicted clusters to ground-truth
+/// classes (Hungarian algorithm on the confusion matrix).
+double MatchedAccuracy(const std::vector<uint32_t>& pred,
+                       const std::vector<uint32_t>& truth);
+
+}  // namespace genclus

@@ -1,0 +1,39 @@
+#include "hin/dataset.h"
+
+#include "common/string_util.h"
+
+namespace genclus {
+
+size_t Labels::NumLabeled() const {
+  size_t n = 0;
+  for (uint32_t l : labels_) {
+    if (l != kUnlabeled) ++n;
+  }
+  return n;
+}
+
+Status Dataset::Validate() const {
+  const size_t n = network.num_nodes();
+  for (const Attribute& attr : attributes) {
+    if (attr.num_nodes() != n) {
+      return Status::FailedPrecondition(
+          StrFormat("attribute '%s' sized for %zu nodes, network has %zu",
+                    attr.name().c_str(), attr.num_nodes(), n));
+    }
+  }
+  if (labels.size() != 0 && labels.size() != n) {
+    return Status::FailedPrecondition(
+        StrFormat("labels sized for %zu nodes, network has %zu",
+                  labels.size(), n));
+  }
+  return Status::OK();
+}
+
+AttributeId Dataset::FindAttribute(const std::string& name) const {
+  for (size_t i = 0; i < attributes.size(); ++i) {
+    if (attributes[i].name() == name) return static_cast<AttributeId>(i);
+  }
+  return kInvalidAttribute;
+}
+
+}  // namespace genclus

@@ -1,0 +1,260 @@
+#include "hin/io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <map>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace genclus {
+
+Status SaveDataset(const Dataset& dataset, const std::string& path) {
+  GENCLUS_RETURN_IF_ERROR(dataset.Validate());
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError(StrFormat("cannot open '%s' for writing",
+                                     path.c_str()));
+  }
+  const Network& net = dataset.network;
+  const Schema& schema = net.schema();
+
+  // Round-trip exactness: shortest representation that parses back to the
+  // same double.
+  out << std::setprecision(17);
+  out << "# genclus dataset v1\n";
+  for (ObjectTypeId t = 0; t < schema.num_object_types(); ++t) {
+    out << "object_type " << schema.object_type_name(t) << "\n";
+  }
+  for (LinkTypeId r = 0; r < schema.num_link_types(); ++r) {
+    const LinkTypeInfo& info = schema.link_type(r);
+    out << "link_type " << info.name << " "
+        << schema.object_type_name(info.source_type) << " "
+        << schema.object_type_name(info.target_type) << "\n";
+  }
+  for (LinkTypeId r = 0; r < schema.num_link_types(); ++r) {
+    const LinkTypeInfo& info = schema.link_type(r);
+    if (info.inverse != kInvalidLinkType && r < info.inverse) {
+      out << "inverse " << info.name << " "
+          << schema.link_type(info.inverse).name << "\n";
+    }
+  }
+  for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    out << "node " << schema.object_type_name(net.node_type(v));
+    if (!net.node_name(v).empty()) out << " " << net.node_name(v);
+    out << "\n";
+  }
+  for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    for (const LinkEntry& e : net.OutLinks(v)) {
+      out << "link " << v << " " << e.neighbor << " "
+          << schema.link_type(e.type).name << " " << e.weight << "\n";
+    }
+  }
+  for (const Attribute& attr : dataset.attributes) {
+    if (attr.kind() == AttributeKind::kCategorical) {
+      out << "attribute categorical " << attr.name() << " "
+          << attr.vocab_size() << "\n";
+      for (NodeId v = 0; v < net.num_nodes(); ++v) {
+        for (const TermCount& tc : attr.TermCounts(v)) {
+          out << "obs_term " << attr.name() << " " << v << " " << tc.term
+              << " " << tc.count << "\n";
+        }
+      }
+    } else {
+      out << "attribute numerical " << attr.name() << "\n";
+      for (NodeId v = 0; v < net.num_nodes(); ++v) {
+        for (double x : attr.Values(v)) {
+          out << "obs_value " << attr.name() << " " << v << " " << x << "\n";
+        }
+      }
+    }
+  }
+  if (dataset.labels.size() > 0) {
+    for (NodeId v = 0; v < net.num_nodes(); ++v) {
+      if (dataset.labels.IsLabeled(v)) {
+        out << "label " << v << " " << dataset.labels.Get(v) << "\n";
+      }
+    }
+  }
+  out.flush();
+  if (!out) {
+    return Status::IoError(StrFormat("write to '%s' failed", path.c_str()));
+  }
+  return Status::OK();
+}
+
+Result<Dataset> LoadDataset(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError(StrFormat("cannot open '%s'", path.c_str()));
+  }
+
+  Schema schema;
+  struct PendingNode {
+    std::string type;
+    std::string name;
+  };
+  struct PendingLink {
+    NodeId src;
+    NodeId dst;
+    std::string type;
+    double weight;
+  };
+  std::vector<PendingNode> nodes;
+  std::vector<PendingLink> links;
+  std::vector<std::pair<std::string, std::string>> inverses;
+  // Attribute name -> (kind, vocab). Observations are replayed after build.
+  struct PendingAttr {
+    std::string name;
+    AttributeKind kind;
+    size_t vocab = 0;
+  };
+  std::vector<PendingAttr> attr_decls;
+  struct PendingTermObs {
+    std::string attr;
+    NodeId node;
+    uint32_t term;
+    double count;
+  };
+  struct PendingValueObs {
+    std::string attr;
+    NodeId node;
+    double value;
+  };
+  std::vector<PendingTermObs> term_obs;
+  std::vector<PendingValueObs> value_obs;
+  std::vector<std::pair<NodeId, uint32_t>> label_records;
+
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::vector<std::string> tok = SplitWhitespace(trimmed);
+    const std::string& cmd = tok[0];
+    auto bad = [&](const char* why) {
+      return Status::IoError(
+          StrFormat("%s:%zu: %s", path.c_str(), line_no, why));
+    };
+    if (cmd == "object_type") {
+      if (tok.size() != 2) return bad("object_type needs 1 field");
+      auto r = schema.AddObjectType(tok[1]);
+      if (!r.ok()) return r.status();
+    } else if (cmd == "link_type") {
+      if (tok.size() != 4) return bad("link_type needs 3 fields");
+      ObjectTypeId s = schema.FindObjectType(tok[2]);
+      ObjectTypeId t = schema.FindObjectType(tok[3]);
+      if (s == kInvalidObjectType || t == kInvalidObjectType) {
+        return bad("link_type references unknown object type");
+      }
+      auto r = schema.AddLinkType(tok[1], s, t);
+      if (!r.ok()) return r.status();
+    } else if (cmd == "inverse") {
+      if (tok.size() != 3) return bad("inverse needs 2 fields");
+      inverses.emplace_back(tok[1], tok[2]);
+    } else if (cmd == "node") {
+      if (tok.size() < 2) return bad("node needs at least 1 field");
+      nodes.push_back({tok[1], tok.size() > 2 ? tok[2] : ""});
+    } else if (cmd == "link") {
+      if (tok.size() != 5) return bad("link needs 4 fields");
+      links.push_back({static_cast<NodeId>(std::stoul(tok[1])),
+                       static_cast<NodeId>(std::stoul(tok[2])), tok[3],
+                       std::stod(tok[4])});
+    } else if (cmd == "attribute") {
+      if (tok.size() < 3) return bad("attribute needs at least 2 fields");
+      if (tok[1] == "categorical") {
+        if (tok.size() != 4) return bad("categorical attribute needs vocab");
+        attr_decls.push_back(
+            {tok[2], AttributeKind::kCategorical, std::stoul(tok[3])});
+      } else if (tok[1] == "numerical") {
+        attr_decls.push_back({tok[2], AttributeKind::kNumerical, 0});
+      } else {
+        return bad("unknown attribute kind");
+      }
+    } else if (cmd == "obs_term") {
+      if (tok.size() != 5) return bad("obs_term needs 4 fields");
+      term_obs.push_back({tok[1], static_cast<NodeId>(std::stoul(tok[2])),
+                          static_cast<uint32_t>(std::stoul(tok[3])),
+                          std::stod(tok[4])});
+    } else if (cmd == "obs_value") {
+      if (tok.size() != 4) return bad("obs_value needs 3 fields");
+      value_obs.push_back({tok[1], static_cast<NodeId>(std::stoul(tok[2])),
+                           std::stod(tok[3])});
+    } else if (cmd == "label") {
+      if (tok.size() != 3) return bad("label needs 2 fields");
+      label_records.emplace_back(static_cast<NodeId>(std::stoul(tok[1])),
+                                 static_cast<uint32_t>(std::stoul(tok[2])));
+    } else {
+      return bad("unknown record type");
+    }
+  }
+
+  for (const auto& [a, b] : inverses) {
+    LinkTypeId ra = schema.FindLinkType(a);
+    LinkTypeId rb = schema.FindLinkType(b);
+    if (ra == kInvalidLinkType || rb == kInvalidLinkType) {
+      return Status::IoError("inverse references unknown link type");
+    }
+    GENCLUS_RETURN_IF_ERROR(schema.SetInverse(ra, rb));
+  }
+
+  NetworkBuilder builder(schema);
+  for (const PendingNode& pn : nodes) {
+    ObjectTypeId t = schema.FindObjectType(pn.type);
+    if (t == kInvalidObjectType) {
+      return Status::IoError(
+          StrFormat("node references unknown object type '%s'",
+                    pn.type.c_str()));
+    }
+    auto r = builder.AddNode(t, pn.name);
+    if (!r.ok()) return r.status();
+  }
+  for (const PendingLink& pl : links) {
+    LinkTypeId r = schema.FindLinkType(pl.type);
+    if (r == kInvalidLinkType) {
+      return Status::IoError(StrFormat("link references unknown type '%s'",
+                                       pl.type.c_str()));
+    }
+    GENCLUS_RETURN_IF_ERROR(builder.AddLink(pl.src, pl.dst, r, pl.weight));
+  }
+  GENCLUS_ASSIGN_OR_RETURN(Network net, std::move(builder).Build());
+  const size_t n = net.num_nodes();
+
+  Dataset dataset;
+  dataset.network = std::move(net);
+  for (const PendingAttr& pa : attr_decls) {
+    if (pa.kind == AttributeKind::kCategorical) {
+      dataset.attributes.push_back(
+          Attribute::Categorical(pa.name, pa.vocab, n));
+    } else {
+      dataset.attributes.push_back(Attribute::Numerical(pa.name, n));
+    }
+  }
+  for (const PendingTermObs& o : term_obs) {
+    AttributeId id = dataset.FindAttribute(o.attr);
+    if (id == kInvalidAttribute) {
+      return Status::IoError("obs_term references unknown attribute");
+    }
+    GENCLUS_RETURN_IF_ERROR(
+        dataset.attributes[id].AddTermCount(o.node, o.term, o.count));
+  }
+  for (const PendingValueObs& o : value_obs) {
+    AttributeId id = dataset.FindAttribute(o.attr);
+    if (id == kInvalidAttribute) {
+      return Status::IoError("obs_value references unknown attribute");
+    }
+    GENCLUS_RETURN_IF_ERROR(dataset.attributes[id].AddValue(o.node, o.value));
+  }
+  if (!label_records.empty()) {
+    dataset.labels = Labels(n);
+    for (const auto& [v, l] : label_records) {
+      if (v >= n) return Status::IoError("label references unknown node");
+      dataset.labels.Set(v, l);
+    }
+  }
+  GENCLUS_RETURN_IF_ERROR(dataset.Validate());
+  return dataset;
+}
+
+}  // namespace genclus

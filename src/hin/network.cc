@@ -1,0 +1,125 @@
+#include "hin/network.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace genclus {
+
+Result<NodeId> NetworkBuilder::AddNode(ObjectTypeId type, std::string name) {
+  if (!schema_.ValidObjectType(type)) {
+    return Status::InvalidArgument("AddNode: unknown object type");
+  }
+  if (node_types_.size() >= static_cast<size_t>(kInvalidNode)) {
+    return Status::OutOfRange("node id space exhausted");
+  }
+  node_types_.push_back(type);
+  node_names_.push_back(std::move(name));
+  return static_cast<NodeId>(node_types_.size() - 1);
+}
+
+Status NetworkBuilder::AddLink(NodeId src, NodeId dst, LinkTypeId type,
+                               double weight) {
+  if (src >= node_types_.size() || dst >= node_types_.size()) {
+    return Status::InvalidArgument("AddLink: unknown node id");
+  }
+  if (!schema_.ValidLinkType(type)) {
+    return Status::InvalidArgument("AddLink: unknown link type");
+  }
+  if (!(weight > 0.0) || !std::isfinite(weight)) {
+    return Status::InvalidArgument("AddLink: weight must be positive finite");
+  }
+  const LinkTypeInfo& info = schema_.link_type(type);
+  if (node_types_[src] != info.source_type ||
+      node_types_[dst] != info.target_type) {
+    return Status::InvalidArgument(StrFormat(
+        "AddLink: link type '%s' expects (%s -> %s) but got (%s -> %s)",
+        info.name.c_str(),
+        schema_.object_type_name(info.source_type).c_str(),
+        schema_.object_type_name(info.target_type).c_str(),
+        schema_.object_type_name(node_types_[src]).c_str(),
+        schema_.object_type_name(node_types_[dst]).c_str()));
+  }
+  link_srcs_.push_back(src);
+  link_dsts_.push_back(dst);
+  link_types_.push_back(type);
+  link_weights_.push_back(weight);
+  return Status::OK();
+}
+
+Result<Network> NetworkBuilder::Build() && {
+  Network net;
+  const size_t n = node_types_.size();
+  const size_t m = link_srcs_.size();
+
+  net.schema_ = std::move(schema_);
+  net.node_types_ = std::move(node_types_);
+  net.node_names_ = std::move(node_names_);
+
+  net.nodes_by_type_.assign(net.schema_.num_object_types(), {});
+  for (NodeId v = 0; v < n; ++v) {
+    net.nodes_by_type_[net.node_types_[v]].push_back(v);
+  }
+
+  net.link_counts_by_type_.assign(net.schema_.num_link_types(), 0);
+  net.link_weights_by_type_.assign(net.schema_.num_link_types(), 0.0);
+  for (size_t e = 0; e < m; ++e) {
+    net.link_counts_by_type_[link_types_[e]]++;
+    net.link_weights_by_type_[link_types_[e]] += link_weights_[e];
+  }
+
+  // Counting-sort links into per-direction CSR.
+  net.out_offsets_.assign(n + 1, 0);
+  net.in_offsets_.assign(n + 1, 0);
+  for (size_t e = 0; e < m; ++e) {
+    net.out_offsets_[link_srcs_[e] + 1]++;
+    net.in_offsets_[link_dsts_[e] + 1]++;
+  }
+  for (size_t v = 0; v < n; ++v) {
+    net.out_offsets_[v + 1] += net.out_offsets_[v];
+    net.in_offsets_[v + 1] += net.in_offsets_[v];
+  }
+  net.out_entries_.resize(m);
+  net.in_entries_.resize(m);
+  std::vector<size_t> out_cursor(net.out_offsets_.begin(),
+                                 net.out_offsets_.end() - 1);
+  std::vector<size_t> in_cursor(net.in_offsets_.begin(),
+                                net.in_offsets_.end() - 1);
+  for (size_t e = 0; e < m; ++e) {
+    net.out_entries_[out_cursor[link_srcs_[e]]++] = {link_dsts_[e],
+                                                     link_types_[e],
+                                                     link_weights_[e]};
+    net.in_entries_[in_cursor[link_dsts_[e]]++] = {link_srcs_[e],
+                                                   link_types_[e],
+                                                   link_weights_[e]};
+  }
+  // Canonical ordering within each node's range: by type then neighbor.
+  auto by_type_then_neighbor = [](const LinkEntry& a, const LinkEntry& b) {
+    if (a.type != b.type) return a.type < b.type;
+    return a.neighbor < b.neighbor;
+  };
+  for (size_t v = 0; v < n; ++v) {
+    std::sort(net.out_entries_.begin() + net.out_offsets_[v],
+              net.out_entries_.begin() + net.out_offsets_[v + 1],
+              by_type_then_neighbor);
+    std::sort(net.in_entries_.begin() + net.in_offsets_[v],
+              net.in_entries_.begin() + net.in_offsets_[v + 1],
+              by_type_then_neighbor);
+  }
+  return net;
+}
+
+const std::vector<NodeId>& Network::NodesOfType(ObjectTypeId t) const {
+  GENCLUS_CHECK(schema_.ValidObjectType(t));
+  return nodes_by_type_[t];
+}
+
+double Network::LinkWeight(NodeId src, NodeId dst, LinkTypeId type) const {
+  for (const LinkEntry& e : OutLinks(src)) {
+    if (e.type == type && e.neighbor == dst) return e.weight;
+  }
+  return 0.0;
+}
+
+}  // namespace genclus

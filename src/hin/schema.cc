@@ -1,0 +1,83 @@
+#include "hin/schema.h"
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace genclus {
+
+Result<ObjectTypeId> Schema::AddObjectType(const std::string& name) {
+  if (name.empty()) {
+    return Status::InvalidArgument("object type name must be non-empty");
+  }
+  if (FindObjectType(name) != kInvalidObjectType) {
+    return Status::AlreadyExists(
+        StrFormat("object type '%s' already declared", name.c_str()));
+  }
+  object_type_names_.push_back(name);
+  return static_cast<ObjectTypeId>(object_type_names_.size() - 1);
+}
+
+Result<LinkTypeId> Schema::AddLinkType(const std::string& name,
+                                       ObjectTypeId source,
+                                       ObjectTypeId target) {
+  if (name.empty()) {
+    return Status::InvalidArgument("link type name must be non-empty");
+  }
+  if (!ValidObjectType(source) || !ValidObjectType(target)) {
+    return Status::InvalidArgument(
+        StrFormat("link type '%s' references unknown object type",
+                  name.c_str()));
+  }
+  if (FindLinkType(name) != kInvalidLinkType) {
+    return Status::AlreadyExists(
+        StrFormat("link type '%s' already declared", name.c_str()));
+  }
+  LinkTypeInfo info;
+  info.name = name;
+  info.source_type = source;
+  info.target_type = target;
+  link_types_.push_back(std::move(info));
+  return static_cast<LinkTypeId>(link_types_.size() - 1);
+}
+
+Status Schema::SetInverse(LinkTypeId a, LinkTypeId b) {
+  if (!ValidLinkType(a) || !ValidLinkType(b)) {
+    return Status::InvalidArgument("SetInverse: unknown link type");
+  }
+  const LinkTypeInfo& ia = link_types_[a];
+  const LinkTypeInfo& ib = link_types_[b];
+  if (ia.source_type != ib.target_type || ia.target_type != ib.source_type) {
+    return Status::InvalidArgument(StrFormat(
+        "SetInverse: '%s' and '%s' endpoint types do not mirror",
+        ia.name.c_str(), ib.name.c_str()));
+  }
+  link_types_[a].inverse = b;
+  link_types_[b].inverse = a;
+  return Status::OK();
+}
+
+const std::string& Schema::object_type_name(ObjectTypeId t) const {
+  GENCLUS_CHECK(ValidObjectType(t));
+  return object_type_names_[t];
+}
+
+const LinkTypeInfo& Schema::link_type(LinkTypeId r) const {
+  GENCLUS_CHECK(ValidLinkType(r));
+  return link_types_[r];
+}
+
+ObjectTypeId Schema::FindObjectType(const std::string& name) const {
+  for (size_t i = 0; i < object_type_names_.size(); ++i) {
+    if (object_type_names_[i] == name) return static_cast<ObjectTypeId>(i);
+  }
+  return kInvalidObjectType;
+}
+
+LinkTypeId Schema::FindLinkType(const std::string& name) const {
+  for (size_t i = 0; i < link_types_.size(); ++i) {
+    if (link_types_[i].name == name) return static_cast<LinkTypeId>(i);
+  }
+  return kInvalidLinkType;
+}
+
+}  // namespace genclus

@@ -1,0 +1,58 @@
+// Network schema: the set of object types A and link types (relations) R,
+// with each relation's source/target object types and optional inverse
+// pairing (the paper's R and R^{-1}, §2.1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "hin/types.h"
+
+namespace genclus {
+
+/// Declared relation: a named, directed link type between two object types.
+struct LinkTypeInfo {
+  std::string name;
+  ObjectTypeId source_type = kInvalidObjectType;
+  ObjectTypeId target_type = kInvalidObjectType;
+  /// The paired inverse relation (kInvalidLinkType if not declared).
+  LinkTypeId inverse = kInvalidLinkType;
+};
+
+/// Registry of object types and link types. Build once, then treat as
+/// immutable; Network validates every node and link against it.
+class Schema {
+ public:
+  /// Registers an object type; fails on duplicate names.
+  Result<ObjectTypeId> AddObjectType(const std::string& name);
+
+  /// Registers a directed link type from `source` to `target` object types.
+  Result<LinkTypeId> AddLinkType(const std::string& name,
+                                 ObjectTypeId source, ObjectTypeId target);
+
+  /// Declares `a` and `b` as mutual inverses (e.g. write / written_by).
+  /// Their endpoint types must mirror each other.
+  Status SetInverse(LinkTypeId a, LinkTypeId b);
+
+  size_t num_object_types() const { return object_type_names_.size(); }
+  size_t num_link_types() const { return link_types_.size(); }
+
+  const std::string& object_type_name(ObjectTypeId t) const;
+  const LinkTypeInfo& link_type(LinkTypeId r) const;
+
+  /// Name lookup; kInvalid* when absent.
+  ObjectTypeId FindObjectType(const std::string& name) const;
+  LinkTypeId FindLinkType(const std::string& name) const;
+
+  bool ValidObjectType(ObjectTypeId t) const {
+    return t < object_type_names_.size();
+  }
+  bool ValidLinkType(LinkTypeId r) const { return r < link_types_.size(); }
+
+ private:
+  std::vector<std::string> object_type_names_;
+  std::vector<LinkTypeInfo> link_types_;
+};
+
+}  // namespace genclus

@@ -1,0 +1,37 @@
+// Strongly-typed ids for the heterogeneous information network. Object
+// types, link types (relations), nodes and attributes all index different
+// tables; distinct alias names keep them from being mixed accidentally.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace genclus {
+
+/// Dense node index in a Network (the paper's v in V).
+using NodeId = uint32_t;
+
+/// Object type index (the paper's A, via tau: V -> A).
+using ObjectTypeId = uint32_t;
+
+/// Link type / relation index (the paper's R, via phi: E -> R).
+using LinkTypeId = uint32_t;
+
+/// Attribute index within a Dataset (the paper's X in calligraphic X).
+using AttributeId = uint32_t;
+
+/// Cluster index in [0, K).
+using ClusterId = uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr ObjectTypeId kInvalidObjectType =
+    std::numeric_limits<ObjectTypeId>::max();
+inline constexpr LinkTypeId kInvalidLinkType =
+    std::numeric_limits<LinkTypeId>::max();
+inline constexpr AttributeId kInvalidAttribute =
+    std::numeric_limits<AttributeId>::max();
+
+/// Label value for nodes without ground truth.
+inline constexpr uint32_t kUnlabeled = std::numeric_limits<uint32_t>::max();
+
+}  // namespace genclus

@@ -1,0 +1,43 @@
+// Symmetric eigensolvers for the spectral-combine baseline:
+//  * Jacobi rotation: full spectrum, robust, O(n^3) — small matrices / tests.
+//  * Subspace (orthogonal) iteration: top-K eigenpairs of large symmetric
+//    matrices, which is all the spectral embedding needs (K = #clusters).
+#pragma once
+
+#include <cstddef>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace genclus {
+
+/// Full eigendecomposition of a symmetric matrix.
+struct EigenDecomposition {
+  /// Eigenvalues in descending order.
+  Vector values;
+  /// Column j of `vectors` is the unit eigenvector for values[j].
+  Matrix vectors;
+};
+
+/// Cyclic Jacobi eigensolver for symmetric matrices. `a` must be square and
+/// (numerically) symmetric. Converges to off-diagonal Frobenius norm below
+/// `tol` or fails with NotConverged after `max_sweeps`.
+Result<EigenDecomposition> JacobiEigenSymmetric(const Matrix& a,
+                                                double tol = 1e-12,
+                                                size_t max_sweeps = 64);
+
+/// Top-k eigenpairs (largest algebraic eigenvalues) of a symmetric matrix by
+/// subspace iteration with modified Gram-Schmidt re-orthogonalization.
+/// A diagonal shift makes the matrix PSD first so "largest magnitude" and
+/// "largest algebraic" coincide.
+Result<EigenDecomposition> TopKEigenSymmetric(const Matrix& a, size_t k,
+                                              Rng* rng, double tol = 1e-9,
+                                              size_t max_iters = 1000);
+
+/// Orthonormalizes the columns of `m` in place (modified Gram-Schmidt).
+/// Columns that collapse to (near) zero are replaced with random directions
+/// drawn from `rng` and re-orthogonalized.
+void OrthonormalizeColumns(Matrix* m, Rng* rng);
+
+}  // namespace genclus

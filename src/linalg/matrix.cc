@@ -1,0 +1,137 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace genclus {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows)
+    : rows_(rows.size()), cols_(rows.size() ? rows.begin()->size() : 0) {
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    GENCLUS_CHECK_EQ(row.size(), cols_);
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Vector Matrix::RowVector(size_t r) const {
+  GENCLUS_CHECK_LT(r, rows_);
+  return Vector(Row(r), Row(r) + cols_);
+}
+
+void Matrix::SetRow(size_t r, const Vector& v) {
+  GENCLUS_CHECK_LT(r, rows_);
+  GENCLUS_CHECK_EQ(v.size(), cols_);
+  std::copy(v.begin(), v.end(), Row(r));
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) {
+      t(c, r) = (*this)(r, c);
+    }
+  }
+  return t;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  GENCLUS_CHECK_EQ(cols_, other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      const double* brow = other.Row(k);
+      double* orow = out.Row(i);
+      for (size_t j = 0; j < other.cols_; ++j) {
+        orow[j] += aik * brow[j];
+      }
+    }
+  }
+  return out;
+}
+
+Vector Matrix::MultiplyVector(const Vector& v) const {
+  GENCLUS_CHECK_EQ(cols_, v.size());
+  Vector out(rows_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* row = Row(i);
+    double acc = 0.0;
+    for (size_t j = 0; j < cols_; ++j) acc += row[j] * v[j];
+    out[i] = acc;
+  }
+  return out;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double acc = 0.0;
+  for (double x : data_) acc += x * x;
+  return std::sqrt(acc);
+}
+
+void Matrix::AddScaled(const Matrix& other, double alpha) {
+  GENCLUS_CHECK_EQ(rows_, other.rows_);
+  GENCLUS_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+void Matrix::Scale(double s) {
+  for (double& x : data_) x *= s;
+}
+
+double Matrix::MaxAbsDiff(const Matrix& a, const Matrix& b) {
+  GENCLUS_CHECK_EQ(a.rows(), b.rows());
+  GENCLUS_CHECK_EQ(a.cols(), b.cols());
+  double m = 0.0;
+  for (size_t i = 0; i < a.data_.size(); ++i) {
+    m = std::max(m, std::fabs(a.data_[i] - b.data_[i]));
+  }
+  return m;
+}
+
+double Dot(const Vector& a, const Vector& b) {
+  GENCLUS_CHECK_EQ(a.size(), b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double Norm2(const Vector& v) { return std::sqrt(Dot(v, v)); }
+
+Vector Subtract(const Vector& a, const Vector& b) {
+  GENCLUS_CHECK_EQ(a.size(), b.size());
+  Vector out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vector Add(const Vector& a, const Vector& b) {
+  GENCLUS_CHECK_EQ(a.size(), b.size());
+  Vector out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vector Scaled(const Vector& v, double s) {
+  Vector out(v);
+  for (double& x : out) x *= s;
+  return out;
+}
+
+double MaxAbsDiff(const Vector& a, const Vector& b) {
+  GENCLUS_CHECK_EQ(a.size(), b.size());
+  double m = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  }
+  return m;
+}
+
+}  // namespace genclus

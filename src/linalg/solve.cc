@@ -1,0 +1,153 @@
+#include "linalg/solve.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace genclus {
+
+Result<LuFactorization> LuFactorization::Compute(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("LU requires a square matrix");
+  }
+  const size_t n = a.rows();
+  Matrix lu = a;
+  std::vector<size_t> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = i;
+  int sign = 1;
+
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivot: pick the largest magnitude entry in this column.
+    size_t pivot = col;
+    double best = std::fabs(lu(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      double mag = std::fabs(lu(r, col));
+      if (mag > best) {
+        best = mag;
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) {
+      return Status::NumericalError(
+          StrFormat("LU pivot underflow at column %zu", col));
+    }
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) std::swap(lu(pivot, c), lu(col, c));
+      std::swap(perm[pivot], perm[col]);
+      sign = -sign;
+    }
+    const double d = lu(col, col);
+    for (size_t r = col + 1; r < n; ++r) {
+      const double factor = lu(r, col) / d;
+      lu(r, col) = factor;
+      if (factor == 0.0) continue;
+      for (size_t c = col + 1; c < n; ++c) {
+        lu(r, c) -= factor * lu(col, c);
+      }
+    }
+  }
+  return LuFactorization(std::move(lu), std::move(perm), sign);
+}
+
+Result<Vector> LuFactorization::Solve(const Vector& b) const {
+  const size_t n = lu_.rows();
+  if (b.size() != n) {
+    return Status::InvalidArgument("rhs size mismatch in LU solve");
+  }
+  // Apply permutation, then forward/backward substitution.
+  Vector x(n);
+  for (size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
+  for (size_t i = 0; i < n; ++i) {
+    double acc = x[i];
+    for (size_t j = 0; j < i; ++j) acc -= lu_(i, j) * x[j];
+    x[i] = acc;
+  }
+  for (size_t i = n; i-- > 0;) {
+    double acc = x[i];
+    for (size_t j = i + 1; j < n; ++j) acc -= lu_(i, j) * x[j];
+    x[i] = acc / lu_(i, i);
+  }
+  for (double v : x) {
+    if (!std::isfinite(v)) {
+      return Status::NumericalError("non-finite LU solution");
+    }
+  }
+  return x;
+}
+
+double LuFactorization::Determinant() const {
+  double det = perm_sign_;
+  for (size_t i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+Result<Vector> SolveLinearSystem(const Matrix& a, const Vector& b) {
+  GENCLUS_ASSIGN_OR_RETURN(LuFactorization lu, LuFactorization::Compute(a));
+  return lu.Solve(b);
+}
+
+Result<CholeskyFactorization> CholeskyFactorization::Compute(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Cholesky requires a square matrix");
+  }
+  const size_t n = a.rows();
+  Matrix l(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double acc = a(i, j);
+      for (size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (acc <= 0.0 || !std::isfinite(acc)) {
+          return Status::NumericalError(
+              StrFormat("matrix not SPD at diagonal %zu (%g)", i, acc));
+        }
+        l(i, i) = std::sqrt(acc);
+      } else {
+        l(i, j) = acc / l(j, j);
+      }
+    }
+  }
+  return CholeskyFactorization(std::move(l));
+}
+
+Result<Vector> CholeskyFactorization::Solve(const Vector& b) const {
+  const size_t n = l_.rows();
+  if (b.size() != n) {
+    return Status::InvalidArgument("rhs size mismatch in Cholesky solve");
+  }
+  Vector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (size_t j = 0; j < i; ++j) acc -= l_(i, j) * y[j];
+    y[i] = acc / l_(i, i);
+  }
+  Vector x(n);
+  for (size_t i = n; i-- > 0;) {
+    double acc = y[i];
+    for (size_t j = i + 1; j < n; ++j) acc -= l_(j, i) * x[j];
+    x[i] = acc / l_(i, i);
+  }
+  return x;
+}
+
+double CholeskyFactorization::LogDeterminant() const {
+  double acc = 0.0;
+  for (size_t i = 0; i < l_.rows(); ++i) acc += std::log(l_(i, i));
+  return 2.0 * acc;
+}
+
+Result<Matrix> Inverse(const Matrix& a) {
+  GENCLUS_ASSIGN_OR_RETURN(LuFactorization lu, LuFactorization::Compute(a));
+  const size_t n = a.rows();
+  Matrix inv(n, n);
+  Vector e(n, 0.0);
+  for (size_t c = 0; c < n; ++c) {
+    e[c] = 1.0;
+    GENCLUS_ASSIGN_OR_RETURN(Vector col, lu.Solve(e));
+    for (size_t r = 0; r < n; ++r) inv(r, c) = col[r];
+    e[c] = 0.0;
+  }
+  return inv;
+}
+
+}  // namespace genclus

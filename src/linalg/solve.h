@@ -1,0 +1,61 @@
+// Direct solvers for the small dense systems in the strength learner:
+// LU with partial pivoting (general), Cholesky (SPD). The Newton step solves
+// H * step = grad where H is |R| x |R| (|R| = number of link types, tiny).
+#pragma once
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace genclus {
+
+/// LU factorization with partial pivoting of a square matrix.
+/// Fails with NumericalError on (numerical) singularity.
+class LuFactorization {
+ public:
+  /// Factorizes a (square). On success the factorization can solve
+  /// multiple right-hand sides.
+  static Result<LuFactorization> Compute(const Matrix& a);
+
+  /// Solves A x = b for x.
+  Result<Vector> Solve(const Vector& b) const;
+
+  /// Determinant of A (product of pivots with sign of the permutation).
+  double Determinant() const;
+
+  size_t dim() const { return lu_.rows(); }
+
+ private:
+  LuFactorization(Matrix lu, std::vector<size_t> perm, int sign)
+      : lu_(std::move(lu)), perm_(std::move(perm)), perm_sign_(sign) {}
+
+  Matrix lu_;                  // combined L (unit diagonal) and U
+  std::vector<size_t> perm_;   // row permutation
+  int perm_sign_;
+};
+
+/// Solves A x = b via LU with partial pivoting. One-shot convenience.
+Result<Vector> SolveLinearSystem(const Matrix& a, const Vector& b);
+
+/// Cholesky factorization A = L L^T of a symmetric positive-definite
+/// matrix. Fails with NumericalError if A is not (numerically) SPD.
+class CholeskyFactorization {
+ public:
+  static Result<CholeskyFactorization> Compute(const Matrix& a);
+
+  /// Solves A x = b.
+  Result<Vector> Solve(const Vector& b) const;
+
+  /// Log-determinant of A.
+  double LogDeterminant() const;
+
+  const Matrix& lower() const { return l_; }
+
+ private:
+  explicit CholeskyFactorization(Matrix l) : l_(std::move(l)) {}
+  Matrix l_;
+};
+
+/// Inverse via LU; fails on singular input. Intended for small matrices.
+Result<Matrix> Inverse(const Matrix& a);
+
+}  // namespace genclus

@@ -1,0 +1,178 @@
+#include "prob/distributions.h"
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/string_util.h"
+#include "prob/special_functions.h"
+
+namespace genclus {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+constexpr double kLogTwoPi = 1.8378770664093454836;  // log(2*pi)
+}  // namespace
+
+CategoricalDistribution::CategoricalDistribution(size_t vocab_size)
+    : probs_(vocab_size, vocab_size > 0 ? 1.0 / vocab_size : 0.0) {
+  GENCLUS_CHECK_GT(vocab_size, 0u);
+}
+
+Result<CategoricalDistribution> CategoricalDistribution::FromProbabilities(
+    std::vector<double> probs) {
+  if (probs.empty()) {
+    return Status::InvalidArgument("empty probability vector");
+  }
+  double total = 0.0;
+  for (double p : probs) {
+    if (p < 0.0 || !std::isfinite(p)) {
+      return Status::InvalidArgument("negative or non-finite probability");
+    }
+    total += p;
+  }
+  if (total <= 0.0) {
+    return Status::InvalidArgument("probabilities sum to zero");
+  }
+  for (double& p : probs) p /= total;
+  return CategoricalDistribution(std::move(probs));
+}
+
+Result<CategoricalDistribution> CategoricalDistribution::FromCounts(
+    const std::vector<double>& counts, double smoothing) {
+  if (counts.empty()) {
+    return Status::InvalidArgument("empty count vector");
+  }
+  if (smoothing < 0.0) {
+    return Status::InvalidArgument("negative smoothing");
+  }
+  std::vector<double> probs(counts.size());
+  double total = 0.0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] < 0.0 || !std::isfinite(counts[i])) {
+      return Status::InvalidArgument(
+          StrFormat("bad count at index %zu", i));
+    }
+    probs[i] = counts[i] + smoothing;
+    total += probs[i];
+  }
+  if (total <= 0.0) {
+    return Status::InvalidArgument("all counts zero with zero smoothing");
+  }
+  for (double& p : probs) p /= total;
+  return CategoricalDistribution(std::move(probs));
+}
+
+double CategoricalDistribution::LogProb(size_t term) const {
+  GENCLUS_CHECK_LT(term, probs_.size());
+  const double p = probs_[term];
+  return p > 0.0 ? std::log(p) : kNegInf;
+}
+
+size_t CategoricalDistribution::Sample(Rng* rng) const {
+  GENCLUS_CHECK(rng != nullptr);
+  return rng->Categorical(probs_);
+}
+
+GaussianDistribution::GaussianDistribution(double mean, double variance)
+    : mean_(mean), variance_(variance) {
+  GENCLUS_CHECK_MSG(variance > 0.0, "Gaussian variance must be positive");
+}
+
+double GaussianDistribution::stddev() const { return std::sqrt(variance_); }
+
+double GaussianDistribution::Pdf(double x) const { return std::exp(LogPdf(x)); }
+
+double GaussianDistribution::LogPdf(double x) const {
+  const double d = x - mean_;
+  return -0.5 * (kLogTwoPi + std::log(variance_)) - d * d / (2.0 * variance_);
+}
+
+double GaussianDistribution::Sample(Rng* rng) const {
+  GENCLUS_CHECK(rng != nullptr);
+  return rng->Gaussian(mean_, stddev());
+}
+
+Result<GaussianDistribution> GaussianDistribution::FitWeighted(
+    const std::vector<double>& values, const std::vector<double>& weights,
+    double floor_variance) {
+  if (values.size() != weights.size()) {
+    return Status::InvalidArgument("values/weights size mismatch");
+  }
+  double wsum = 0.0;
+  double mean = 0.0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (weights[i] < 0.0) {
+      return Status::InvalidArgument("negative weight");
+    }
+    wsum += weights[i];
+    mean += weights[i] * values[i];
+  }
+  if (wsum <= 0.0) {
+    return Status::InvalidArgument("total weight is zero");
+  }
+  mean /= wsum;
+  double var = 0.0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    const double d = values[i] - mean;
+    var += weights[i] * d * d;
+  }
+  var = var / wsum;
+  if (var < floor_variance) var = floor_variance;
+  return GaussianDistribution(mean, var);
+}
+
+Result<DirichletDistribution> DirichletDistribution::Create(
+    std::vector<double> alpha) {
+  if (alpha.empty()) {
+    return Status::InvalidArgument("empty Dirichlet alpha");
+  }
+  for (double a : alpha) {
+    if (!(a > 0.0) || !std::isfinite(a)) {
+      return Status::InvalidArgument("Dirichlet alpha must be positive");
+    }
+  }
+  return DirichletDistribution(std::move(alpha));
+}
+
+double DirichletDistribution::LogNormalizer() const {
+  return LogMultivariateBeta(alpha_);
+}
+
+double DirichletDistribution::LogPdf(const std::vector<double>& theta) const {
+  GENCLUS_CHECK_EQ(theta.size(), alpha_.size());
+  double acc = -LogNormalizer();
+  for (size_t k = 0; k < alpha_.size(); ++k) {
+    if (theta[k] < 0.0) return kNegInf;
+    if (alpha_[k] == 1.0) continue;
+    if (theta[k] == 0.0) return alpha_[k] > 1.0 ? kNegInf : kNegInf;
+    acc += (alpha_[k] - 1.0) * std::log(theta[k]);
+  }
+  return acc;
+}
+
+std::vector<double> DirichletDistribution::Mean() const {
+  const double a0 = std::accumulate(alpha_.begin(), alpha_.end(), 0.0);
+  std::vector<double> m(alpha_.size());
+  for (size_t k = 0; k < alpha_.size(); ++k) m[k] = alpha_[k] / a0;
+  return m;
+}
+
+std::vector<double> DirichletDistribution::Sample(Rng* rng) const {
+  GENCLUS_CHECK(rng != nullptr);
+  std::vector<double> out(alpha_.size());
+  double total = 0.0;
+  for (size_t k = 0; k < alpha_.size(); ++k) {
+    std::gamma_distribution<double> gamma(alpha_[k], 1.0);
+    out[k] = gamma(rng->engine());
+    total += out[k];
+  }
+  if (total <= 0.0) {
+    // Numerically possible for very small alphas: fall back to the mean.
+    return Mean();
+  }
+  for (double& v : out) v /= total;
+  return out;
+}
+
+}  // namespace genclus

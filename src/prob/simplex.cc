@@ -1,0 +1,114 @@
+#include "prob/simplex.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace genclus {
+
+void NormalizeToSimplex(std::vector<double>* v) {
+  GENCLUS_CHECK(v != nullptr && !v->empty());
+  double total = 0.0;
+  bool bad = false;
+  for (double x : *v) {
+    if (!(x >= 0.0) || !std::isfinite(x)) {
+      bad = true;
+      break;
+    }
+    total += x;
+  }
+  if (bad || total <= 0.0 || !std::isfinite(total)) {
+    const double u = 1.0 / static_cast<double>(v->size());
+    for (double& x : *v) x = u;
+    return;
+  }
+  for (double& x : *v) x /= total;
+}
+
+void ClampToSimplex(std::vector<double>* v, double floor) {
+  GENCLUS_CHECK(v != nullptr && !v->empty());
+  NormalizeToSimplex(v);
+  bool needs_clamp = false;
+  for (double x : *v) {
+    if (x < floor) {
+      needs_clamp = true;
+      break;
+    }
+  }
+  if (!needs_clamp) return;
+  for (double& x : *v) {
+    if (x < floor) x = floor;
+  }
+  NormalizeToSimplex(v);
+}
+
+bool IsOnSimplex(const std::vector<double>& v, double tol) {
+  double total = 0.0;
+  for (double x : v) {
+    if (x < -tol || x > 1.0 + tol || !std::isfinite(x)) return false;
+    total += x;
+  }
+  return std::fabs(total - 1.0) <= tol;
+}
+
+double Entropy(const std::vector<double>& p) {
+  double h = 0.0;
+  for (double x : p) {
+    if (x > 0.0) h -= x * std::log(x);
+  }
+  return h;
+}
+
+double CrossEntropy(const std::vector<double>& q,
+                    const std::vector<double>& p) {
+  GENCLUS_CHECK_EQ(q.size(), p.size());
+  double h = 0.0;
+  for (size_t k = 0; k < q.size(); ++k) {
+    if (q[k] == 0.0) continue;
+    const double pk = p[k] < kDefaultThetaFloor ? kDefaultThetaFloor : p[k];
+    h -= q[k] * std::log(pk);
+  }
+  return h;
+}
+
+double KlDivergence(const std::vector<double>& q,
+                    const std::vector<double>& p) {
+  return CrossEntropy(q, p) - Entropy(q);
+}
+
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  GENCLUS_CHECK_EQ(a.size(), b.size());
+  double dot = 0.0;
+  double na = 0.0;
+  double nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+double EuclideanDistance(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  GENCLUS_CHECK_EQ(a.size(), b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+size_t ArgMax(const std::vector<double>& v) {
+  GENCLUS_CHECK(!v.empty());
+  size_t best = 0;
+  for (size_t i = 1; i < v.size(); ++i) {
+    if (v[i] > v[best]) best = i;
+  }
+  return best;
+}
+
+}  // namespace genclus

@@ -1,0 +1,48 @@
+// Probability-simplex utilities. Cluster membership vectors theta_v live on
+// the K-simplex; the cross-entropy feature function (Eq. 6) takes logs of
+// their components, so components are clamped away from exact zero.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace genclus {
+
+/// Default floor for membership probabilities before logs are taken.
+inline constexpr double kDefaultThetaFloor = 1e-12;
+
+/// Normalizes v in place so it sums to 1. If the total mass is <= 0 or
+/// non-finite the vector is reset to uniform.
+void NormalizeToSimplex(std::vector<double>* v);
+
+/// Clamps every component to at least `floor` and renormalizes.
+void ClampToSimplex(std::vector<double>* v, double floor = kDefaultThetaFloor);
+
+/// True if v sums to 1 within `tol` and every component is in [0, 1].
+bool IsOnSimplex(const std::vector<double>& v, double tol = 1e-9);
+
+/// Shannon entropy H(p) = -sum p_k log p_k (natural log). Zero components
+/// contribute zero.
+double Entropy(const std::vector<double>& p);
+
+/// Cross entropy H(q, p) = -sum_k q_k log p_k, the deviation measure in
+/// Eq. 6 (note the order: q weights, log of p). Components of p are floored
+/// at kDefaultThetaFloor to keep the value finite.
+double CrossEntropy(const std::vector<double>& q, const std::vector<double>& p);
+
+/// KL divergence D(q || p) = H(q,p) - H(q).
+double KlDivergence(const std::vector<double>& q, const std::vector<double>& p);
+
+/// Cosine similarity between arbitrary non-negative vectors; 0 if either
+/// norm vanishes.
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// Euclidean distance.
+double EuclideanDistance(const std::vector<double>& a,
+                         const std::vector<double>& b);
+
+/// Index of the largest component (ties broken toward the lower index).
+size_t ArgMax(const std::vector<double>& v);
+
+}  // namespace genclus

@@ -1,0 +1,115 @@
+#include "baselines/interpolation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace genclus {
+namespace {
+
+// Chain network A0 -> A1 -> A2 with one numerical attribute.
+struct ChainFixture {
+  Network net;
+  Attribute attr = Attribute::Numerical("x", 3);
+
+  ChainFixture() {
+    Schema schema;
+    auto a = schema.AddObjectType("A").value();
+    auto r = schema.AddLinkType("next", a, a).value();
+    NetworkBuilder builder(std::move(schema));
+    NodeId n0 = builder.AddNode(a).value();
+    NodeId n1 = builder.AddNode(a).value();
+    NodeId n2 = builder.AddNode(a).value();
+    EXPECT_TRUE(builder.AddLink(n0, n1, r, 1.0).ok());
+    EXPECT_TRUE(builder.AddLink(n1, n2, r, 1.0).ok());
+    net = std::move(builder).Build().value();
+  }
+};
+
+TEST(InterpolationTest, OwnObservationsAveraged) {
+  ChainFixture f;
+  (void)f.attr.AddValue(2, 4.0);
+  (void)f.attr.AddValue(2, 6.0);
+  auto features = InterpolateNumericalAttributes(f.net, {&f.attr});
+  ASSERT_TRUE(features.ok());
+  // Node 2 has no out-links; only its own values count: mean 5.
+  EXPECT_DOUBLE_EQ((*features)(2, 0), 5.0);
+}
+
+TEST(InterpolationTest, NeighborsFillMissingValues) {
+  ChainFixture f;
+  (void)f.attr.AddValue(1, 10.0);
+  auto features = InterpolateNumericalAttributes(f.net, {&f.attr});
+  ASSERT_TRUE(features.ok());
+  // Node 0 has no observations but out-links to node 1.
+  EXPECT_DOUBLE_EQ((*features)(0, 0), 10.0);
+}
+
+TEST(InterpolationTest, OwnAndNeighborObservationsPooled) {
+  ChainFixture f;
+  (void)f.attr.AddValue(0, 2.0);
+  (void)f.attr.AddValue(1, 4.0);
+  auto features = InterpolateNumericalAttributes(f.net, {&f.attr});
+  ASSERT_TRUE(features.ok());
+  // Node 0 pools its own 2.0 with neighbor 1's 4.0.
+  EXPECT_DOUBLE_EQ((*features)(0, 0), 3.0);
+}
+
+TEST(InterpolationTest, GlobalMeanAsLastResort) {
+  ChainFixture f;
+  (void)f.attr.AddValue(0, 8.0);  // node 2 and its neighborhood are empty
+  auto features = InterpolateNumericalAttributes(f.net, {&f.attr});
+  ASSERT_TRUE(features.ok());
+  // Node 2: no own values, no out-neighbors with values -> global mean 8.
+  EXPECT_DOUBLE_EQ((*features)(2, 0), 8.0);
+}
+
+TEST(InterpolationTest, MultipleAttributesAsColumns) {
+  ChainFixture f;
+  Attribute second = Attribute::Numerical("y", 3);
+  (void)f.attr.AddValue(0, 1.0);
+  (void)second.AddValue(0, -1.0);
+  auto features = InterpolateNumericalAttributes(f.net, {&f.attr, &second});
+  ASSERT_TRUE(features.ok());
+  EXPECT_EQ(features->cols(), 2u);
+  EXPECT_DOUBLE_EQ((*features)(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ((*features)(0, 1), -1.0);
+}
+
+TEST(InterpolationTest, RejectsCategoricalAttribute) {
+  ChainFixture f;
+  Attribute text = Attribute::Categorical("text", 4, 3);
+  EXPECT_FALSE(InterpolateNumericalAttributes(f.net, {&text}).ok());
+}
+
+TEST(InterpolationTest, RejectsSizeMismatch) {
+  ChainFixture f;
+  Attribute wrong = Attribute::Numerical("w", 7);
+  EXPECT_FALSE(InterpolateNumericalAttributes(f.net, {&wrong}).ok());
+}
+
+TEST(StandardizeTest, ColumnsBecomeZeroMeanUnitVariance) {
+  Matrix m = {{1.0, 10.0}, {2.0, 20.0}, {3.0, 30.0}};
+  StandardizeColumns(&m);
+  for (size_t c = 0; c < 2; ++c) {
+    double mean = 0.0;
+    double var = 0.0;
+    for (size_t r = 0; r < 3; ++r) mean += m(r, c);
+    mean /= 3.0;
+    for (size_t r = 0; r < 3; ++r) {
+      var += (m(r, c) - mean) * (m(r, c) - mean);
+    }
+    var /= 3.0;
+    EXPECT_NEAR(mean, 0.0, 1e-12);
+    EXPECT_NEAR(var, 1.0, 1e-12);
+  }
+}
+
+TEST(StandardizeTest, ConstantColumnBecomesZero) {
+  Matrix m = {{5.0}, {5.0}, {5.0}};
+  StandardizeColumns(&m);
+  for (size_t r = 0; r < 3; ++r) EXPECT_DOUBLE_EQ(m(r, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace genclus

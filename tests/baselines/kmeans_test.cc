@@ -1,0 +1,136 @@
+#include "baselines/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "eval/nmi.h"
+
+namespace genclus {
+namespace {
+
+// Two well-separated blobs of `per_blob` points each in 2-D.
+Matrix TwoBlobs(size_t per_blob, double separation, Rng* rng,
+                std::vector<uint32_t>* truth) {
+  Matrix points(per_blob * 2, 2);
+  truth->assign(per_blob * 2, 0);
+  for (size_t i = 0; i < per_blob * 2; ++i) {
+    const bool second = i >= per_blob;
+    (*truth)[i] = second ? 1 : 0;
+    points(i, 0) = rng->Gaussian(second ? separation : 0.0, 0.3);
+    points(i, 1) = rng->Gaussian(second ? separation : 0.0, 0.3);
+  }
+  return points;
+}
+
+TEST(KMeansTest, SeparatesTwoBlobs) {
+  Rng rng(5);
+  std::vector<uint32_t> truth;
+  Matrix points = TwoBlobs(50, 10.0, &rng, &truth);
+  KMeansConfig config;
+  config.num_clusters = 2;
+  config.seed = 3;
+  auto r = RunKMeans(points, config);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(NormalizedMutualInformation(r->labels, truth), 1.0, 1e-9);
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  Rng rng(7);
+  std::vector<uint32_t> truth;
+  Matrix points = TwoBlobs(40, 5.0, &rng, &truth);
+  double prev = std::numeric_limits<double>::infinity();
+  for (size_t k = 1; k <= 4; ++k) {
+    KMeansConfig config;
+    config.num_clusters = k;
+    config.num_restarts = 5;
+    config.seed = 11;
+    auto r = RunKMeans(points, config);
+    ASSERT_TRUE(r.ok());
+    EXPECT_LE(r->inertia, prev + 1e-9) << "k=" << k;
+    prev = r->inertia;
+  }
+}
+
+TEST(KMeansTest, LabelsInRangeAndCentersFinite) {
+  Rng rng(9);
+  std::vector<uint32_t> truth;
+  Matrix points = TwoBlobs(30, 3.0, &rng, &truth);
+  KMeansConfig config;
+  config.num_clusters = 3;
+  config.seed = 13;
+  auto r = RunKMeans(points, config);
+  ASSERT_TRUE(r.ok());
+  for (uint32_t l : r->labels) EXPECT_LT(l, 3u);
+  for (size_t c = 0; c < 3; ++c) {
+    for (size_t d = 0; d < 2; ++d) {
+      EXPECT_TRUE(std::isfinite(r->centers(c, d)));
+    }
+  }
+}
+
+TEST(KMeansTest, DeterministicGivenSeed) {
+  Rng rng(15);
+  std::vector<uint32_t> truth;
+  Matrix points = TwoBlobs(25, 4.0, &rng, &truth);
+  KMeansConfig config;
+  config.num_clusters = 2;
+  config.seed = 21;
+  auto a = RunKMeans(points, config);
+  auto b = RunKMeans(points, config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->labels, b->labels);
+}
+
+TEST(KMeansTest, RestartsNeverHurt) {
+  Rng rng(17);
+  std::vector<uint32_t> truth;
+  Matrix points = TwoBlobs(30, 2.0, &rng, &truth);
+  KMeansConfig one;
+  one.num_clusters = 4;
+  one.num_restarts = 1;
+  one.seed = 23;
+  KMeansConfig many = one;
+  many.num_restarts = 10;
+  auto r1 = RunKMeans(points, one);
+  auto r10 = RunKMeans(points, many);
+  ASSERT_TRUE(r1.ok() && r10.ok());
+  EXPECT_LE(r10->inertia, r1->inertia + 1e-9);
+}
+
+TEST(KMeansTest, RejectsBadInput) {
+  Matrix points(3, 2);
+  KMeansConfig config;
+  config.num_clusters = 5;  // more clusters than points
+  EXPECT_FALSE(RunKMeans(points, config).ok());
+  config.num_clusters = 0;
+  EXPECT_FALSE(RunKMeans(points, config).ok());
+  Matrix empty_dim(3, 0);
+  config.num_clusters = 2;
+  EXPECT_FALSE(RunKMeans(empty_dim, config).ok());
+}
+
+TEST(KMeansTest, ExactClusterCountIsValid) {
+  // n == k: every point its own cluster; inertia 0.
+  Matrix points = {{0.0, 0.0}, {5.0, 0.0}, {0.0, 5.0}};
+  KMeansConfig config;
+  config.num_clusters = 3;
+  config.seed = 29;
+  auto r = RunKMeans(points, config);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->inertia, 0.0, 1e-12);
+}
+
+TEST(KMeansTest, DuplicatePointsHandled) {
+  Matrix points(10, 2, 1.0);  // all identical
+  KMeansConfig config;
+  config.num_clusters = 2;
+  config.seed = 31;
+  auto r = RunKMeans(points, config);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->inertia, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace genclus

@@ -1,0 +1,136 @@
+#include "baselines/spectral.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/interpolation.h"
+#include "common/random.h"
+#include "eval/nmi.h"
+
+namespace genclus {
+namespace {
+
+// Two cliques of size `m` joined by a single bridge edge; every node has a
+// 1-D feature separated by community.
+struct TwoCliqueFixture {
+  Network net;
+  Matrix features;
+  std::vector<uint32_t> truth;
+
+  explicit TwoCliqueFixture(size_t m, double feature_gap = 4.0,
+                            uint64_t seed = 3) {
+    Schema schema;
+    auto a = schema.AddObjectType("A").value();
+    auto r = schema.AddLinkType("edge", a, a).value();
+    NetworkBuilder builder(std::move(schema));
+    const size_t n = 2 * m;
+    for (size_t i = 0; i < n; ++i) (void)builder.AddNode(a);
+    auto add_both = [&](NodeId u, NodeId v) {
+      EXPECT_TRUE(builder.AddLink(u, v, r, 1.0).ok());
+      EXPECT_TRUE(builder.AddLink(v, u, r, 1.0).ok());
+    };
+    for (size_t side = 0; side < 2; ++side) {
+      const size_t base = side * m;
+      for (size_t i = 0; i < m; ++i) {
+        for (size_t j = i + 1; j < m; ++j) {
+          add_both(static_cast<NodeId>(base + i),
+                   static_cast<NodeId>(base + j));
+        }
+      }
+    }
+    add_both(0, static_cast<NodeId>(m));  // bridge
+    net = std::move(builder).Build().value();
+
+    Rng rng(seed);
+    features = Matrix(n, 1);
+    truth.assign(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+      const bool second = i >= m;
+      truth[i] = second ? 1 : 0;
+      features(i, 0) = rng.Gaussian(second ? feature_gap : 0.0, 0.3);
+    }
+    StandardizeColumns(&features);
+  }
+};
+
+TEST(SpectralTest, SymmetrizedAdjacencyIsSymmetric) {
+  TwoCliqueFixture f(4);
+  Matrix w = SymmetrizedAdjacency(f.net);
+  for (size_t i = 0; i < w.rows(); ++i) {
+    for (size_t j = 0; j < w.cols(); ++j) {
+      EXPECT_DOUBLE_EQ(w(i, j), w(j, i));
+    }
+  }
+}
+
+TEST(SpectralTest, ModularityRowSumsVanish) {
+  // Rows of B = W - d d^T / 2m sum to zero.
+  TwoCliqueFixture f(4);
+  Matrix b = ModularityMatrix(SymmetrizedAdjacency(f.net));
+  for (size_t i = 0; i < b.rows(); ++i) {
+    double row_sum = 0.0;
+    for (size_t j = 0; j < b.cols(); ++j) row_sum += b(i, j);
+    EXPECT_NEAR(row_sum, 0.0, 1e-9);
+  }
+}
+
+TEST(SpectralTest, SeparatesTwoCliquesWithFeatures) {
+  TwoCliqueFixture f(8);
+  SpectralCombineConfig config;
+  config.num_clusters = 2;
+  config.seed = 7;
+  auto r = RunSpectralCombine(f.net, f.features, config);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(NormalizedMutualInformation(r->labels, f.truth), 0.9);
+}
+
+TEST(SpectralTest, NetworkOnlyStillSeparatesCliques) {
+  TwoCliqueFixture f(8, /*feature_gap=*/0.0);
+  SpectralCombineConfig config;
+  config.num_clusters = 2;
+  config.network_weight = 1.0;  // ignore (uninformative) features
+  config.seed = 9;
+  auto r = RunSpectralCombine(f.net, f.features, config);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(NormalizedMutualInformation(r->labels, f.truth), 0.9);
+}
+
+TEST(SpectralTest, FeaturesOnlyStillSeparateBlobs) {
+  TwoCliqueFixture f(8, /*feature_gap=*/6.0);
+  SpectralCombineConfig config;
+  config.num_clusters = 2;
+  config.network_weight = 0.0;  // ignore links
+  config.seed = 11;
+  auto r = RunSpectralCombine(f.net, f.features, config);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(NormalizedMutualInformation(r->labels, f.truth), 0.9);
+}
+
+TEST(SpectralTest, EmbeddingShape) {
+  TwoCliqueFixture f(5);
+  SpectralCombineConfig config;
+  config.num_clusters = 2;
+  config.seed = 13;
+  auto r = RunSpectralCombine(f.net, f.features, config);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->embedding.rows(), f.net.num_nodes());
+  EXPECT_EQ(r->embedding.cols(), 2u);
+  EXPECT_EQ(r->eigenvalues.size(), 2u);
+  EXPECT_GE(r->eigenvalues[0], r->eigenvalues[1]);
+}
+
+TEST(SpectralTest, RejectsBadConfig) {
+  TwoCliqueFixture f(4);
+  SpectralCombineConfig config;
+  config.num_clusters = 2;
+  config.network_weight = 1.5;
+  EXPECT_FALSE(RunSpectralCombine(f.net, f.features, config).ok());
+  config.network_weight = 0.5;
+  config.num_clusters = 1;
+  EXPECT_FALSE(RunSpectralCombine(f.net, f.features, config).ok());
+  Matrix wrong_rows(3, 1);
+  config.num_clusters = 2;
+  EXPECT_FALSE(RunSpectralCombine(f.net, wrong_rows, config).ok());
+}
+
+}  // namespace
+}  // namespace genclus

@@ -1,0 +1,69 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace genclus {
+namespace {
+
+Flags ParseArgs(std::vector<const char*> args) {
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>("prog"));
+  for (const char* a : args) argv.push_back(const_cast<char*>(a));
+  return Flags::Parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, SpaceSeparatedValue) {
+  Flags f = ParseArgs({"--clusters", "4"});
+  EXPECT_TRUE(f.Has("clusters"));
+  EXPECT_EQ(f.GetInt("clusters", 0), 4);
+}
+
+TEST(FlagsTest, EqualsSeparatedValue) {
+  Flags f = ParseArgs({"--sigma=0.25"});
+  EXPECT_DOUBLE_EQ(f.GetDouble("sigma", 0.0), 0.25);
+}
+
+TEST(FlagsTest, BareBooleanFlag) {
+  Flags f = ParseArgs({"--full"});
+  EXPECT_TRUE(f.GetBool("full", false));
+}
+
+TEST(FlagsTest, BooleanExplicitValues) {
+  EXPECT_TRUE(ParseArgs({"--x", "true"}).GetBool("x", false));
+  EXPECT_TRUE(ParseArgs({"--x=YES"}).GetBool("x", false));
+  EXPECT_TRUE(ParseArgs({"--x", "1"}).GetBool("x", false));
+  EXPECT_FALSE(ParseArgs({"--x", "0"}).GetBool("x", true));
+  EXPECT_FALSE(ParseArgs({"--x=false"}).GetBool("x", true));
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  Flags f = ParseArgs({});
+  EXPECT_FALSE(f.Has("missing"));
+  EXPECT_EQ(f.GetInt("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(f.GetDouble("missing", 2.5), 2.5);
+  EXPECT_EQ(f.GetString("missing", "abc"), "abc");
+  EXPECT_TRUE(f.GetBool("missing", true));
+}
+
+TEST(FlagsTest, BooleanFlagFollowedByFlag) {
+  Flags f = ParseArgs({"--verbose", "--n", "3"});
+  EXPECT_TRUE(f.GetBool("verbose", false));
+  EXPECT_EQ(f.GetInt("n", 0), 3);
+}
+
+TEST(FlagsTest, PositionalArgumentsKept) {
+  Flags f = ParseArgs({"input.tsv", "--k", "2", "output.tsv"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.tsv");
+  EXPECT_EQ(f.positional()[1], "output.tsv");
+}
+
+TEST(FlagsTest, LastOccurrenceWins) {
+  Flags f = ParseArgs({"--k", "2", "--k", "9"});
+  EXPECT_EQ(f.GetInt("k", 0), 9);
+}
+
+}  // namespace
+}  // namespace genclus

@@ -1,0 +1,119 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace genclus {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) {
+    if (a.Uniform() != b.Uniform()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.Uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RngTest, UniformIndexCoversRange) {
+  Rng rng(7);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 5000; ++i) counts[rng.UniformIndex(5)]++;
+  for (int c : counts) EXPECT_GT(c, 800);  // ~1000 expected per bucket
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Gaussian(2.0, 0.5);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.02);
+  EXPECT_NEAR(var, 0.25, 0.02);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(13);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 8000; ++i) counts[rng.Categorical(weights)]++;
+  EXPECT_EQ(counts[1], 0);
+  // Index 2 should be drawn ~3x as often as index 0.
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.5);
+}
+
+TEST(RngTest, CategoricalSingleOutcome) {
+  Rng rng(17);
+  std::vector<double> weights = {0.0, 5.0, 0.0};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(rng.Categorical(weights), 1u);
+  }
+}
+
+TEST(RngTest, SimplexUniformIsOnSimplex) {
+  Rng rng(19);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<double> p = rng.SimplexUniform(4);
+    double total = std::accumulate(p.begin(), p.end(), 0.0);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+    for (double x : p) {
+      EXPECT_GE(x, 0.0);
+      EXPECT_LE(x, 1.0);
+    }
+  }
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a(23);
+  Rng child = a.Split();
+  // The child stream should differ from the parent's continued stream.
+  bool any_diff = false;
+  for (int i = 0; i < 8; ++i) {
+    if (a.Uniform() != child.Uniform()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(29);
+  std::vector<size_t> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<size_t> orig = v;
+  rng.Shuffle(&v);
+  std::vector<size_t> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);  // same multiset
+  EXPECT_NE(v, orig);       // overwhelmingly likely to move something
+}
+
+}  // namespace
+}  // namespace genclus

@@ -1,0 +1,101 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace genclus {
+namespace {
+
+TEST(ThreadPoolTest, RespectsRequestedThreadCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3u);
+}
+
+TEST(ThreadPoolTest, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, SubmitAndWaitRunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const size_t n = 10000;
+  std::vector<std::atomic<int>> touched(n);
+  pool.ParallelFor(n, [&](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) touched[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(touched[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForShardsAreDisjointContiguous) {
+  ThreadPool pool(4);
+  const size_t n = 997;  // not divisible by shard count
+  std::vector<int> owner(n, -1);
+  std::mutex m;
+  pool.ParallelFor(n, [&](size_t shard, size_t begin, size_t end) {
+    std::lock_guard<std::mutex> lock(m);
+    for (size_t i = begin; i < end; ++i) owner[i] = static_cast<int>(shard);
+  });
+  for (size_t i = 0; i < n; ++i) EXPECT_NE(owner[i], -1);
+  // Contiguity: owner ids are non-decreasing across the range.
+  for (size_t i = 1; i < n; ++i) EXPECT_GE(owner[i], owner[i - 1]);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, [&](size_t, size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ParallelForSmallRangeRunsInline) {
+  ThreadPool pool(8);
+  std::vector<int> touched(3, 0);
+  pool.ParallelFor(3, [&](size_t shard, size_t begin, size_t end) {
+    EXPECT_EQ(shard, 0u);
+    for (size_t i = begin; i < end; ++i) touched[i]++;
+  });
+  EXPECT_EQ(std::accumulate(touched.begin(), touched.end(), 0), 3);
+}
+
+TEST(ThreadPoolTest, ParallelForSumMatchesSerial) {
+  ThreadPool pool(4);
+  const size_t n = 100000;
+  std::vector<double> partial(pool.num_threads(), 0.0);
+  pool.ParallelFor(n, [&](size_t shard, size_t begin, size_t end) {
+    double acc = 0.0;
+    for (size_t i = begin; i < end; ++i) acc += static_cast<double>(i);
+    partial[shard] += acc;
+  });
+  const double total =
+      std::accumulate(partial.begin(), partial.end(), 0.0);
+  EXPECT_DOUBLE_EQ(total, static_cast<double>(n) * (n - 1) / 2.0);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossCalls) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<int> count{0};
+    pool.ParallelFor(100, [&](size_t, size_t begin, size_t end) {
+      count.fetch_add(static_cast<int>(end - begin));
+    });
+    EXPECT_EQ(count.load(), 100);
+  }
+}
+
+}  // namespace
+}  // namespace genclus

@@ -1,0 +1,278 @@
+// Cluster-optimization (EM) step: simplex invariants, update-rule
+// semantics (Eqs. 10-12), incomplete-attribute handling, and parallel
+// equivalence.
+#include "core/em.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/init.h"
+#include "core/objective.h"
+#include "prob/simplex.h"
+#include "tests/core/test_fixtures.h"
+
+namespace genclus {
+namespace {
+
+using testing::MakeTwoCommunityNetwork;
+
+class EmFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fixture_ = MakeTwoCommunityNetwork(5, 1.0, 21);
+    config_.num_clusters = 2;
+    config_.seed = 99;
+    attrs_ = {&fixture_.dataset.attributes[0]};
+    gamma_.assign(3, 1.0);
+  }
+
+  void InitState(Matrix* theta, std::vector<AttributeComponents>* comps,
+                 uint64_t seed = 5) {
+    Rng rng(seed);
+    *theta = RandomTheta(fixture_.dataset.network.num_nodes(),
+                         config_.num_clusters, &rng);
+    *comps = InitialComponents(attrs_, config_, &rng);
+  }
+
+  testing::TwoCommunityNetwork fixture_;
+  GenClusConfig config_;
+  std::vector<const Attribute*> attrs_;
+  std::vector<double> gamma_;
+};
+
+TEST_F(EmFixture, ThetaRowsStayOnSimplex) {
+  EmOptimizer opt(&fixture_.dataset.network, attrs_, &config_, nullptr);
+  Matrix theta;
+  std::vector<AttributeComponents> comps;
+  InitState(&theta, &comps);
+  for (int step = 0; step < 5; ++step) {
+    opt.Step(gamma_, &theta, &comps);
+    for (size_t v = 0; v < theta.rows(); ++v) {
+      EXPECT_TRUE(IsOnSimplex(theta.RowVector(v), 1e-9))
+          << "node " << v << " step " << step;
+    }
+  }
+}
+
+TEST_F(EmFixture, BetaRowsAreDistributions) {
+  EmOptimizer opt(&fixture_.dataset.network, attrs_, &config_, nullptr);
+  Matrix theta;
+  std::vector<AttributeComponents> comps;
+  InitState(&theta, &comps);
+  opt.Step(gamma_, &theta, &comps);
+  const Matrix& beta = comps[0].beta();
+  for (size_t k = 0; k < beta.rows(); ++k) {
+    double total = 0.0;
+    for (size_t l = 0; l < beta.cols(); ++l) {
+      EXPECT_GT(beta(k, l), 0.0);  // smoothing keeps strictly positive
+      total += beta(k, l);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST_F(EmFixture, RunConvergesAndDeltaShrinks) {
+  EmOptimizer opt(&fixture_.dataset.network, attrs_, &config_, nullptr);
+  Matrix theta;
+  std::vector<AttributeComponents> comps;
+  InitState(&theta, &comps);
+  config_.em_iterations = 200;
+  config_.em_tolerance = 1e-8;
+  EmStats stats = opt.Run(gamma_, &theta, &comps);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_LT(stats.final_delta, 1e-8);
+}
+
+TEST_F(EmFixture, ObjectiveTraceIsTracked) {
+  EmOptimizer opt(&fixture_.dataset.network, attrs_, &config_, nullptr);
+  Matrix theta;
+  std::vector<AttributeComponents> comps;
+  InitState(&theta, &comps);
+  config_.em_iterations = 10;
+  EmStats stats = opt.Run(gamma_, &theta, &comps, /*track_objective=*/true);
+  EXPECT_EQ(stats.objective_trace.size(), stats.iterations);
+  // The alternating update should not collapse: all values finite.
+  for (double g1 : stats.objective_trace) EXPECT_TRUE(std::isfinite(g1));
+  // Later iterations should not be dramatically worse than the start.
+  EXPECT_GE(stats.objective_trace.back(),
+            stats.objective_trace.front() - 1e-6);
+}
+
+TEST_F(EmFixture, RecoversPlantedCommunities) {
+  EmOptimizer opt(&fixture_.dataset.network, attrs_, &config_, nullptr);
+  Matrix theta;
+  std::vector<AttributeComponents> comps;
+  InitState(&theta, &comps);
+  config_.em_iterations = 100;
+  opt.Run(gamma_, &theta, &comps);
+  // All community-0 docs should agree with each other on their argmax and
+  // disagree with community-1 docs.
+  const size_t half = 5;
+  const uint32_t side0 = static_cast<uint32_t>(
+      ArgMax(theta.RowVector(fixture_.docs[0])));
+  for (size_t i = 0; i < half; ++i) {
+    EXPECT_EQ(ArgMax(theta.RowVector(fixture_.docs[i])), side0);
+    EXPECT_NE(ArgMax(theta.RowVector(fixture_.docs[half + i])), side0);
+  }
+  // Tags have no text: their membership must follow their community's docs.
+  EXPECT_EQ(ArgMax(theta.RowVector(fixture_.tags[0])), side0);
+  EXPECT_NE(ArgMax(theta.RowVector(fixture_.tags[1])), side0);
+}
+
+TEST_F(EmFixture, AttributeFreeNodesFollowNeighbors) {
+  // With gamma = 0 for tag_doc and doc_tag, tags receive no information at
+  // all; their theta must go uniform. (Eq. 10: link part zero, no
+  // attribute part.)
+  EmOptimizer opt(&fixture_.dataset.network, attrs_, &config_, nullptr);
+  Matrix theta;
+  std::vector<AttributeComponents> comps;
+  InitState(&theta, &comps);
+  std::vector<double> gamma = {1.0, 1.0, 1.0};
+  gamma[fixture_.tag_doc] = 0.0;
+  opt.Step(gamma, &theta, &comps);
+  for (NodeId tag : fixture_.tags) {
+    Vector row = theta.RowVector(tag);
+    EXPECT_NEAR(row[0], 0.5, 1e-9);
+    EXPECT_NEAR(row[1], 0.5, 1e-9);
+  }
+}
+
+TEST_F(EmFixture, IncompleteTextStillClustersDocs) {
+  // Only 40% of docs carry text; links must propagate labels to the rest.
+  auto sparse = MakeTwoCommunityNetwork(8, 0.4, 31);
+  std::vector<const Attribute*> attrs = {&sparse.dataset.attributes[0]};
+  EmOptimizer opt(&sparse.dataset.network, attrs, &config_, nullptr);
+  Rng rng(7);
+  Matrix theta = RandomTheta(sparse.dataset.network.num_nodes(), 2, &rng);
+  auto comps = InitialComponents(attrs, config_, &rng);
+  config_.em_iterations = 150;
+  opt.Run({1.0, 1.0, 1.0}, &theta, &comps);
+  // Count in-community agreement.
+  size_t agree = 0;
+  const uint32_t side0 = static_cast<uint32_t>(
+      ArgMax(theta.RowVector(sparse.docs[0])));
+  for (size_t i = 0; i < 8; ++i) {
+    if (ArgMax(theta.RowVector(sparse.docs[i])) == side0) ++agree;
+    if (ArgMax(theta.RowVector(sparse.docs[8 + i])) != side0) ++agree;
+  }
+  EXPECT_GE(agree, 14u);  // allow at most 2 mislabeled docs out of 16
+}
+
+TEST_F(EmFixture, ParallelStepMatchesSerial) {
+  Matrix theta_serial;
+  std::vector<AttributeComponents> comps_serial;
+  InitState(&theta_serial, &comps_serial, 17);
+  Matrix theta_parallel = theta_serial;
+  std::vector<AttributeComponents> comps_parallel = comps_serial;
+
+  EmOptimizer serial(&fixture_.dataset.network, attrs_, &config_, nullptr);
+  ThreadPool pool(4);
+  EmOptimizer parallel(&fixture_.dataset.network, attrs_, &config_, &pool);
+  for (int step = 0; step < 3; ++step) {
+    serial.Step(gamma_, &theta_serial, &comps_serial);
+    parallel.Step(gamma_, &theta_parallel, &comps_parallel);
+  }
+  EXPECT_LT(Matrix::MaxAbsDiff(theta_serial, theta_parallel), 1e-12);
+  EXPECT_LT(Matrix::MaxAbsDiff(comps_serial[0].beta(),
+                               comps_parallel[0].beta()),
+            1e-12);
+}
+
+TEST_F(EmFixture, GaussianAttributeUpdates) {
+  // A small numerical-attribute network: values near 0 for community 0 and
+  // near 10 for community 1; EM must separate the Gaussians.
+  auto net_fixture = MakeTwoCommunityNetwork(4, 0.0, 41);
+  const size_t n = net_fixture.dataset.network.num_nodes();
+  Attribute values = Attribute::Numerical("x", n);
+  Rng rng(11);
+  for (size_t i = 0; i < 4; ++i) {
+    (void)values.AddValue(net_fixture.docs[i], rng.Gaussian(0.0, 0.3));
+    (void)values.AddValue(net_fixture.docs[4 + i], rng.Gaussian(10.0, 0.3));
+  }
+  std::vector<const Attribute*> attrs = {&values};
+  EmOptimizer opt(&net_fixture.dataset.network, attrs, &config_, nullptr);
+  Matrix theta = RandomTheta(n, 2, &rng);
+  auto comps = InitialComponents(attrs, config_, &rng);
+  config_.em_iterations = 100;
+  opt.Run({1.0, 1.0, 1.0}, &theta, &comps);
+  const double m0 = comps[0].gaussian(0).mean();
+  const double m1 = comps[0].gaussian(1).mean();
+  EXPECT_GT(std::fabs(m0 - m1), 5.0);  // means separated
+  EXPECT_NEAR(std::min(m0, m1), 0.0, 1.0);
+  EXPECT_NEAR(std::max(m0, m1), 10.0, 1.0);
+}
+
+TEST_F(EmFixture, TwoAttributesCombine) {
+  // Eq. 12 case: two numerical attributes, each carried by HALF the nodes
+  // (even-indexed docs observe x, odd-indexed observe y), both bimodal by
+  // community. No node has both attributes, yet EM must combine them into
+  // one consistent clustering through the links.
+  auto net_fixture = MakeTwoCommunityNetwork(4, 0.0, 43);
+  const size_t n = net_fixture.dataset.network.num_nodes();
+  Attribute x = Attribute::Numerical("x", n);
+  Attribute y = Attribute::Numerical("y", n);
+  Rng rng(13);
+  for (size_t i = 0; i < 8; ++i) {
+    const bool second_community = i >= 4;
+    const NodeId doc = net_fixture.docs[i];
+    for (int rep = 0; rep < 3; ++rep) {
+      if (i % 2 == 0) {
+        (void)x.AddValue(doc, rng.Gaussian(second_community ? 5.0 : 0.0,
+                                           0.2));
+      } else {
+        (void)y.AddValue(doc, rng.Gaussian(second_community ? 20.0 : 10.0,
+                                           0.2));
+      }
+    }
+  }
+  std::vector<const Attribute*> attrs = {&x, &y};
+  EmOptimizer opt(&net_fixture.dataset.network, attrs, &config_, nullptr);
+  Matrix theta = RandomTheta(n, 2, &rng);
+  auto comps = InitialComponents(attrs, config_, &rng);
+  // Seed components consistently across the two attributes (the library
+  // entry point does this via the multi-seed/k-means init).
+  std::vector<uint32_t> seed_labels(n, 0);
+  for (size_t i = 0; i < 8; ++i) {
+    seed_labels[net_fixture.docs[i]] = i >= 4 ? 1 : 0;
+  }
+  theta = testing::ConcentratedTheta(seed_labels, 2, 0.4);
+  opt.EstimateComponents(theta, &comps);
+  config_.em_iterations = 100;
+  opt.Run({1.0, 1.0, 1.0}, &theta, &comps);
+  // The two communities separate even though no node has both attributes.
+  const uint32_t side0 = static_cast<uint32_t>(
+      ArgMax(theta.RowVector(net_fixture.docs[0])));
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(ArgMax(theta.RowVector(net_fixture.docs[i])), side0);
+    EXPECT_NE(ArgMax(theta.RowVector(net_fixture.docs[4 + i])), side0);
+  }
+  // Components recover the per-community means of both attributes.
+  const double x_gap = std::fabs(comps[0].gaussian(0).mean() -
+                                 comps[0].gaussian(1).mean());
+  const double y_gap = std::fabs(comps[1].gaussian(0).mean() -
+                                 comps[1].gaussian(1).mean());
+  EXPECT_GT(x_gap, 2.5);
+  EXPECT_GT(y_gap, 5.0);
+}
+
+TEST_F(EmFixture, EstimateComponentsFromLabels) {
+  EmOptimizer opt(&fixture_.dataset.network, attrs_, &config_, nullptr);
+  std::vector<uint32_t> labels(fixture_.dataset.network.num_nodes());
+  for (NodeId v = 0; v < labels.size(); ++v) {
+    labels[v] = fixture_.dataset.labels.Get(v);
+  }
+  Matrix theta = testing::ConcentratedTheta(labels, 2, 0.01);
+  Rng rng(3);
+  auto comps = InitialComponents(attrs_, config_, &rng);
+  opt.EstimateComponents(theta, &comps);
+  const Matrix& beta = comps[0].beta();
+  // Cluster of community 0 concentrates on terms {0,1}; community 1 on
+  // {2,3} (up to label permutation).
+  const double c0_own = beta(0, 0) + beta(0, 1);
+  const double c0_other = beta(0, 2) + beta(0, 3);
+  EXPECT_GT(std::fabs(c0_own - c0_other), 0.8);
+}
+
+}  // namespace
+}  // namespace genclus

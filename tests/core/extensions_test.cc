@@ -1,0 +1,236 @@
+// Tests for the extension APIs: BIC/AIC model selection, fold-in
+// membership inference, and cluster interpretation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/genclus.h"
+#include "core/inference.h"
+#include "core/interpret.h"
+#include "core/model_selection.h"
+#include "prob/simplex.h"
+#include "tests/core/test_fixtures.h"
+
+namespace genclus {
+namespace {
+
+using testing::MakeTwoCommunityNetwork;
+
+GenClusConfig FastConfig() {
+  GenClusConfig config;
+  config.num_clusters = 2;
+  config.outer_iterations = 4;
+  config.em_iterations = 40;
+  config.num_init_seeds = 3;
+  config.seed = 11;
+  return config;
+}
+
+TEST(ModelSelectionTest, ParameterCountFormula) {
+  auto fixture = MakeTwoCommunityNetwork(4, 1.0, 201);
+  // n nodes * (K-1) + K * (vocab-1) + |R|.
+  const double n = fixture.dataset.network.num_nodes();
+  EXPECT_DOUBLE_EQ(CountModelParameters(fixture.dataset, {"text"}, 2),
+                   n * 1.0 + 2.0 * 3.0 + 3.0);
+  EXPECT_DOUBLE_EQ(CountModelParameters(fixture.dataset, {"text"}, 4),
+                   n * 3.0 + 4.0 * 3.0 + 3.0);
+}
+
+TEST(ModelSelectionTest, PrefersPlantedClusterCount) {
+  auto fixture = MakeTwoCommunityNetwork(10, 1.0, 203);
+  auto selection = SelectNumClusters(fixture.dataset, {"text"},
+                                     FastConfig(), 2, 4,
+                                     SelectionCriterion::kBic);
+  ASSERT_TRUE(selection.ok()) << selection.status().ToString();
+  ASSERT_EQ(selection->entries.size(), 3u);
+  // Two planted communities with disjoint vocabularies: K=2 should win
+  // under BIC (more clusters buy little likelihood at a parameter cost).
+  EXPECT_EQ(selection->best_num_clusters, 2u);
+  for (const auto& entry : selection->entries) {
+    EXPECT_TRUE(std::isfinite(entry.score));
+    EXPECT_GT(entry.num_parameters, 0.0);
+  }
+}
+
+TEST(ModelSelectionTest, AicAndBicBothComputed) {
+  auto fixture = MakeTwoCommunityNetwork(5, 1.0, 205);
+  auto aic = SelectNumClusters(fixture.dataset, {"text"}, FastConfig(), 2,
+                               3, SelectionCriterion::kAic);
+  auto bic = SelectNumClusters(fixture.dataset, {"text"}, FastConfig(), 2,
+                               3, SelectionCriterion::kBic);
+  ASSERT_TRUE(aic.ok() && bic.ok());
+  // Same likelihoods, different penalties.
+  EXPECT_DOUBLE_EQ(aic->entries[0].log_likelihood,
+                   bic->entries[0].log_likelihood);
+  EXPECT_NE(aic->entries[0].score, bic->entries[0].score);
+}
+
+TEST(ModelSelectionTest, RejectsBadInputs) {
+  auto fixture = MakeTwoCommunityNetwork(4, 1.0, 207);
+  EXPECT_FALSE(SelectNumClusters(fixture.dataset, {"text"}, FastConfig(),
+                                 1, 3)
+                   .ok());
+  EXPECT_FALSE(SelectNumClusters(fixture.dataset, {"text"}, FastConfig(),
+                                 4, 3)
+                   .ok());
+  EXPECT_FALSE(SelectNumClusters(fixture.dataset, {"ghost"}, FastConfig(),
+                                 2, 3)
+                   .ok());
+}
+
+class InferenceFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fixture_ = MakeTwoCommunityNetwork(8, 1.0, 209);
+    auto result = RunGenClus(fixture_.dataset, {"text"}, FastConfig());
+    ASSERT_TRUE(result.ok());
+    model_ = std::move(result).value();
+    // Which cluster did community 0 land in?
+    community0_cluster_ = static_cast<uint32_t>(
+        ArgMax(model_.theta.RowVector(fixture_.docs[0])));
+  }
+
+  testing::TwoCommunityNetwork fixture_;
+  GenClusResult model_;
+  uint32_t community0_cluster_ = 0;
+};
+
+TEST_F(InferenceFixture, LinksAloneAssignCorrectCluster) {
+  // A new doc linked to three community-0 docs, no text.
+  std::vector<NewObjectLink> links;
+  for (int i = 0; i < 3; ++i) {
+    links.push_back({fixture_.docs[i], fixture_.doc_doc, 1.0});
+  }
+  auto theta = InferMembership(fixture_.dataset.network, model_, links, {});
+  ASSERT_TRUE(theta.ok()) << theta.status().ToString();
+  EXPECT_TRUE(IsOnSimplex(*theta, 1e-9));
+  EXPECT_EQ(ArgMax(*theta), community0_cluster_);
+}
+
+TEST_F(InferenceFixture, TextAloneAssignsCorrectCluster) {
+  // Terms {2,3} belong to community 1.
+  std::vector<NewObjectObservation> obs;
+  NewObjectObservation o;
+  o.attribute = 0;
+  o.term = 2;
+  o.count = 3.0;
+  obs.push_back(o);
+  o.term = 3;
+  obs.push_back(o);
+  auto theta = InferMembership(fixture_.dataset.network, model_, {}, obs);
+  ASSERT_TRUE(theta.ok());
+  EXPECT_NE(ArgMax(*theta), community0_cluster_);
+}
+
+TEST_F(InferenceFixture, LinksAndTextCombine) {
+  std::vector<NewObjectLink> links = {
+      {fixture_.docs[0], fixture_.doc_doc, 2.0}};
+  NewObjectObservation o;
+  o.attribute = 0;
+  o.term = 0;  // community-0 term
+  o.count = 2.0;
+  auto theta = InferMembership(fixture_.dataset.network, model_, links, {o});
+  ASSERT_TRUE(theta.ok());
+  EXPECT_EQ(ArgMax(*theta), community0_cluster_);
+  // Stronger evidence than links alone.
+  auto links_only =
+      InferMembership(fixture_.dataset.network, model_, links, {});
+  ASSERT_TRUE(links_only.ok());
+  EXPECT_GE((*theta)[community0_cluster_],
+            (*links_only)[community0_cluster_] - 1e-9);
+}
+
+TEST_F(InferenceFixture, NoEvidenceIsUniform) {
+  auto theta = InferMembership(fixture_.dataset.network, model_, {}, {});
+  ASSERT_TRUE(theta.ok());
+  EXPECT_NEAR((*theta)[0], 0.5, 1e-9);
+  EXPECT_NEAR((*theta)[1], 0.5, 1e-9);
+}
+
+TEST_F(InferenceFixture, RejectsBadReferences) {
+  EXPECT_FALSE(InferMembership(fixture_.dataset.network, model_,
+                               {{9999, fixture_.doc_doc, 1.0}}, {})
+                   .ok());
+  EXPECT_FALSE(InferMembership(fixture_.dataset.network, model_,
+                               {{fixture_.docs[0], 99, 1.0}}, {})
+                   .ok());
+  EXPECT_FALSE(InferMembership(fixture_.dataset.network, model_,
+                               {{fixture_.docs[0], fixture_.doc_doc, -1.0}},
+                               {})
+                   .ok());
+  NewObjectObservation bad;
+  bad.attribute = 42;
+  EXPECT_FALSE(
+      InferMembership(fixture_.dataset.network, model_, {}, {bad}).ok());
+}
+
+TEST(InterpretTest, TopTermsIdentifyCommunityVocabulary) {
+  auto fixture = MakeTwoCommunityNetwork(10, 1.0, 211);
+  auto result = RunGenClus(fixture.dataset, {"text"}, FastConfig());
+  ASSERT_TRUE(result.ok());
+  auto top = TopTermsPerCluster(fixture.dataset.attributes[0],
+                                result->components[0], 2);
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top->size(), 2u);
+  // Each cluster's top-2 terms must be one community's pair {0,1} or {2,3}.
+  for (const auto& terms : *top) {
+    ASSERT_EQ(terms.size(), 2u);
+    const uint32_t lo = std::min(terms[0].term, terms[1].term);
+    const uint32_t hi = std::max(terms[0].term, terms[1].term);
+    EXPECT_TRUE((lo == 0 && hi == 1) || (lo == 2 && hi == 3))
+        << lo << "," << hi;
+    EXPECT_GT(terms[0].lift, 1.0);
+  }
+}
+
+TEST(InterpretTest, RepresentativeObjectsAreConcentrated) {
+  auto fixture = MakeTwoCommunityNetwork(10, 1.0, 213);
+  auto result = RunGenClus(fixture.dataset, {"text"}, FastConfig());
+  ASSERT_TRUE(result.ok());
+  auto reps = RepresentativeObjects(fixture.dataset.network, result->theta,
+                                    3);
+  ASSERT_TRUE(reps.ok());
+  ASSERT_EQ(reps->size(), 2u);
+  for (size_t k = 0; k < 2; ++k) {
+    ASSERT_FALSE((*reps)[k].empty());
+    // The first representative is at least as concentrated as the rest.
+    const double first = result->theta((*reps)[k][0], k);
+    for (NodeId v : (*reps)[k]) {
+      EXPECT_LE(result->theta(v, k), first + 1e-12);
+      EXPECT_EQ(ArgMax(result->theta.RowVector(v)), k);
+    }
+  }
+}
+
+TEST(InterpretTest, RepresentativeObjectsFilterByType) {
+  auto fixture = MakeTwoCommunityNetwork(6, 1.0, 215);
+  auto result = RunGenClus(fixture.dataset, {"text"}, FastConfig());
+  ASSERT_TRUE(result.ok());
+  auto reps = RepresentativeObjects(fixture.dataset.network, result->theta,
+                                    10, fixture.tag_type);
+  ASSERT_TRUE(reps.ok());
+  size_t total = 0;
+  for (const auto& cluster : *reps) {
+    for (NodeId v : cluster) {
+      EXPECT_EQ(fixture.dataset.network.node_type(v), fixture.tag_type);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, 2u);  // both tags assigned somewhere
+}
+
+TEST(InterpretTest, RejectsBadInputs) {
+  auto fixture = MakeTwoCommunityNetwork(4, 1.0, 217);
+  auto result = RunGenClus(fixture.dataset, {"text"}, FastConfig());
+  ASSERT_TRUE(result.ok());
+  Attribute numerical =
+      Attribute::Numerical("x", fixture.dataset.network.num_nodes());
+  EXPECT_FALSE(
+      TopTermsPerCluster(numerical, result->components[0], 3).ok());
+  Matrix wrong(3, 2, 0.5);
+  EXPECT_FALSE(
+      RepresentativeObjects(fixture.dataset.network, wrong, 3).ok());
+}
+
+}  // namespace
+}  // namespace genclus

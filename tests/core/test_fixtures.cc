@@ -1,0 +1,93 @@
+#include "tests/core/test_fixtures.h"
+
+#include "common/check.h"
+
+namespace genclus::testing {
+
+TwoCommunityNetwork MakeTwoCommunityNetwork(size_t docs_per_side,
+                                            double text_fraction,
+                                            uint64_t seed) {
+  GENCLUS_CHECK_GE(docs_per_side, 2u);
+  Rng rng(seed);
+  TwoCommunityNetwork out;
+
+  Schema schema;
+  out.doc_type = schema.AddObjectType("doc").value();
+  out.tag_type = schema.AddObjectType("tag").value();
+  out.doc_doc = schema.AddLinkType("doc_doc", out.doc_type, out.doc_type)
+                    .value();
+  out.doc_tag = schema.AddLinkType("doc_tag", out.doc_type, out.tag_type)
+                    .value();
+  out.tag_doc = schema.AddLinkType("tag_doc", out.tag_type, out.doc_type)
+                    .value();
+  GENCLUS_CHECK(schema.SetInverse(out.doc_tag, out.tag_doc).ok());
+
+  NetworkBuilder builder(schema);
+  const size_t n_docs = docs_per_side * 2;
+  for (size_t i = 0; i < n_docs; ++i) {
+    out.docs.push_back(builder.AddNode(out.doc_type).value());
+  }
+  for (size_t c = 0; c < 2; ++c) {
+    out.tags.push_back(builder.AddNode(out.tag_type).value());
+  }
+
+  // Ring + chord links within each community (sparse but connected).
+  for (size_t side = 0; side < 2; ++side) {
+    const size_t base = side * docs_per_side;
+    for (size_t i = 0; i < docs_per_side; ++i) {
+      const NodeId u = out.docs[base + i];
+      const NodeId v = out.docs[base + (i + 1) % docs_per_side];
+      GENCLUS_CHECK(builder.AddLink(u, v, out.doc_doc, 1.0).ok());
+      GENCLUS_CHECK(builder.AddLink(v, u, out.doc_doc, 1.0).ok());
+    }
+    for (size_t i = 0; i < docs_per_side; ++i) {
+      GENCLUS_CHECK(builder
+                        .AddLink(out.docs[base + i], out.tags[side],
+                                 out.doc_tag, 1.0)
+                        .ok());
+      GENCLUS_CHECK(builder
+                        .AddLink(out.tags[side], out.docs[base + i],
+                                 out.tag_doc, 1.0)
+                        .ok());
+    }
+  }
+
+  out.dataset.network = std::move(builder).Build().value();
+  const size_t n = out.dataset.network.num_nodes();
+
+  Attribute text = Attribute::Categorical("text", 4, n);
+  for (size_t i = 0; i < n_docs; ++i) {
+    if (rng.Uniform() >= text_fraction) continue;
+    const size_t side = i < docs_per_side ? 0 : 1;
+    // 3 term draws per document from the community's two terms.
+    for (int d = 0; d < 3; ++d) {
+      const uint32_t term =
+          static_cast<uint32_t>(2 * side + rng.UniformIndex(2));
+      GENCLUS_CHECK(text.AddTermCount(out.docs[i], term, 1.0).ok());
+    }
+  }
+  out.dataset.attributes.push_back(std::move(text));
+
+  out.dataset.labels = Labels(n);
+  for (size_t i = 0; i < n_docs; ++i) {
+    out.dataset.labels.Set(out.docs[i], i < docs_per_side ? 0 : 1);
+  }
+  for (size_t c = 0; c < 2; ++c) {
+    out.dataset.labels.Set(out.tags[c], static_cast<uint32_t>(c));
+  }
+  GENCLUS_CHECK(out.dataset.Validate().ok());
+  return out;
+}
+
+Matrix ConcentratedTheta(const std::vector<uint32_t>& labels,
+                         size_t num_clusters, double eps) {
+  Matrix theta(labels.size(), num_clusters,
+               eps / static_cast<double>(num_clusters - 1));
+  for (size_t v = 0; v < labels.size(); ++v) {
+    GENCLUS_CHECK_LT(labels[v], num_clusters);
+    theta(v, labels[v]) = 1.0 - eps;
+  }
+  return theta;
+}
+
+}  // namespace genclus::testing

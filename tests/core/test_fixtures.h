@@ -1,0 +1,41 @@
+// Shared fixtures for the core-algorithm tests: tiny deterministic networks
+// with planted cluster structure.
+#pragma once
+
+#include <vector>
+
+#include "common/random.h"
+#include "hin/dataset.h"
+#include "linalg/matrix.h"
+
+namespace genclus::testing {
+
+/// Handles into a two-community test network.
+struct TwoCommunityNetwork {
+  Dataset dataset;
+  ObjectTypeId doc_type;
+  ObjectTypeId tag_type;
+  LinkTypeId doc_doc;   // strong intra-community relation
+  LinkTypeId doc_tag;   // doc -> tag
+  LinkTypeId tag_doc;   // tag -> doc
+  std::vector<NodeId> docs;  // docs_per_side * 2, first half community 0
+  std::vector<NodeId> tags;  // one tag per community
+};
+
+/// Builds a network with two planted communities of `docs_per_side`
+/// document nodes each. Documents link densely within their community
+/// (doc_doc), every document links to its community's tag node (doc_tag,
+/// tag_doc back). Documents carry a 4-term text attribute: community 0
+/// uses terms {0,1}, community 1 uses terms {2,3}. `text_fraction` controls
+/// incompleteness: only that fraction of documents receives text. Tags
+/// never carry text.
+TwoCommunityNetwork MakeTwoCommunityNetwork(size_t docs_per_side,
+                                            double text_fraction,
+                                            uint64_t seed);
+
+/// A membership matrix where each node's row concentrates (1 - eps) on
+/// `labels[v]`.
+Matrix ConcentratedTheta(const std::vector<uint32_t>& labels,
+                         size_t num_clusters, double eps);
+
+}  // namespace genclus::testing

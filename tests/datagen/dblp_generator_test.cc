@@ -1,0 +1,208 @@
+#include "datagen/dblp_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace genclus {
+namespace {
+
+DblpConfig SmallConfig() {
+  DblpConfig config;
+  config.num_conferences = 8;
+  config.num_authors = 60;
+  config.num_papers = 150;
+  config.vocab_size = 120;
+  config.terms_per_area = 20;
+  config.seed = 55;
+  return config;
+}
+
+TEST(DblpCorpusTest, ShapeAndRanges) {
+  auto corpus = GenerateDblpCorpus(SmallConfig());
+  ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+  EXPECT_EQ(corpus->num_areas, 4u);
+  EXPECT_EQ(corpus->conference_area.size(), 8u);
+  EXPECT_EQ(corpus->author_area.size(), 60u);
+  EXPECT_EQ(corpus->papers.size(), 150u);
+  for (uint32_t a : corpus->conference_area) EXPECT_LT(a, 4u);
+  for (uint32_t a : corpus->author_area) EXPECT_LT(a, 4u);
+  for (const auto& paper : corpus->papers) {
+    EXPECT_LT(paper.area, 4u);
+    EXPECT_LT(paper.conference, 8u);
+    EXPECT_FALSE(paper.authors.empty());
+    EXPECT_LE(paper.authors.size(), 3u);  // lead + max_coauthors
+    EXPECT_GE(paper.title.size(), 6u);
+    EXPECT_LE(paper.title.size(), 12u);
+    for (uint32_t t : paper.title) EXPECT_LT(t, 120u);
+    // Authors are unique within a paper.
+    for (size_t i = 0; i < paper.authors.size(); ++i) {
+      for (size_t j = i + 1; j < paper.authors.size(); ++j) {
+        EXPECT_NE(paper.authors[i], paper.authors[j]);
+      }
+    }
+  }
+}
+
+TEST(DblpCorpusTest, ConferencesCycleThroughAreas) {
+  auto corpus = GenerateDblpCorpus(SmallConfig());
+  ASSERT_TRUE(corpus.ok());
+  // 8 conferences, 4 areas: exactly 2 each.
+  std::map<uint32_t, int> counts;
+  for (uint32_t a : corpus->conference_area) counts[a]++;
+  for (const auto& [area, count] : counts) EXPECT_EQ(count, 2) << area;
+}
+
+TEST(DblpCorpusTest, PapersMostlyInOwnAreaConference) {
+  auto corpus = GenerateDblpCorpus(SmallConfig());
+  ASSERT_TRUE(corpus.ok());
+  size_t matched = 0;
+  for (const auto& paper : corpus->papers) {
+    if (corpus->conference_area[paper.conference] == paper.area) ++matched;
+  }
+  // conference_area_fidelity = 0.65 plus the 1/4 chance an off-area draw
+  // lands in-area anyway: ~0.74 expected.
+  EXPECT_GT(static_cast<double>(matched) / corpus->papers.size(), 0.6);
+  EXPECT_LT(static_cast<double>(matched) / corpus->papers.size(), 0.9);
+}
+
+TEST(DblpCorpusTest, TitlesSkewTowardAreaTerms) {
+  auto corpus = GenerateDblpCorpus(SmallConfig());
+  ASSERT_TRUE(corpus.ok());
+  size_t in_area = 0;
+  size_t total = 0;
+  for (const auto& paper : corpus->papers) {
+    for (uint32_t term : paper.title) {
+      ++total;
+      if (term / 20 == paper.area) ++in_area;  // terms_per_area = 20
+    }
+  }
+  // background_term_prob = 0.3, so ~70% of terms are area-specific.
+  EXPECT_GT(static_cast<double>(in_area) / total, 0.6);
+}
+
+TEST(DblpCorpusTest, DeterministicGivenSeed) {
+  auto a = GenerateDblpCorpus(SmallConfig());
+  auto b = GenerateDblpCorpus(SmallConfig());
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->papers.size(), b->papers.size());
+  for (size_t p = 0; p < a->papers.size(); ++p) {
+    EXPECT_EQ(a->papers[p].title, b->papers[p].title);
+    EXPECT_EQ(a->papers[p].authors, b->papers[p].authors);
+    EXPECT_EQ(a->papers[p].conference, b->papers[p].conference);
+  }
+}
+
+TEST(DblpCorpusTest, RejectsBadConfig) {
+  DblpConfig config = SmallConfig();
+  config.vocab_size = 80;  // == num_areas * terms_per_area: no background
+  EXPECT_FALSE(GenerateDblpCorpus(config).ok());
+  config = SmallConfig();
+  config.num_conferences = 2;  // fewer than areas
+  EXPECT_FALSE(GenerateDblpCorpus(config).ok());
+  config = SmallConfig();
+  config.title_min_terms = 5;
+  config.title_max_terms = 3;
+  EXPECT_FALSE(GenerateDblpCorpus(config).ok());
+}
+
+TEST(AcNetworkTest, SchemaAndShape) {
+  auto corpus = GenerateDblpCorpus(SmallConfig());
+  ASSERT_TRUE(corpus.ok());
+  auto ac = BuildAcNetwork(*corpus, SmallConfig());
+  ASSERT_TRUE(ac.ok()) << ac.status().ToString();
+  const Network& net = ac->dataset.network;
+  EXPECT_EQ(net.num_nodes(), 68u);  // 60 authors + 8 conferences
+  EXPECT_EQ(net.schema().num_link_types(), 3u);
+  // publish_in and published_by are declared inverses.
+  EXPECT_EQ(net.schema().link_type(ac->publish_in).inverse,
+            ac->published_by);
+}
+
+TEST(AcNetworkTest, WeightsCountPapers) {
+  auto config = SmallConfig();
+  auto corpus = GenerateDblpCorpus(config);
+  ASSERT_TRUE(corpus.ok());
+  auto ac = BuildAcNetwork(*corpus, config);
+  ASSERT_TRUE(ac.ok());
+  const Network& net = ac->dataset.network;
+  // Sum of publish_in weights equals the total number of (author, paper)
+  // pairs grouped by conference — i.e. total authorships.
+  size_t authorships = 0;
+  for (const auto& paper : corpus->papers) {
+    authorships += paper.authors.size();
+  }
+  EXPECT_DOUBLE_EQ(net.LinkWeightsByType()[ac->publish_in],
+                   static_cast<double>(authorships));
+  // publish_in and published_by mirror each other.
+  EXPECT_DOUBLE_EQ(net.LinkWeightsByType()[ac->publish_in],
+                   net.LinkWeightsByType()[ac->published_by]);
+}
+
+TEST(AcNetworkTest, EveryObjectHasText) {
+  // The AC network is the paper's "complete attribute" case: authors and
+  // conferences all aggregate their papers' titles.
+  auto config = SmallConfig();
+  auto corpus = GenerateDblpCorpus(config);
+  auto ac = BuildAcNetwork(*corpus, config);
+  ASSERT_TRUE(ac.ok());
+  const Attribute& text = ac->dataset.attributes[ac->text_attr];
+  // All conferences certainly publish something in a 150-paper corpus.
+  for (NodeId c : ac->conference_nodes) {
+    EXPECT_TRUE(text.HasObservations(c));
+  }
+  // Labels cover both types.
+  EXPECT_EQ(ac->dataset.labels.NumLabeled(),
+            ac->dataset.network.num_nodes());
+}
+
+TEST(AcpNetworkTest, OnlyPapersHaveText) {
+  auto config = SmallConfig();
+  auto corpus = GenerateDblpCorpus(config);
+  auto acp = BuildAcpNetwork(*corpus, config);
+  ASSERT_TRUE(acp.ok()) << acp.status().ToString();
+  const Attribute& text = acp->dataset.attributes[acp->text_attr];
+  for (NodeId a : acp->author_nodes) EXPECT_FALSE(text.HasObservations(a));
+  for (NodeId c : acp->conference_nodes) {
+    EXPECT_FALSE(text.HasObservations(c));
+  }
+  for (NodeId p : acp->paper_nodes) EXPECT_TRUE(text.HasObservations(p));
+}
+
+TEST(AcpNetworkTest, BinaryLinksAndInverses) {
+  auto config = SmallConfig();
+  auto corpus = GenerateDblpCorpus(config);
+  auto acp = BuildAcpNetwork(*corpus, config);
+  ASSERT_TRUE(acp.ok());
+  const Network& net = acp->dataset.network;
+  for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    for (const LinkEntry& e : net.OutLinks(v)) {
+      EXPECT_DOUBLE_EQ(e.weight, 1.0);
+    }
+  }
+  // Every paper has exactly one conference (publish + published_by pair).
+  EXPECT_EQ(net.LinkCountsByType()[acp->publish], corpus->papers.size());
+  EXPECT_EQ(net.LinkCountsByType()[acp->published_by],
+            corpus->papers.size());
+  // write/written_by mirror.
+  EXPECT_EQ(net.LinkCountsByType()[acp->write],
+            net.LinkCountsByType()[acp->written_by]);
+}
+
+TEST(AcpNetworkTest, LabelsMatchCorpusGroundTruth) {
+  auto config = SmallConfig();
+  auto corpus = GenerateDblpCorpus(config);
+  auto acp = BuildAcpNetwork(*corpus, config);
+  ASSERT_TRUE(acp.ok());
+  for (size_t p = 0; p < corpus->papers.size(); ++p) {
+    EXPECT_EQ(acp->dataset.labels.Get(acp->paper_nodes[p]),
+              corpus->papers[p].area);
+  }
+  for (size_t a = 0; a < corpus->author_area.size(); ++a) {
+    EXPECT_EQ(acp->dataset.labels.Get(acp->author_nodes[a]),
+              corpus->author_area[a]);
+  }
+}
+
+}  // namespace
+}  // namespace genclus

@@ -1,0 +1,200 @@
+#include "datagen/weather_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "prob/simplex.h"
+
+namespace genclus {
+namespace {
+
+WeatherConfig SmallConfig() {
+  WeatherConfig config = WeatherConfig::Setting1();
+  config.num_temperature_sensors = 60;
+  config.num_precipitation_sensors = 30;
+  config.k_nearest = 3;
+  config.observations_per_sensor = 5;
+  config.seed = 77;
+  return config;
+}
+
+TEST(WeatherGenTest, NetworkShape) {
+  auto data = GenerateWeatherNetwork(SmallConfig());
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  const Network& net = data->dataset.network;
+  EXPECT_EQ(net.num_nodes(), 90u);
+  // Every sensor has exactly k out-links per neighbor type.
+  for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    EXPECT_EQ(net.OutDegree(v), 6u) << "node " << v;
+  }
+  EXPECT_EQ(net.num_links(), 90u * 6u);
+  EXPECT_EQ(net.schema().num_link_types(), 4u);
+}
+
+TEST(WeatherGenTest, LinkTypesRespectEndpointTypes) {
+  auto data = GenerateWeatherNetwork(SmallConfig());
+  ASSERT_TRUE(data.ok());
+  const Network& net = data->dataset.network;
+  for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    for (const LinkEntry& e : net.OutLinks(v)) {
+      const LinkTypeInfo& info = net.schema().link_type(e.type);
+      EXPECT_EQ(net.node_type(v), info.source_type);
+      EXPECT_EQ(net.node_type(e.neighbor), info.target_type);
+      EXPECT_DOUBLE_EQ(e.weight, 1.0);  // binary kNN links
+      EXPECT_NE(e.neighbor, v);         // no self-links
+    }
+  }
+}
+
+TEST(WeatherGenTest, SensorsObserveOnlyOwnAttribute) {
+  auto data = GenerateWeatherNetwork(SmallConfig());
+  ASSERT_TRUE(data.ok());
+  const Network& net = data->dataset.network;
+  const Attribute& temp = data->dataset.attributes[data->temperature_attr];
+  const Attribute& precip =
+      data->dataset.attributes[data->precipitation_attr];
+  for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    if (net.node_type(v) == data->temperature_type) {
+      EXPECT_EQ(temp.Values(v).size(), 5u);
+      EXPECT_TRUE(precip.Values(v).empty());
+    } else {
+      EXPECT_TRUE(temp.Values(v).empty());
+      EXPECT_EQ(precip.Values(v).size(), 5u);
+    }
+  }
+}
+
+TEST(WeatherGenTest, TrueMembershipOnSimplexWithCorrectSupport) {
+  auto data = GenerateWeatherNetwork(SmallConfig());
+  ASSERT_TRUE(data.ok());
+  const Network& net = data->dataset.network;
+  for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    auto member = data->true_membership.RowVector(v);
+    EXPECT_TRUE(IsOnSimplex(member, 1e-9));
+    // T sensors mix over 2 rings, P sensors over 3.
+    size_t support = 0;
+    for (double m : member) {
+      if (m > 0.0) ++support;
+    }
+    if (net.node_type(v) == data->temperature_type) {
+      EXPECT_LE(support, 2u);
+    } else {
+      EXPECT_LE(support, 3u);
+    }
+    EXPECT_EQ(data->true_labels[v], ArgMax(member));
+    EXPECT_EQ(data->dataset.labels.Get(v), data->true_labels[v]);
+  }
+}
+
+TEST(WeatherGenTest, LocationsInsideUnitDisk) {
+  auto data = GenerateWeatherNetwork(SmallConfig());
+  ASSERT_TRUE(data.ok());
+  for (const auto& loc : data->locations) {
+    EXPECT_LE(std::hypot(loc[0], loc[1]), 1.0 + 1e-12);
+  }
+}
+
+TEST(WeatherGenTest, KnnLinksPointToGeometricNeighbors) {
+  auto data = GenerateWeatherNetwork(SmallConfig());
+  ASSERT_TRUE(data.ok());
+  const Network& net = data->dataset.network;
+  // For a sampled node, every linked neighbor of a type must be no farther
+  // than the (k+1)-th nearest node of that type (ties aside, the k chosen
+  // are the closest).
+  const NodeId v = 5;
+  for (const LinkEntry& e : net.OutLinks(v)) {
+    const ObjectTypeId target_type = net.node_type(e.neighbor);
+    const double link_dist =
+        std::hypot(data->locations[v][0] - data->locations[e.neighbor][0],
+                   data->locations[v][1] - data->locations[e.neighbor][1]);
+    // Count how many same-type nodes are strictly closer than this one.
+    size_t closer = 0;
+    for (NodeId u : net.NodesOfType(target_type)) {
+      if (u == v || u == e.neighbor) continue;
+      const double d =
+          std::hypot(data->locations[v][0] - data->locations[u][0],
+                     data->locations[v][1] - data->locations[u][1]);
+      if (d < link_dist) ++closer;
+    }
+    EXPECT_LT(closer, 3u);  // k = 3: at most 2 same-type nodes closer
+  }
+}
+
+TEST(WeatherGenTest, ObservationsNearPatternMeans) {
+  // With Setting 1 and small stddev, observed values must lie in the
+  // convex region spanned by the pattern means (plus noise margin).
+  auto data = GenerateWeatherNetwork(SmallConfig());
+  ASSERT_TRUE(data.ok());
+  const Attribute& temp = data->dataset.attributes[data->temperature_attr];
+  for (NodeId v = 0; v < data->dataset.network.num_nodes(); ++v) {
+    for (double x : temp.Values(v)) {
+      EXPECT_GT(x, 1.0 - 1.5);
+      EXPECT_LT(x, 4.0 + 1.5);
+    }
+  }
+}
+
+TEST(WeatherGenTest, DeterministicGivenSeed) {
+  auto a = GenerateWeatherNetwork(SmallConfig());
+  auto b = GenerateWeatherNetwork(SmallConfig());
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->dataset.network.num_links(), b->dataset.network.num_links());
+  EXPECT_DOUBLE_EQ(
+      Matrix::MaxAbsDiff(a->true_membership, b->true_membership), 0.0);
+  const Attribute& ta = a->dataset.attributes[0];
+  const Attribute& tb = b->dataset.attributes[0];
+  for (NodeId v = 0; v < 60; ++v) {
+    ASSERT_EQ(ta.Values(v).size(), tb.Values(v).size());
+    for (size_t i = 0; i < ta.Values(v).size(); ++i) {
+      EXPECT_DOUBLE_EQ(ta.Values(v)[i], tb.Values(v)[i]);
+    }
+  }
+}
+
+TEST(WeatherGenTest, Setting2MeansAreUsed) {
+  WeatherConfig config = WeatherConfig::Setting2();
+  config.num_temperature_sensors = 40;
+  config.num_precipitation_sensors = 20;
+  config.k_nearest = 3;
+  config.observations_per_sensor = 10;
+  config.seed = 5;
+  auto data = GenerateWeatherNetwork(config);
+  ASSERT_TRUE(data.ok());
+  // Setting 2 temperature means are +-1: all values within noise of that.
+  const Attribute& temp = data->dataset.attributes[data->temperature_attr];
+  for (NodeId v = 0; v < 40; ++v) {
+    for (double x : temp.Values(v)) {
+      EXPECT_LT(std::fabs(std::fabs(x) - 1.0), 1.5);
+    }
+  }
+}
+
+TEST(WeatherGenTest, RejectsBadConfig) {
+  WeatherConfig config = SmallConfig();
+  config.k_nearest = 0;
+  EXPECT_FALSE(GenerateWeatherNetwork(config).ok());
+  config = SmallConfig();
+  config.k_nearest = 500;  // more neighbors than sensors
+  EXPECT_FALSE(GenerateWeatherNetwork(config).ok());
+  config = SmallConfig();
+  config.num_precipitation_sensors = 0;
+  EXPECT_FALSE(GenerateWeatherNetwork(config).ok());
+  config = SmallConfig();
+  config.pattern_stddev = 0.0;
+  EXPECT_FALSE(GenerateWeatherNetwork(config).ok());
+  config = SmallConfig();
+  config.patterns = {{1.0, 1.0}};  // single pattern
+  EXPECT_FALSE(GenerateWeatherNetwork(config).ok());
+}
+
+TEST(WeatherGenTest, InverseRelationDeclared) {
+  auto data = GenerateWeatherNetwork(SmallConfig());
+  ASSERT_TRUE(data.ok());
+  const Schema& schema = data->dataset.network.schema();
+  EXPECT_EQ(schema.link_type(data->tp_link).inverse, data->pt_link);
+  EXPECT_EQ(schema.link_type(data->pt_link).inverse, data->tp_link);
+}
+
+}  // namespace
+}  // namespace genclus

@@ -1,0 +1,86 @@
+// Parameterized sweeps over the weather generator: structural invariants
+// must hold for every (size, k, nobs, setting) combination.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datagen/weather_generator.h"
+#include "prob/simplex.h"
+
+namespace genclus {
+namespace {
+
+struct WeatherCase {
+  size_t num_t;
+  size_t num_p;
+  size_t k;
+  size_t nobs;
+  int setting;
+};
+
+void PrintTo(const WeatherCase& c, std::ostream* os) {
+  *os << "T" << c.num_t << "P" << c.num_p << "k" << c.k << "obs" << c.nobs
+      << "s" << c.setting;
+}
+
+class WeatherSweep : public ::testing::TestWithParam<WeatherCase> {};
+
+TEST_P(WeatherSweep, StructuralInvariants) {
+  const WeatherCase c = GetParam();
+  WeatherConfig config =
+      c.setting == 1 ? WeatherConfig::Setting1() : WeatherConfig::Setting2();
+  config.num_temperature_sensors = c.num_t;
+  config.num_precipitation_sensors = c.num_p;
+  config.k_nearest = c.k;
+  config.observations_per_sensor = c.nobs;
+  config.seed = 31 * c.num_t + c.nobs;
+  auto data = GenerateWeatherNetwork(config);
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  const Network& net = data->dataset.network;
+
+  // Node and link counts.
+  EXPECT_EQ(net.num_nodes(), c.num_t + c.num_p);
+  EXPECT_EQ(net.num_links(), (c.num_t + c.num_p) * 2 * c.k);
+  // Per-relation counts: every sensor emits k links per target type.
+  const auto& counts = net.LinkCountsByType();
+  EXPECT_EQ(counts[data->tt_link], c.num_t * c.k);
+  EXPECT_EQ(counts[data->tp_link], c.num_t * c.k);
+  EXPECT_EQ(counts[data->pt_link], c.num_p * c.k);
+  EXPECT_EQ(counts[data->pp_link], c.num_p * c.k);
+
+  // Memberships on the simplex; labels consistent; observations counted.
+  double total_t_obs = 0.0;
+  double total_p_obs = 0.0;
+  for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    EXPECT_TRUE(IsOnSimplex(data->true_membership.RowVector(v), 1e-9));
+    EXPECT_EQ(data->true_labels[v],
+              ArgMax(data->true_membership.RowVector(v)));
+    total_t_obs += data->dataset.attributes[0].Values(v).size();
+    total_p_obs += data->dataset.attributes[1].Values(v).size();
+  }
+  EXPECT_DOUBLE_EQ(total_t_obs, static_cast<double>(c.num_t * c.nobs));
+  EXPECT_DOUBLE_EQ(total_p_obs, static_cast<double>(c.num_p * c.nobs));
+
+  // Equal-area rings + uniform placement: every cluster gets a
+  // substantial share of sensors (no degenerate tiny cluster).
+  std::vector<size_t> per_cluster(4, 0);
+  for (uint32_t l : data->true_labels) per_cluster[l]++;
+  for (size_t k2 = 0; k2 < 4; ++k2) {
+    EXPECT_GT(per_cluster[k2], (c.num_t + c.num_p) / 20)
+        << "cluster " << k2;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WeatherSweep,
+    ::testing::Values(WeatherCase{40, 20, 2, 1, 1},
+                      WeatherCase{60, 30, 3, 5, 1},
+                      WeatherCase{80, 40, 5, 5, 1},
+                      WeatherCase{60, 30, 3, 20, 1},
+                      WeatherCase{40, 20, 2, 1, 2},
+                      WeatherCase{60, 30, 3, 5, 2},
+                      WeatherCase{100, 25, 4, 5, 2},
+                      WeatherCase{50, 50, 3, 10, 2}));
+
+}  // namespace
+}  // namespace genclus

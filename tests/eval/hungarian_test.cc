@@ -1,0 +1,99 @@
+#include "eval/hungarian.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace genclus {
+namespace {
+
+// Brute-force optimal assignment for cross-checking (n <= 8).
+double BruteForceMax(const Matrix& value) {
+  const size_t n = value.rows();
+  std::vector<size_t> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = i;
+  double best = -1e300;
+  do {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) total += value(i, perm[i]);
+    best = std::max(best, total);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+TEST(HungarianTest, IdentityIsOptimalForDiagonalMatrix) {
+  Matrix v = {{5.0, 0.0, 0.0}, {0.0, 5.0, 0.0}, {0.0, 0.0, 5.0}};
+  auto r = SolveMaxAssignment(v);
+  EXPECT_DOUBLE_EQ(r.total_value, 15.0);
+  for (size_t i = 0; i < 3; ++i) EXPECT_EQ(r.assignment[i], i);
+}
+
+TEST(HungarianTest, AntiDiagonalForcesPermutation) {
+  Matrix v = {{0.0, 1.0}, {1.0, 0.0}};
+  auto r = SolveMaxAssignment(v);
+  EXPECT_DOUBLE_EQ(r.total_value, 2.0);
+  EXPECT_EQ(r.assignment[0], 1u);
+  EXPECT_EQ(r.assignment[1], 0u);
+}
+
+TEST(HungarianTest, KnownThreeByThree) {
+  // Classic example: optimal = 5 + 8 + 4 = ... verify against brute force.
+  Matrix v = {{5.0, 3.0, 1.0}, {2.0, 8.0, 4.0}, {7.0, 6.0, 4.0}};
+  auto r = SolveMaxAssignment(v);
+  EXPECT_DOUBLE_EQ(r.total_value, BruteForceMax(v));
+}
+
+TEST(HungarianTest, AssignmentIsAPermutation) {
+  Rng rng(7);
+  Matrix v(6, 6);
+  for (size_t i = 0; i < 6; ++i) {
+    for (size_t j = 0; j < 6; ++j) v(i, j) = rng.Uniform(0.0, 10.0);
+  }
+  auto r = SolveMaxAssignment(v);
+  std::vector<bool> used(6, false);
+  for (size_t col : r.assignment) {
+    ASSERT_LT(col, 6u);
+    EXPECT_FALSE(used[col]);
+    used[col] = true;
+  }
+}
+
+TEST(HungarianTest, MatchesBruteForceOnRandomMatrices) {
+  Rng rng(11);
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t n = 2 + rng.UniformIndex(5);  // 2..6
+    Matrix v(n, n);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) v(i, j) = rng.Uniform(-5.0, 5.0);
+    }
+    auto r = SolveMaxAssignment(v);
+    EXPECT_NEAR(r.total_value, BruteForceMax(v), 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(HungarianTest, MinAssignment) {
+  Matrix cost = {{4.0, 1.0, 3.0}, {2.0, 0.0, 5.0}, {3.0, 2.0, 2.0}};
+  auto r = SolveMinAssignment(cost);
+  // Optimal min cost is 1 + 2 + 2 = 5 (cols 1, 0, 2).
+  EXPECT_DOUBLE_EQ(r.total_value, 5.0);
+}
+
+TEST(HungarianTest, EmptyMatrix) {
+  Matrix v(0, 0);
+  auto r = SolveMaxAssignment(v);
+  EXPECT_TRUE(r.assignment.empty());
+  EXPECT_DOUBLE_EQ(r.total_value, 0.0);
+}
+
+TEST(HungarianTest, SingleElement) {
+  Matrix v = {{3.5}};
+  auto r = SolveMaxAssignment(v);
+  ASSERT_EQ(r.assignment.size(), 1u);
+  EXPECT_EQ(r.assignment[0], 0u);
+  EXPECT_DOUBLE_EQ(r.total_value, 3.5);
+}
+
+}  // namespace
+}  // namespace genclus

@@ -1,0 +1,177 @@
+#include "eval/link_prediction.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace genclus {
+namespace {
+
+// Two authors, three conferences; each author links to "their" conferences.
+struct LinkPredFixture {
+  Network net;
+  LinkTypeId ac;
+  NodeId a0, a1, c0, c1, c2;
+
+  LinkPredFixture() {
+    Schema schema;
+    auto a = schema.AddObjectType("A").value();
+    auto c = schema.AddObjectType("C").value();
+    ac = schema.AddLinkType("ac", a, c).value();
+    NetworkBuilder builder(std::move(schema));
+    a0 = builder.AddNode(a).value();
+    a1 = builder.AddNode(a).value();
+    c0 = builder.AddNode(c).value();
+    c1 = builder.AddNode(c).value();
+    c2 = builder.AddNode(c).value();
+    // a0 publishes in c0 and c1; a1 publishes in c2.
+    EXPECT_TRUE(builder.AddLink(a0, c0, ac, 2.0).ok());
+    EXPECT_TRUE(builder.AddLink(a0, c1, ac, 1.0).ok());
+    EXPECT_TRUE(builder.AddLink(a1, c2, ac, 1.0).ok());
+    net = std::move(builder).Build().value();
+  }
+};
+
+Matrix PerfectTheta(const LinkPredFixture& f) {
+  // Cluster 0 = {a0, c0, c1}; cluster 1 = {a1, c2}.
+  Matrix theta(f.net.num_nodes(), 2, 0.05);
+  theta(f.a0, 0) = 0.95;
+  theta(f.a1, 1) = 0.95;
+  theta(f.c0, 0) = 0.95;
+  theta(f.c1, 0) = 0.95;
+  theta(f.c2, 1) = 0.95;
+  for (size_t v = 0; v < theta.rows(); ++v) {
+    double total = theta(v, 0) + theta(v, 1);
+    theta(v, 0) /= total;
+    theta(v, 1) /= total;
+  }
+  return theta;
+}
+
+TEST(AveragePrecisionTest, PerfectRanking) {
+  // Relevant items at ranks 1 and 2 of 4.
+  std::vector<size_t> ranked = {0, 1, 2, 3};
+  std::vector<bool> relevant = {true, true, false, false};
+  EXPECT_DOUBLE_EQ(AveragePrecision(ranked, relevant), 1.0);
+}
+
+TEST(AveragePrecisionTest, WorstRanking) {
+  std::vector<size_t> ranked = {0, 1, 2, 3};
+  std::vector<bool> relevant = {false, false, false, true};
+  EXPECT_DOUBLE_EQ(AveragePrecision(ranked, relevant), 0.25);
+}
+
+TEST(AveragePrecisionTest, MixedRanking) {
+  // Relevant at ranks 1 and 3: AP = (1/1 + 2/3) / 2 = 5/6.
+  std::vector<size_t> ranked = {0, 1, 2};
+  std::vector<bool> relevant = {true, false, true};
+  EXPECT_NEAR(AveragePrecision(ranked, relevant), 5.0 / 6.0, 1e-12);
+}
+
+TEST(AveragePrecisionTest, NoRelevantIsZero) {
+  std::vector<size_t> ranked = {0, 1};
+  std::vector<bool> relevant = {false, false};
+  EXPECT_DOUBLE_EQ(AveragePrecision(ranked, relevant), 0.0);
+}
+
+class SimilarityTest
+    : public ::testing::TestWithParam<SimilarityKind> {};
+
+TEST_P(SimilarityTest, SelfSimilarityIsMaximal) {
+  std::vector<double> concentrated = {0.9, 0.05, 0.05};
+  std::vector<double> other = {0.05, 0.9, 0.05};
+  const double self_sim =
+      MembershipSimilarity(GetParam(), concentrated, concentrated);
+  const double cross_sim =
+      MembershipSimilarity(GetParam(), concentrated, other);
+  EXPECT_GT(self_sim, cross_sim);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, SimilarityTest,
+    ::testing::Values(SimilarityKind::kCosine,
+                      SimilarityKind::kNegativeEuclidean,
+                      SimilarityKind::kNegativeCrossEntropy));
+
+TEST(SimilarityTest, CrossEntropyIsAsymmetric) {
+  std::vector<double> expert = {0.9, 0.1};
+  std::vector<double> neutral = {0.5, 0.5};
+  EXPECT_NE(MembershipSimilarity(SimilarityKind::kNegativeCrossEntropy,
+                                 expert, neutral),
+            MembershipSimilarity(SimilarityKind::kNegativeCrossEntropy,
+                                 neutral, expert));
+}
+
+TEST(SimilarityTest, NamesAreDistinct) {
+  EXPECT_STRNE(SimilarityKindName(SimilarityKind::kCosine),
+               SimilarityKindName(SimilarityKind::kNegativeEuclidean));
+  EXPECT_STRNE(SimilarityKindName(SimilarityKind::kNegativeEuclidean),
+               SimilarityKindName(SimilarityKind::kNegativeCrossEntropy));
+}
+
+TEST(LinkPredictionTest, PerfectMembershipGivesPerfectMap) {
+  LinkPredFixture f;
+  Matrix theta = PerfectTheta(f);
+  for (SimilarityKind kind :
+       {SimilarityKind::kCosine, SimilarityKind::kNegativeEuclidean,
+        SimilarityKind::kNegativeCrossEntropy}) {
+    auto r = EvaluateLinkPrediction(f.net, theta, f.ac, kind);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->num_queries, 2u);
+    EXPECT_NEAR(r->map, 1.0, 1e-9) << SimilarityKindName(kind);
+  }
+}
+
+TEST(LinkPredictionTest, InvertedMembershipScoresWorse) {
+  LinkPredFixture f;
+  Matrix good = PerfectTheta(f);
+  // Swap the two authors' membership: rankings invert.
+  Matrix bad = good;
+  for (size_t k = 0; k < 2; ++k) {
+    std::swap(bad(f.a0, k), bad(f.a1, k));
+  }
+  auto good_map = EvaluateLinkPrediction(f.net, good, f.ac,
+                                         SimilarityKind::kCosine);
+  auto bad_map = EvaluateLinkPrediction(f.net, bad, f.ac,
+                                        SimilarityKind::kCosine);
+  ASSERT_TRUE(good_map.ok() && bad_map.ok());
+  EXPECT_GT(good_map->map, bad_map->map);
+}
+
+TEST(LinkPredictionTest, RejectsUnknownRelation) {
+  LinkPredFixture f;
+  Matrix theta = PerfectTheta(f);
+  EXPECT_FALSE(
+      EvaluateLinkPrediction(f.net, theta, 9, SimilarityKind::kCosine).ok());
+}
+
+TEST(LinkPredictionTest, RejectsMismatchedTheta) {
+  LinkPredFixture f;
+  Matrix theta(2, 2, 0.5);  // wrong row count
+  EXPECT_FALSE(
+      EvaluateLinkPrediction(f.net, theta, f.ac, SimilarityKind::kCosine)
+          .ok());
+}
+
+TEST(LinkPredictionTest, QueriesWithoutLinksAreSkipped) {
+  // Add an extra author with no links: num_queries stays 2.
+  Schema schema;
+  auto a = schema.AddObjectType("A").value();
+  auto c = schema.AddObjectType("C").value();
+  auto ac = schema.AddLinkType("ac", a, c).value();
+  NetworkBuilder builder(std::move(schema));
+  NodeId a0 = builder.AddNode(a).value();
+  NodeId a1 = builder.AddNode(a).value();
+  (void)builder.AddNode(a).value();  // linkless author
+  NodeId c0 = builder.AddNode(c).value();
+  EXPECT_TRUE(builder.AddLink(a0, c0, ac, 1.0).ok());
+  EXPECT_TRUE(builder.AddLink(a1, c0, ac, 1.0).ok());
+  Network net = std::move(builder).Build().value();
+  Matrix theta(net.num_nodes(), 2, 0.5);
+  auto r = EvaluateLinkPrediction(net, theta, ac, SimilarityKind::kCosine);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_queries, 2u);
+}
+
+}  // namespace
+}  // namespace genclus

@@ -1,0 +1,114 @@
+#include "eval/nmi.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hin/types.h"
+
+namespace genclus {
+namespace {
+
+TEST(NmiTest, IdenticalPartitionsScoreOne) {
+  std::vector<uint32_t> a = {0, 0, 1, 1, 2, 2};
+  EXPECT_NEAR(NormalizedMutualInformation(a, a), 1.0, 1e-12);
+}
+
+TEST(NmiTest, RelabeledPartitionScoresOne) {
+  std::vector<uint32_t> a = {0, 0, 1, 1, 2, 2};
+  std::vector<uint32_t> b = {5, 5, 9, 9, 7, 7};  // same partition, new names
+  EXPECT_NEAR(NormalizedMutualInformation(a, b), 1.0, 1e-12);
+}
+
+TEST(NmiTest, IndependentPartitionsScoreZero) {
+  // b splits each a-cluster evenly: zero mutual information.
+  std::vector<uint32_t> a = {0, 0, 1, 1};
+  std::vector<uint32_t> b = {0, 1, 0, 1};
+  EXPECT_NEAR(NormalizedMutualInformation(a, b), 0.0, 1e-12);
+}
+
+TEST(NmiTest, PartialAgreementBetweenZeroAndOne) {
+  std::vector<uint32_t> a = {0, 0, 0, 1, 1, 1};
+  std::vector<uint32_t> b = {0, 0, 1, 1, 1, 1};  // one object moved
+  const double nmi = NormalizedMutualInformation(a, b);
+  EXPECT_GT(nmi, 0.0);
+  EXPECT_LT(nmi, 1.0);
+}
+
+TEST(NmiTest, SymmetricInArguments) {
+  std::vector<uint32_t> a = {0, 0, 1, 1, 2, 0};
+  std::vector<uint32_t> b = {1, 1, 0, 2, 2, 2};
+  EXPECT_NEAR(NormalizedMutualInformation(a, b),
+              NormalizedMutualInformation(b, a), 1e-12);
+}
+
+TEST(NmiTest, UnlabeledPositionsIgnored) {
+  std::vector<uint32_t> a = {0, 0, 1, 1, kUnlabeled, 0};
+  std::vector<uint32_t> b = {2, 2, 3, 3, 1, kUnlabeled};
+  // Over the 4 jointly labeled positions the partitions are identical.
+  EXPECT_NEAR(NormalizedMutualInformation(a, b), 1.0, 1e-12);
+}
+
+TEST(NmiTest, NoOverlapScoresZero) {
+  std::vector<uint32_t> a = {0, kUnlabeled};
+  std::vector<uint32_t> b = {kUnlabeled, 0};
+  EXPECT_DOUBLE_EQ(NormalizedMutualInformation(a, b), 0.0);
+}
+
+TEST(NmiTest, SingleClusterBothSidesIsOne) {
+  std::vector<uint32_t> a = {0, 0, 0};
+  std::vector<uint32_t> b = {4, 4, 4};
+  EXPECT_DOUBLE_EQ(NormalizedMutualInformation(a, b), 1.0);
+}
+
+TEST(NmiTest, SingleClusterOneSideIsZero) {
+  std::vector<uint32_t> a = {0, 0, 0, 0};
+  std::vector<uint32_t> b = {0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(NormalizedMutualInformation(a, b), 0.0);
+}
+
+TEST(MutualInformationTest, MatchesEntropyForIdenticalPartitions) {
+  std::vector<uint32_t> a = {0, 0, 1, 1, 1, 2};
+  EXPECT_NEAR(MutualInformation(a, a), LabelEntropy(a), 1e-12);
+}
+
+TEST(LabelEntropyTest, UniformAndSkewed) {
+  std::vector<uint32_t> uniform = {0, 1, 2, 3};
+  EXPECT_NEAR(LabelEntropy(uniform), std::log(4.0), 1e-12);
+  std::vector<uint32_t> single = {1, 1, 1};
+  EXPECT_DOUBLE_EQ(LabelEntropy(single), 0.0);
+  std::vector<uint32_t> with_unlabeled = {0, 1, kUnlabeled};
+  EXPECT_NEAR(LabelEntropy(with_unlabeled), std::log(2.0), 1e-12);
+}
+
+TEST(PurityTest, PerfectAndImperfect) {
+  std::vector<uint32_t> truth = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(Purity(truth, truth), 1.0);
+  std::vector<uint32_t> pred = {0, 0, 0, 1};
+  // Cluster 0 holds {0,0,1}: majority 2; cluster 1 holds {1}: majority 1.
+  EXPECT_DOUBLE_EQ(Purity(pred, truth), 0.75);
+}
+
+TEST(MatchedAccuracyTest, PermutedLabelsScorePerfect) {
+  std::vector<uint32_t> truth = {0, 0, 1, 1, 2, 2};
+  std::vector<uint32_t> pred = {2, 2, 0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(MatchedAccuracy(pred, truth), 1.0);
+}
+
+TEST(MatchedAccuracyTest, CountsBestMatching) {
+  std::vector<uint32_t> truth = {0, 0, 0, 1, 1, 1};
+  std::vector<uint32_t> pred = {0, 0, 1, 1, 1, 1};
+  // Best matching: pred 0 -> truth 0 (2 right), pred 1 -> truth 1 (3
+  // right): 5/6.
+  EXPECT_NEAR(MatchedAccuracy(pred, truth), 5.0 / 6.0, 1e-12);
+}
+
+TEST(MatchedAccuracyTest, MoreClustersThanClasses) {
+  std::vector<uint32_t> truth = {0, 0, 1, 1};
+  std::vector<uint32_t> pred = {0, 1, 2, 2};
+  // pred 2 -> truth 1 (2), then one of pred 0/1 -> truth 0 (1): 3/4.
+  EXPECT_NEAR(MatchedAccuracy(pred, truth), 0.75, 1e-12);
+}
+
+}  // namespace
+}  // namespace genclus

@@ -1,0 +1,79 @@
+#include "hin/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace genclus {
+namespace {
+
+Dataset MakeValidDataset() {
+  Schema schema;
+  auto a = schema.AddObjectType("A").value();
+  auto aa = schema.AddLinkType("aa", a, a).value();
+  NetworkBuilder builder(std::move(schema));
+  NodeId n0 = builder.AddNode(a).value();
+  NodeId n1 = builder.AddNode(a).value();
+  EXPECT_TRUE(builder.AddLink(n0, n1, aa, 1.0).ok());
+  Dataset dataset;
+  dataset.network = std::move(builder).Build().value();
+  dataset.attributes.push_back(Attribute::Numerical("x", 2));
+  dataset.attributes.push_back(Attribute::Categorical("text", 5, 2));
+  return dataset;
+}
+
+TEST(LabelsTest, DefaultUnlabeled) {
+  Labels labels(4);
+  EXPECT_EQ(labels.size(), 4u);
+  EXPECT_EQ(labels.NumLabeled(), 0u);
+  for (NodeId v = 0; v < 4; ++v) {
+    EXPECT_FALSE(labels.IsLabeled(v));
+    EXPECT_EQ(labels.Get(v), kUnlabeled);
+  }
+}
+
+TEST(LabelsTest, SetAndCount) {
+  Labels labels(3);
+  labels.Set(0, 2);
+  labels.Set(2, 0);
+  EXPECT_EQ(labels.NumLabeled(), 2u);
+  EXPECT_TRUE(labels.IsLabeled(0));
+  EXPECT_FALSE(labels.IsLabeled(1));
+  EXPECT_EQ(labels.Get(0), 2u);
+  EXPECT_EQ(labels.raw().size(), 3u);
+}
+
+TEST(DatasetTest, ValidatesConsistentDataset) {
+  Dataset dataset = MakeValidDataset();
+  EXPECT_TRUE(dataset.Validate().ok());
+  dataset.labels = Labels(2);
+  EXPECT_TRUE(dataset.Validate().ok());
+}
+
+TEST(DatasetTest, RejectsAttributeSizeMismatch) {
+  Dataset dataset = MakeValidDataset();
+  dataset.attributes.push_back(Attribute::Numerical("bad", 7));
+  Status s = dataset.Validate();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DatasetTest, RejectsLabelSizeMismatch) {
+  Dataset dataset = MakeValidDataset();
+  dataset.labels = Labels(9);
+  EXPECT_FALSE(dataset.Validate().ok());
+}
+
+TEST(DatasetTest, EmptyLabelsAreAllowed) {
+  Dataset dataset = MakeValidDataset();
+  dataset.labels = Labels();
+  EXPECT_TRUE(dataset.Validate().ok());
+}
+
+TEST(DatasetTest, FindAttributeByName) {
+  Dataset dataset = MakeValidDataset();
+  EXPECT_EQ(dataset.FindAttribute("x"), 0u);
+  EXPECT_EQ(dataset.FindAttribute("text"), 1u);
+  EXPECT_EQ(dataset.FindAttribute("ghost"), kInvalidAttribute);
+}
+
+}  // namespace
+}  // namespace genclus

@@ -1,0 +1,125 @@
+#include "hin/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace genclus {
+namespace {
+
+// Builds a small two-type dataset with both attribute kinds and labels.
+Dataset MakeDataset() {
+  Schema schema;
+  auto a = schema.AddObjectType("A").value();
+  auto b = schema.AddObjectType("B").value();
+  auto ab = schema.AddLinkType("ab", a, b).value();
+  auto ba = schema.AddLinkType("ba", b, a).value();
+  (void)schema.SetInverse(ab, ba);
+
+  NetworkBuilder builder(schema);
+  NodeId a0 = builder.AddNode(a, "a0").value();
+  NodeId a1 = builder.AddNode(a, "a1").value();
+  NodeId b0 = builder.AddNode(b, "b0").value();
+  EXPECT_TRUE(builder.AddLink(a0, b0, ab, 2.5).ok());
+  EXPECT_TRUE(builder.AddLink(b0, a1, ba, 1.0).ok());
+
+  Dataset dataset;
+  dataset.network = std::move(builder).Build().value();
+  Attribute text = Attribute::Categorical("text", 6, 3);
+  (void)text.AddTermCount(a0, 2, 3.0);
+  (void)text.AddTermCount(a1, 5, 1.0);
+  Attribute temp = Attribute::Numerical("temp", 3);
+  (void)temp.AddValue(b0, 12.25);
+  (void)temp.AddValue(b0, -3.5);
+  dataset.attributes.push_back(std::move(text));
+  dataset.attributes.push_back(std::move(temp));
+  dataset.labels = Labels(3);
+  dataset.labels.Set(a0, 0);
+  dataset.labels.Set(b0, 1);
+  return dataset;
+}
+
+class IoTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "/genclus_io_test.tsv";
+};
+
+TEST_F(IoTest, RoundTripPreservesEverything) {
+  Dataset original = MakeDataset();
+  ASSERT_TRUE(SaveDataset(original, path_).ok());
+  auto loaded = LoadDataset(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  const Network& net = loaded->network;
+  EXPECT_EQ(net.num_nodes(), 3u);
+  EXPECT_EQ(net.num_links(), 2u);
+  EXPECT_EQ(net.schema().num_object_types(), 2u);
+  EXPECT_EQ(net.schema().num_link_types(), 2u);
+  // Inverse pairing survives.
+  LinkTypeId ab = net.schema().FindLinkType("ab");
+  LinkTypeId ba = net.schema().FindLinkType("ba");
+  EXPECT_EQ(net.schema().link_type(ab).inverse, ba);
+  // Link weight survives.
+  EXPECT_DOUBLE_EQ(net.LinkWeight(0, 2, ab), 2.5);
+  // Node names survive.
+  EXPECT_EQ(net.node_name(1), "a1");
+
+  ASSERT_EQ(loaded->attributes.size(), 2u);
+  const Attribute& text = loaded->attributes[0];
+  EXPECT_EQ(text.kind(), AttributeKind::kCategorical);
+  EXPECT_EQ(text.vocab_size(), 6u);
+  ASSERT_EQ(text.TermCounts(0).size(), 1u);
+  EXPECT_EQ(text.TermCounts(0)[0].term, 2u);
+  EXPECT_DOUBLE_EQ(text.TermCounts(0)[0].count, 3.0);
+  const Attribute& temp = loaded->attributes[1];
+  EXPECT_EQ(temp.kind(), AttributeKind::kNumerical);
+  ASSERT_EQ(temp.Values(2).size(), 2u);
+  EXPECT_DOUBLE_EQ(temp.Values(2)[1], -3.5);
+
+  EXPECT_EQ(loaded->labels.Get(0), 0u);
+  EXPECT_EQ(loaded->labels.Get(2), 1u);
+  EXPECT_FALSE(loaded->labels.IsLabeled(1));
+}
+
+TEST_F(IoTest, LoadRejectsMissingFile) {
+  auto r = LoadDataset("/nonexistent/path/file.tsv");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(IoTest, LoadRejectsGarbageRecord) {
+  std::ofstream out(path_);
+  out << "object_type A\nnonsense 1 2 3\n";
+  out.close();
+  auto r = LoadDataset(path_);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(IoTest, LoadRejectsUnknownLinkType) {
+  std::ofstream out(path_);
+  out << "object_type A\nnode A x\nnode A y\nlink 0 1 ghost 1.0\n";
+  out.close();
+  auto r = LoadDataset(path_);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(IoTest, CommentsAndBlankLinesIgnored) {
+  std::ofstream out(path_);
+  out << "# a comment\n\nobject_type A\n  \nnode A solo\n";
+  out.close();
+  auto r = LoadDataset(path_);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->network.num_nodes(), 1u);
+}
+
+TEST_F(IoTest, SaveRejectsInvalidDataset) {
+  Dataset broken = MakeDataset();
+  // Attribute sized for the wrong node count.
+  broken.attributes.push_back(Attribute::Numerical("bad", 99));
+  EXPECT_FALSE(SaveDataset(broken, path_).ok());
+}
+
+}  // namespace
+}  // namespace genclus

@@ -1,0 +1,205 @@
+#include "hin/network.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace genclus {
+namespace {
+
+// Small bibliographic-flavoured fixture: 2 authors, 1 conference.
+class NetworkFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema schema;
+    author_ = schema.AddObjectType("author").value();
+    conf_ = schema.AddObjectType("conf").value();
+    ac_ = schema.AddLinkType("ac", author_, conf_).value();
+    ca_ = schema.AddLinkType("ca", conf_, author_).value();
+    aa_ = schema.AddLinkType("aa", author_, author_).value();
+
+    NetworkBuilder builder(schema);
+    a0_ = builder.AddNode(author_, "alice").value();
+    a1_ = builder.AddNode(author_, "bob").value();
+    c0_ = builder.AddNode(conf_, "vldb").value();
+    EXPECT_TRUE(builder.AddLink(a0_, c0_, ac_, 2.0).ok());
+    EXPECT_TRUE(builder.AddLink(a1_, c0_, ac_, 1.0).ok());
+    EXPECT_TRUE(builder.AddLink(c0_, a0_, ca_, 2.0).ok());
+    EXPECT_TRUE(builder.AddLink(a0_, a1_, aa_, 3.0).ok());
+    net_ = std::move(builder).Build().value();
+  }
+
+  ObjectTypeId author_, conf_;
+  LinkTypeId ac_, ca_, aa_;
+  NodeId a0_, a1_, c0_;
+  Network net_;
+};
+
+TEST_F(NetworkFixture, CountsAndTypes) {
+  EXPECT_EQ(net_.num_nodes(), 3u);
+  EXPECT_EQ(net_.num_links(), 4u);
+  EXPECT_EQ(net_.node_type(a0_), author_);
+  EXPECT_EQ(net_.node_type(c0_), conf_);
+  EXPECT_EQ(net_.node_name(a1_), "bob");
+}
+
+TEST_F(NetworkFixture, NodesOfType) {
+  const auto& authors = net_.NodesOfType(author_);
+  ASSERT_EQ(authors.size(), 2u);
+  EXPECT_EQ(authors[0], a0_);
+  EXPECT_EQ(authors[1], a1_);
+  EXPECT_EQ(net_.NodesOfType(conf_).size(), 1u);
+}
+
+TEST_F(NetworkFixture, OutLinksSortedByType) {
+  auto links = net_.OutLinks(a0_);
+  ASSERT_EQ(links.size(), 2u);
+  // ac_ was declared before aa_, so ac entries come first.
+  EXPECT_EQ(links[0].type, ac_);
+  EXPECT_EQ(links[0].neighbor, c0_);
+  EXPECT_DOUBLE_EQ(links[0].weight, 2.0);
+  EXPECT_EQ(links[1].type, aa_);
+  EXPECT_EQ(links[1].neighbor, a1_);
+}
+
+TEST_F(NetworkFixture, InLinks) {
+  auto in = net_.InLinks(c0_);
+  ASSERT_EQ(in.size(), 2u);
+  // Both are ac links, sources a0 and a1 in id order.
+  EXPECT_EQ(in[0].neighbor, a0_);
+  EXPECT_EQ(in[1].neighbor, a1_);
+  EXPECT_EQ(net_.InDegree(a1_), 1u);  // the coauthor link
+  EXPECT_EQ(net_.OutDegree(c0_), 1u);
+}
+
+TEST_F(NetworkFixture, LinkCountsByType) {
+  const auto& counts = net_.LinkCountsByType();
+  EXPECT_EQ(counts[ac_], 2u);
+  EXPECT_EQ(counts[ca_], 1u);
+  EXPECT_EQ(counts[aa_], 1u);
+  const auto& weights = net_.LinkWeightsByType();
+  EXPECT_DOUBLE_EQ(weights[ac_], 3.0);
+  EXPECT_DOUBLE_EQ(weights[aa_], 3.0);
+}
+
+TEST_F(NetworkFixture, LinkWeightLookup) {
+  EXPECT_DOUBLE_EQ(net_.LinkWeight(a0_, c0_, ac_), 2.0);
+  EXPECT_DOUBLE_EQ(net_.LinkWeight(a1_, c0_, ac_), 1.0);
+  EXPECT_DOUBLE_EQ(net_.LinkWeight(a0_, c0_, aa_), 0.0);  // wrong type
+  EXPECT_DOUBLE_EQ(net_.LinkWeight(a1_, a0_, aa_), 0.0);  // wrong direction
+}
+
+TEST(NetworkBuilderTest, RejectsUnknownObjectType) {
+  Schema schema;
+  (void)schema.AddObjectType("A");
+  NetworkBuilder builder(std::move(schema));
+  EXPECT_FALSE(builder.AddNode(9).ok());
+}
+
+TEST(NetworkBuilderTest, RejectsLinkTypeEndpointMismatch) {
+  Schema schema;
+  auto a = schema.AddObjectType("A").value();
+  auto b = schema.AddObjectType("B").value();
+  auto ab = schema.AddLinkType("ab", a, b).value();
+  NetworkBuilder builder(std::move(schema));
+  NodeId n_a = builder.AddNode(a).value();
+  NodeId n_b = builder.AddNode(b).value();
+  // Reversed endpoints must be rejected.
+  Status s = builder.AddLink(n_b, n_a, ab, 1.0);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(builder.AddLink(n_a, n_b, ab, 1.0).ok());
+}
+
+TEST(NetworkBuilderTest, RejectsBadWeightsAndIds) {
+  Schema schema;
+  auto a = schema.AddObjectType("A").value();
+  auto aa = schema.AddLinkType("aa", a, a).value();
+  NetworkBuilder builder(std::move(schema));
+  NodeId v = builder.AddNode(a).value();
+  NodeId u = builder.AddNode(a).value();
+  EXPECT_FALSE(builder.AddLink(v, u, aa, 0.0).ok());
+  EXPECT_FALSE(builder.AddLink(v, u, aa, -1.0).ok());
+  EXPECT_FALSE(builder.AddLink(v, 77, aa, 1.0).ok());
+  EXPECT_FALSE(builder.AddLink(v, u, 9, 1.0).ok());
+}
+
+TEST(NetworkBuilderTest, EmptyNetworkBuilds) {
+  Schema schema;
+  (void)schema.AddObjectType("A");
+  NetworkBuilder builder(std::move(schema));
+  auto net = std::move(builder).Build();
+  ASSERT_TRUE(net.ok());
+  EXPECT_EQ(net->num_nodes(), 0u);
+  EXPECT_EQ(net->num_links(), 0u);
+}
+
+TEST(NetworkBuilderTest, ParallelLinksAreKept) {
+  // Two links of the same type between the same pair: both stored.
+  Schema schema;
+  auto a = schema.AddObjectType("A").value();
+  auto aa = schema.AddLinkType("aa", a, a).value();
+  NetworkBuilder builder(std::move(schema));
+  NodeId v = builder.AddNode(a).value();
+  NodeId u = builder.AddNode(a).value();
+  EXPECT_TRUE(builder.AddLink(v, u, aa, 1.0).ok());
+  EXPECT_TRUE(builder.AddLink(v, u, aa, 2.0).ok());
+  Network net = std::move(builder).Build().value();
+  EXPECT_EQ(net.OutDegree(v), 2u);
+  double total = 0.0;
+  for (const LinkEntry& e : net.OutLinks(v)) total += e.weight;
+  EXPECT_DOUBLE_EQ(total, 3.0);
+}
+
+TEST(NetworkBuilderTest, SelfLoopAllowed) {
+  Schema schema;
+  auto a = schema.AddObjectType("A").value();
+  auto aa = schema.AddLinkType("aa", a, a).value();
+  NetworkBuilder builder(std::move(schema));
+  NodeId v = builder.AddNode(a).value();
+  EXPECT_TRUE(builder.AddLink(v, v, aa, 1.0).ok());
+  Network net = std::move(builder).Build().value();
+  EXPECT_EQ(net.OutDegree(v), 1u);
+  EXPECT_EQ(net.InDegree(v), 1u);
+}
+
+TEST(NetworkBuilderTest, LargeCsrConsistency) {
+  // Randomized CSR check: in/out degrees must agree with the added links.
+  Schema schema;
+  auto a = schema.AddObjectType("A").value();
+  auto r0 = schema.AddLinkType("r0", a, a).value();
+  auto r1 = schema.AddLinkType("r1", a, a).value();
+  NetworkBuilder builder(std::move(schema));
+  const size_t n = 200;
+  for (size_t i = 0; i < n; ++i) (void)builder.AddNode(a);
+  std::map<NodeId, size_t> expected_out;
+  std::map<NodeId, size_t> expected_in;
+  size_t added = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 1; j <= 3; ++j) {
+      NodeId dst = static_cast<NodeId>((i * 7 + j * 13) % n);
+      LinkTypeId t = (i + j) % 2 == 0 ? r0 : r1;
+      ASSERT_TRUE(builder
+                      .AddLink(static_cast<NodeId>(i), dst, t,
+                               1.0 + static_cast<double>(j))
+                      .ok());
+      expected_out[static_cast<NodeId>(i)]++;
+      expected_in[dst]++;
+      ++added;
+    }
+  }
+  Network net = std::move(builder).Build().value();
+  EXPECT_EQ(net.num_links(), added);
+  for (NodeId v = 0; v < n; ++v) {
+    EXPECT_EQ(net.OutDegree(v), expected_out[v]) << "node " << v;
+    EXPECT_EQ(net.InDegree(v), expected_in[v]) << "node " << v;
+    // Within each node, entries sorted by type.
+    auto links = net.OutLinks(v);
+    for (size_t i = 1; i < links.size(); ++i) {
+      EXPECT_LE(links[i - 1].type, links[i].type);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace genclus

@@ -1,0 +1,101 @@
+#include "hin/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace genclus {
+namespace {
+
+TEST(SchemaTest, AddAndLookupObjectTypes) {
+  Schema s;
+  auto author = s.AddObjectType("author");
+  auto paper = s.AddObjectType("paper");
+  ASSERT_TRUE(author.ok());
+  ASSERT_TRUE(paper.ok());
+  EXPECT_NE(author.value(), paper.value());
+  EXPECT_EQ(s.num_object_types(), 2u);
+  EXPECT_EQ(s.FindObjectType("author"), author.value());
+  EXPECT_EQ(s.FindObjectType("paper"), paper.value());
+  EXPECT_EQ(s.FindObjectType("venue"), kInvalidObjectType);
+  EXPECT_EQ(s.object_type_name(author.value()), "author");
+}
+
+TEST(SchemaTest, RejectsDuplicateObjectType) {
+  Schema s;
+  ASSERT_TRUE(s.AddObjectType("x").ok());
+  auto dup = s.AddObjectType("x");
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, RejectsEmptyNames) {
+  Schema s;
+  EXPECT_FALSE(s.AddObjectType("").ok());
+  auto t = s.AddObjectType("t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_FALSE(s.AddLinkType("", t.value(), t.value()).ok());
+}
+
+TEST(SchemaTest, AddLinkTypeRecordsEndpoints) {
+  Schema s;
+  auto a = s.AddObjectType("A");
+  auto b = s.AddObjectType("B");
+  auto r = s.AddLinkType("ab", a.value(), b.value());
+  ASSERT_TRUE(r.ok());
+  const LinkTypeInfo& info = s.link_type(r.value());
+  EXPECT_EQ(info.name, "ab");
+  EXPECT_EQ(info.source_type, a.value());
+  EXPECT_EQ(info.target_type, b.value());
+  EXPECT_EQ(info.inverse, kInvalidLinkType);
+}
+
+TEST(SchemaTest, LinkTypeRejectsUnknownEndpoints) {
+  Schema s;
+  auto a = s.AddObjectType("A");
+  EXPECT_FALSE(s.AddLinkType("bad", a.value(), 42).ok());
+  EXPECT_FALSE(s.AddLinkType("bad", 42, a.value()).ok());
+}
+
+TEST(SchemaTest, RejectsDuplicateLinkType) {
+  Schema s;
+  auto a = s.AddObjectType("A");
+  ASSERT_TRUE(s.AddLinkType("r", a.value(), a.value()).ok());
+  auto dup = s.AddLinkType("r", a.value(), a.value());
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, SetInverseLinksBothDirections) {
+  Schema s;
+  auto a = s.AddObjectType("A");
+  auto b = s.AddObjectType("B");
+  auto ab = s.AddLinkType("ab", a.value(), b.value());
+  auto ba = s.AddLinkType("ba", b.value(), a.value());
+  ASSERT_TRUE(s.SetInverse(ab.value(), ba.value()).ok());
+  EXPECT_EQ(s.link_type(ab.value()).inverse, ba.value());
+  EXPECT_EQ(s.link_type(ba.value()).inverse, ab.value());
+}
+
+TEST(SchemaTest, SetInverseRejectsMismatchedEndpoints) {
+  Schema s;
+  auto a = s.AddObjectType("A");
+  auto b = s.AddObjectType("B");
+  auto ab = s.AddLinkType("ab", a.value(), b.value());
+  auto aa = s.AddLinkType("aa", a.value(), a.value());
+  EXPECT_FALSE(s.SetInverse(ab.value(), aa.value()).ok());
+}
+
+TEST(SchemaTest, SetInverseRejectsUnknownIds) {
+  Schema s;
+  EXPECT_FALSE(s.SetInverse(0, 1).ok());
+}
+
+TEST(SchemaTest, FindLinkType) {
+  Schema s;
+  auto a = s.AddObjectType("A");
+  auto r = s.AddLinkType("self", a.value(), a.value());
+  EXPECT_EQ(s.FindLinkType("self"), r.value());
+  EXPECT_EQ(s.FindLinkType("other"), kInvalidLinkType);
+}
+
+}  // namespace
+}  // namespace genclus

@@ -1,0 +1,161 @@
+#include "linalg/eigen.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace genclus {
+namespace {
+
+Matrix RandomSymmetric(size_t n, Rng* rng) {
+  Matrix a(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      const double x = rng->Gaussian();
+      a(i, j) = x;
+      a(j, i) = x;
+    }
+  }
+  return a;
+}
+
+TEST(JacobiTest, DiagonalMatrix) {
+  Matrix a = {{3.0, 0.0}, {0.0, 1.0}};
+  auto eig = JacobiEigenSymmetric(a);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->values[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig->values[1], 1.0, 1e-10);
+}
+
+TEST(JacobiTest, KnownTwoByTwo) {
+  // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+  Matrix a = {{2.0, 1.0}, {1.0, 2.0}};
+  auto eig = JacobiEigenSymmetric(a);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->values[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig->values[1], 1.0, 1e-10);
+  // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::fabs(eig->vectors(0, 0)), 1.0 / std::sqrt(2.0), 1e-8);
+}
+
+TEST(JacobiTest, RejectsAsymmetric) {
+  Matrix a = {{1.0, 2.0}, {0.0, 1.0}};
+  EXPECT_FALSE(JacobiEigenSymmetric(a).ok());
+}
+
+TEST(JacobiTest, RejectsNonSquare) {
+  Matrix a(2, 3);
+  EXPECT_FALSE(JacobiEigenSymmetric(a).ok());
+}
+
+TEST(JacobiTest, ReconstructsMatrix) {
+  Rng rng(3);
+  const size_t n = 6;
+  Matrix a = RandomSymmetric(n, &rng);
+  auto eig = JacobiEigenSymmetric(a);
+  ASSERT_TRUE(eig.ok());
+  // A == V diag(lambda) V^T.
+  Matrix lam(n, n);
+  for (size_t i = 0; i < n; ++i) lam(i, i) = eig->values[i];
+  Matrix recon =
+      eig->vectors.Multiply(lam).Multiply(eig->vectors.Transpose());
+  EXPECT_LT(Matrix::MaxAbsDiff(a, recon), 1e-8);
+}
+
+TEST(JacobiTest, EigenvectorsOrthonormal) {
+  Rng rng(5);
+  Matrix a = RandomSymmetric(5, &rng);
+  auto eig = JacobiEigenSymmetric(a);
+  ASSERT_TRUE(eig.ok());
+  Matrix vtv = eig->vectors.Transpose().Multiply(eig->vectors);
+  EXPECT_LT(Matrix::MaxAbsDiff(vtv, Matrix::Identity(5)), 1e-9);
+}
+
+TEST(JacobiTest, ValuesSortedDescending) {
+  Rng rng(7);
+  Matrix a = RandomSymmetric(8, &rng);
+  auto eig = JacobiEigenSymmetric(a);
+  ASSERT_TRUE(eig.ok());
+  for (size_t i = 1; i < eig->values.size(); ++i) {
+    EXPECT_GE(eig->values[i - 1], eig->values[i]);
+  }
+}
+
+TEST(OrthonormalizeTest, ProducesOrthonormalColumns) {
+  Rng rng(11);
+  Matrix m(10, 4);
+  for (size_t i = 0; i < m.rows(); ++i) {
+    for (size_t j = 0; j < m.cols(); ++j) m(i, j) = rng.Gaussian();
+  }
+  OrthonormalizeColumns(&m, &rng);
+  Matrix mtm = m.Transpose().Multiply(m);
+  EXPECT_LT(Matrix::MaxAbsDiff(mtm, Matrix::Identity(4)), 1e-10);
+}
+
+TEST(OrthonormalizeTest, RepairsDegenerateColumns) {
+  Rng rng(13);
+  Matrix m(6, 3);
+  // Columns 1 and 2 duplicate column 0.
+  for (size_t i = 0; i < 6; ++i) {
+    const double x = rng.Gaussian();
+    m(i, 0) = x;
+    m(i, 1) = x;
+    m(i, 2) = x;
+  }
+  OrthonormalizeColumns(&m, &rng);
+  Matrix mtm = m.Transpose().Multiply(m);
+  EXPECT_LT(Matrix::MaxAbsDiff(mtm, Matrix::Identity(3)), 1e-9);
+}
+
+TEST(TopKEigenTest, MatchesJacobiOnRandomSymmetric) {
+  Rng rng(17);
+  const size_t n = 12;
+  const size_t k = 3;
+  Matrix a = RandomSymmetric(n, &rng);
+  auto full = JacobiEigenSymmetric(a);
+  ASSERT_TRUE(full.ok());
+  auto topk = TopKEigenSymmetric(a, k, &rng, 1e-11, 5000);
+  ASSERT_TRUE(topk.ok());
+  for (size_t i = 0; i < k; ++i) {
+    EXPECT_NEAR(topk->values[i], full->values[i], 1e-6) << "eigenvalue " << i;
+  }
+}
+
+TEST(TopKEigenTest, EigenvectorsSatisfyDefinition) {
+  Rng rng(19);
+  const size_t n = 15;
+  Matrix a = RandomSymmetric(n, &rng);
+  auto topk = TopKEigenSymmetric(a, 2, &rng, 1e-11, 5000);
+  ASSERT_TRUE(topk.ok());
+  for (size_t j = 0; j < 2; ++j) {
+    Vector v(n);
+    for (size_t i = 0; i < n; ++i) v[i] = topk->vectors(i, j);
+    Vector av = a.MultiplyVector(v);
+    Vector lv = Scaled(v, topk->values[j]);
+    EXPECT_LT(MaxAbsDiff(av, lv), 5e-4) << "eigenpair " << j;
+  }
+}
+
+TEST(TopKEigenTest, RejectsBadK) {
+  Rng rng(23);
+  Matrix a = Matrix::Identity(4);
+  EXPECT_FALSE(TopKEigenSymmetric(a, 0, &rng).ok());
+  EXPECT_FALSE(TopKEigenSymmetric(a, 5, &rng).ok());
+}
+
+TEST(TopKEigenTest, HandlesNegativeSpectrum) {
+  // All eigenvalues negative: Gershgorin shift must keep the top-algebraic
+  // ones on top.
+  Matrix a = {{-5.0, 1.0}, {1.0, -3.0}};
+  Rng rng(29);
+  auto topk = TopKEigenSymmetric(a, 1, &rng, 1e-12, 5000);
+  ASSERT_TRUE(topk.ok());
+  auto full = JacobiEigenSymmetric(a);
+  ASSERT_TRUE(full.ok());
+  EXPECT_NEAR(topk->values[0], full->values[0], 1e-8);
+}
+
+}  // namespace
+}  // namespace genclus

@@ -1,0 +1,111 @@
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace genclus {
+namespace {
+
+TEST(MatrixTest, ConstructionAndFill) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), 1.5);
+  }
+}
+
+TEST(MatrixTest, InitializerList) {
+  Matrix m = {{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(MatrixTest, Identity) {
+  Matrix i = Matrix::Identity(3);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(i(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, RowAccessAndSetRow) {
+  Matrix m(2, 3);
+  m.SetRow(1, {7.0, 8.0, 9.0});
+  const double* row = m.Row(1);
+  EXPECT_DOUBLE_EQ(row[0], 7.0);
+  EXPECT_DOUBLE_EQ(row[2], 9.0);
+  Vector v = m.RowVector(1);
+  EXPECT_EQ(v, (Vector{7.0, 8.0, 9.0}));
+}
+
+TEST(MatrixTest, Transpose) {
+  Matrix m = {{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  Matrix t = m.Transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_DOUBLE_EQ(t(0, 0), 1.0);
+}
+
+TEST(MatrixTest, Multiply) {
+  Matrix a = {{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b = {{5.0, 6.0}, {7.0, 8.0}};
+  Matrix c = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MultiplyIdentityIsNoop) {
+  Matrix a = {{1.0, 2.0}, {3.0, 4.0}};
+  Matrix c = a.Multiply(Matrix::Identity(2));
+  EXPECT_DOUBLE_EQ(Matrix::MaxAbsDiff(a, c), 0.0);
+}
+
+TEST(MatrixTest, MultiplyVector) {
+  Matrix a = {{1.0, 2.0}, {3.0, 4.0}};
+  Vector v = a.MultiplyVector({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(v[0], 3.0);
+  EXPECT_DOUBLE_EQ(v[1], 7.0);
+}
+
+TEST(MatrixTest, FrobeniusNorm) {
+  Matrix m = {{3.0, 0.0}, {0.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+}
+
+TEST(MatrixTest, AddScaledAndScale) {
+  Matrix a = {{1.0, 1.0}};
+  Matrix b = {{2.0, 4.0}};
+  a.AddScaled(b, 0.5);
+  EXPECT_DOUBLE_EQ(a(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(a(0, 1), 3.0);
+  a.Scale(2.0);
+  EXPECT_DOUBLE_EQ(a(0, 0), 4.0);
+}
+
+TEST(MatrixTest, MaxAbsDiff) {
+  Matrix a = {{1.0, 2.0}};
+  Matrix b = {{1.5, 1.0}};
+  EXPECT_DOUBLE_EQ(Matrix::MaxAbsDiff(a, b), 1.0);
+}
+
+TEST(VectorOpsTest, DotAndNorm) {
+  Vector a = {1.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(Dot(a, a), 9.0);
+  EXPECT_DOUBLE_EQ(Norm2(a), 3.0);
+}
+
+TEST(VectorOpsTest, AddSubtractScale) {
+  Vector a = {1.0, 2.0};
+  Vector b = {3.0, 5.0};
+  EXPECT_EQ(Add(a, b), (Vector{4.0, 7.0}));
+  EXPECT_EQ(Subtract(b, a), (Vector{2.0, 3.0}));
+  EXPECT_EQ(Scaled(a, 3.0), (Vector{3.0, 6.0}));
+  EXPECT_DOUBLE_EQ(MaxAbsDiff(a, b), 3.0);
+}
+
+}  // namespace
+}  // namespace genclus

@@ -1,0 +1,101 @@
+// Parameterized property sweeps for the dense solvers: LU round-trips and
+// Cholesky/LU agreement across matrix sizes and conditioning regimes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "linalg/solve.h"
+
+namespace genclus {
+namespace {
+
+struct SolveCase {
+  size_t dim;
+  double diagonal_boost;  // added to the diagonal (conditioning knob)
+  uint64_t seed;
+};
+
+void PrintTo(const SolveCase& c, std::ostream* os) {
+  *os << "dim=" << c.dim << " boost=" << c.diagonal_boost
+      << " seed=" << c.seed;
+}
+
+class SolveSweep : public ::testing::TestWithParam<SolveCase> {
+ protected:
+  Matrix RandomMatrix() {
+    const SolveCase c = GetParam();
+    Rng rng(c.seed);
+    Matrix a(c.dim, c.dim);
+    for (size_t i = 0; i < c.dim; ++i) {
+      for (size_t j = 0; j < c.dim; ++j) a(i, j) = rng.Gaussian();
+      a(i, i) += c.diagonal_boost;
+    }
+    return a;
+  }
+
+  Matrix RandomSpd() {
+    // A^T A + boost * I is SPD.
+    Matrix a = RandomMatrix();
+    Matrix spd = a.Transpose().Multiply(a);
+    for (size_t i = 0; i < spd.rows(); ++i) {
+      spd(i, i) += GetParam().diagonal_boost;
+    }
+    return spd;
+  }
+};
+
+TEST_P(SolveSweep, LuRoundTrip) {
+  Matrix a = RandomMatrix();
+  Rng rng(GetParam().seed ^ 0xF00D);
+  Vector x_true(a.rows());
+  for (double& x : x_true) x = rng.Gaussian();
+  Vector b = a.MultiplyVector(x_true);
+  auto x = SolveLinearSystem(a, b);
+  ASSERT_TRUE(x.ok()) << x.status().ToString();
+  // Residual check is conditioning-independent.
+  Vector back = a.MultiplyVector(*x);
+  EXPECT_LT(MaxAbsDiff(back, b), 1e-7 * (1.0 + Norm2(b)));
+}
+
+TEST_P(SolveSweep, CholeskyMatchesLuOnSpd) {
+  Matrix spd = RandomSpd();
+  Rng rng(GetParam().seed ^ 0xBEEF);
+  Vector b(spd.rows());
+  for (double& v : b) v = rng.Gaussian();
+  auto chol = CholeskyFactorization::Compute(spd);
+  ASSERT_TRUE(chol.ok());
+  auto x_chol = chol->Solve(b);
+  auto x_lu = SolveLinearSystem(spd, b);
+  ASSERT_TRUE(x_chol.ok() && x_lu.ok());
+  EXPECT_LT(MaxAbsDiff(*x_chol, *x_lu), 1e-6 * (1.0 + Norm2(*x_lu)));
+}
+
+TEST_P(SolveSweep, InverseTimesMatrixIsIdentity) {
+  Matrix a = RandomMatrix();
+  auto inv = Inverse(a);
+  ASSERT_TRUE(inv.ok());
+  Matrix prod = a.Multiply(*inv);
+  EXPECT_LT(Matrix::MaxAbsDiff(prod, Matrix::Identity(a.rows())), 1e-7);
+}
+
+TEST_P(SolveSweep, DeterminantMatchesLogDetOnSpd) {
+  Matrix spd = RandomSpd();
+  auto lu = LuFactorization::Compute(spd);
+  auto chol = CholeskyFactorization::Compute(spd);
+  ASSERT_TRUE(lu.ok() && chol.ok());
+  const double det = lu->Determinant();
+  ASSERT_GT(det, 0.0);  // SPD => positive determinant
+  EXPECT_NEAR(std::log(det), chol->LogDeterminant(),
+              1e-8 * (1.0 + std::fabs(chol->LogDeterminant())));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SolveSweep,
+    ::testing::Values(SolveCase{1, 2.0, 11}, SolveCase{2, 3.0, 12},
+                      SolveCase{3, 3.0, 13}, SolveCase{5, 4.0, 14},
+                      SolveCase{8, 5.0, 15}, SolveCase{13, 6.0, 16},
+                      SolveCase{21, 8.0, 17}, SolveCase{34, 10.0, 18}));
+
+}  // namespace
+}  // namespace genclus

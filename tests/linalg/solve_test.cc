@@ -1,0 +1,122 @@
+#include "linalg/solve.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace genclus {
+namespace {
+
+TEST(LuTest, SolvesKnownSystem) {
+  Matrix a = {{2.0, 1.0}, {1.0, 3.0}};
+  auto r = SolveLinearSystem(a, {3.0, 5.0});
+  ASSERT_TRUE(r.ok());
+  // Solution of 2x + y = 3, x + 3y = 5 is x = 4/5, y = 7/5.
+  EXPECT_NEAR((*r)[0], 0.8, 1e-12);
+  EXPECT_NEAR((*r)[1], 1.4, 1e-12);
+}
+
+TEST(LuTest, RequiresSquare) {
+  Matrix a(2, 3);
+  auto r = LuFactorization::Compute(a);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LuTest, DetectsSingularMatrix) {
+  Matrix a = {{1.0, 2.0}, {2.0, 4.0}};
+  auto r = SolveLinearSystem(a, {1.0, 2.0});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNumericalError);
+}
+
+TEST(LuTest, PivotingHandlesZeroLeadingEntry) {
+  Matrix a = {{0.0, 1.0}, {1.0, 0.0}};
+  auto r = SolveLinearSystem(a, {2.0, 3.0});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR((*r)[0], 3.0, 1e-12);
+  EXPECT_NEAR((*r)[1], 2.0, 1e-12);
+}
+
+TEST(LuTest, Determinant) {
+  Matrix a = {{2.0, 0.0}, {0.0, 3.0}};
+  auto lu = LuFactorization::Compute(a);
+  ASSERT_TRUE(lu.ok());
+  EXPECT_NEAR(lu->Determinant(), 6.0, 1e-12);
+
+  // Permuted rows flip the sign path but not the determinant value.
+  Matrix b = {{0.0, 1.0}, {1.0, 0.0}};
+  auto lub = LuFactorization::Compute(b);
+  ASSERT_TRUE(lub.ok());
+  EXPECT_NEAR(lub->Determinant(), -1.0, 1e-12);
+}
+
+TEST(LuTest, RandomRoundTrip) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 1 + rng.UniformIndex(8);
+    Matrix a(n, n);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) a(i, j) = rng.Gaussian();
+      a(i, i) += static_cast<double>(n);  // diagonal dominance
+    }
+    Vector x_true(n);
+    for (size_t i = 0; i < n; ++i) x_true[i] = rng.Gaussian();
+    Vector b = a.MultiplyVector(x_true);
+    auto x = SolveLinearSystem(a, b);
+    ASSERT_TRUE(x.ok());
+    EXPECT_LT(MaxAbsDiff(*x, x_true), 1e-9);
+  }
+}
+
+TEST(LuTest, RhsSizeMismatch) {
+  Matrix a = Matrix::Identity(3);
+  auto lu = LuFactorization::Compute(a);
+  ASSERT_TRUE(lu.ok());
+  auto r = lu->Solve({1.0, 2.0});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CholeskyTest, SolvesSpdSystem) {
+  Matrix a = {{4.0, 2.0}, {2.0, 3.0}};
+  auto chol = CholeskyFactorization::Compute(a);
+  ASSERT_TRUE(chol.ok());
+  auto x = chol->Solve({2.0, 1.0});
+  ASSERT_TRUE(x.ok());
+  // Verify A x = b.
+  Vector back = a.MultiplyVector(*x);
+  EXPECT_NEAR(back[0], 2.0, 1e-12);
+  EXPECT_NEAR(back[1], 1.0, 1e-12);
+}
+
+TEST(CholeskyTest, RejectsNonSpd) {
+  Matrix a = {{1.0, 2.0}, {2.0, 1.0}};  // indefinite
+  auto chol = CholeskyFactorization::Compute(a);
+  EXPECT_FALSE(chol.ok());
+  EXPECT_EQ(chol.status().code(), StatusCode::kNumericalError);
+}
+
+TEST(CholeskyTest, LogDeterminant) {
+  Matrix a = {{4.0, 0.0}, {0.0, 9.0}};
+  auto chol = CholeskyFactorization::Compute(a);
+  ASSERT_TRUE(chol.ok());
+  EXPECT_NEAR(chol->LogDeterminant(), std::log(36.0), 1e-12);
+}
+
+TEST(InverseTest, ProducesInverse) {
+  Matrix a = {{2.0, 1.0}, {1.0, 3.0}};
+  auto inv = Inverse(a);
+  ASSERT_TRUE(inv.ok());
+  Matrix prod = a.Multiply(*inv);
+  EXPECT_LT(Matrix::MaxAbsDiff(prod, Matrix::Identity(2)), 1e-12);
+}
+
+TEST(InverseTest, FailsOnSingular) {
+  Matrix a = {{1.0, 1.0}, {1.0, 1.0}};
+  EXPECT_FALSE(Inverse(a).ok());
+}
+
+}  // namespace
+}  // namespace genclus

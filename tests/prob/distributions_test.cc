@@ -1,0 +1,185 @@
+#include "prob/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "prob/special_functions.h"
+
+namespace genclus {
+namespace {
+
+TEST(CategoricalTest, UniformConstruction) {
+  CategoricalDistribution d(4);
+  for (size_t t = 0; t < 4; ++t) EXPECT_DOUBLE_EQ(d.prob(t), 0.25);
+}
+
+TEST(CategoricalTest, FromProbabilitiesNormalizes) {
+  auto d = CategoricalDistribution::FromProbabilities({2.0, 6.0});
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d->prob(0), 0.25);
+  EXPECT_DOUBLE_EQ(d->prob(1), 0.75);
+}
+
+TEST(CategoricalTest, FromProbabilitiesRejectsBadInput) {
+  EXPECT_FALSE(CategoricalDistribution::FromProbabilities({}).ok());
+  EXPECT_FALSE(CategoricalDistribution::FromProbabilities({-1.0, 2.0}).ok());
+  EXPECT_FALSE(CategoricalDistribution::FromProbabilities({0.0, 0.0}).ok());
+}
+
+TEST(CategoricalTest, FromCountsWithSmoothing) {
+  auto d = CategoricalDistribution::FromCounts({3.0, 0.0, 1.0}, 1.0);
+  ASSERT_TRUE(d.ok());
+  // (3+1)/(4+3), (0+1)/7, (1+1)/7.
+  EXPECT_NEAR(d->prob(0), 4.0 / 7.0, 1e-12);
+  EXPECT_NEAR(d->prob(1), 1.0 / 7.0, 1e-12);
+  EXPECT_NEAR(d->prob(2), 2.0 / 7.0, 1e-12);
+}
+
+TEST(CategoricalTest, ZeroCountsNeedSmoothing) {
+  EXPECT_FALSE(CategoricalDistribution::FromCounts({0.0, 0.0}, 0.0).ok());
+  EXPECT_TRUE(CategoricalDistribution::FromCounts({0.0, 0.0}, 0.5).ok());
+}
+
+TEST(CategoricalTest, LogProbConsistent) {
+  auto d = CategoricalDistribution::FromProbabilities({0.25, 0.75});
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(d->LogProb(1), std::log(0.75), 1e-12);
+}
+
+TEST(CategoricalTest, ZeroProbabilityTermIsNegInf) {
+  auto d = CategoricalDistribution::FromProbabilities({1.0, 0.0});
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(std::isinf(d->LogProb(1)));
+  EXPECT_LT(d->LogProb(1), 0.0);
+}
+
+TEST(CategoricalTest, SampleFrequenciesMatch) {
+  auto d = CategoricalDistribution::FromProbabilities({0.2, 0.8});
+  ASSERT_TRUE(d.ok());
+  Rng rng(31);
+  int count1 = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (d->Sample(&rng) == 1) ++count1;
+  }
+  EXPECT_NEAR(static_cast<double>(count1) / n, 0.8, 0.02);
+}
+
+TEST(GaussianTest, PdfMatchesClosedForm) {
+  GaussianDistribution g(0.0, 1.0);
+  EXPECT_NEAR(g.Pdf(0.0), 1.0 / std::sqrt(2.0 * M_PI), 1e-12);
+  EXPECT_NEAR(g.LogPdf(0.0), -0.5 * std::log(2.0 * M_PI), 1e-12);
+}
+
+TEST(GaussianTest, NonUnitParameters) {
+  GaussianDistribution g(2.0, 4.0);  // mean 2, variance 4
+  EXPECT_DOUBLE_EQ(g.stddev(), 2.0);
+  // Pdf at the mean = 1/(sqrt(2 pi) sigma).
+  EXPECT_NEAR(g.Pdf(2.0), 1.0 / (std::sqrt(2.0 * M_PI) * 2.0), 1e-12);
+  // Symmetry.
+  EXPECT_NEAR(g.Pdf(1.0), g.Pdf(3.0), 1e-15);
+}
+
+TEST(GaussianTest, SampleMoments) {
+  GaussianDistribution g(-1.0, 0.25);
+  Rng rng(37);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = g.Sample(&rng);
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, -1.0, 0.02);
+  EXPECT_NEAR(sum2 / n - (sum / n) * (sum / n), 0.25, 0.02);
+}
+
+TEST(GaussianTest, FitWeightedRecoversMoments) {
+  std::vector<double> values = {1.0, 2.0, 3.0};
+  std::vector<double> weights = {1.0, 1.0, 1.0};
+  auto g = GaussianDistribution::FitWeighted(values, weights);
+  ASSERT_TRUE(g.ok());
+  EXPECT_NEAR(g->mean(), 2.0, 1e-12);
+  EXPECT_NEAR(g->variance(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(GaussianTest, FitWeightedRespectsWeights) {
+  // All the mass on the last value.
+  auto g = GaussianDistribution::FitWeighted({1.0, 5.0}, {0.0, 2.0}, 1e-8);
+  ASSERT_TRUE(g.ok());
+  EXPECT_NEAR(g->mean(), 5.0, 1e-12);
+  EXPECT_NEAR(g->variance(), 1e-8, 1e-15);  // floored
+}
+
+TEST(GaussianTest, FitWeightedRejectsBadInput) {
+  EXPECT_FALSE(GaussianDistribution::FitWeighted({1.0}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(GaussianDistribution::FitWeighted({1.0}, {-1.0}).ok());
+  EXPECT_FALSE(GaussianDistribution::FitWeighted({1.0}, {0.0}).ok());
+}
+
+TEST(DirichletTest, CreateValidation) {
+  EXPECT_TRUE(DirichletDistribution::Create({1.0, 2.0}).ok());
+  EXPECT_FALSE(DirichletDistribution::Create({}).ok());
+  EXPECT_FALSE(DirichletDistribution::Create({1.0, 0.0}).ok());
+  EXPECT_FALSE(DirichletDistribution::Create({1.0, -2.0}).ok());
+}
+
+TEST(DirichletTest, LogNormalizerMatchesBeta) {
+  auto d = DirichletDistribution::Create({2.0, 3.0, 4.0});
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(d->LogNormalizer(), LogMultivariateBeta({2.0, 3.0, 4.0}),
+              1e-12);
+}
+
+TEST(DirichletTest, UniformDirichletPdfIsConstant) {
+  auto d = DirichletDistribution::Create({1.0, 1.0, 1.0});
+  ASSERT_TRUE(d.ok());
+  // Density = 1/B(1,1,1) = Gamma(3) = 2 everywhere on the simplex.
+  EXPECT_NEAR(std::exp(d->LogPdf({0.3, 0.3, 0.4})), 2.0, 1e-10);
+  EXPECT_NEAR(std::exp(d->LogPdf({0.8, 0.1, 0.1})), 2.0, 1e-10);
+}
+
+TEST(DirichletTest, MeanIsNormalizedAlpha) {
+  auto d = DirichletDistribution::Create({1.0, 3.0});
+  ASSERT_TRUE(d.ok());
+  auto mean = d->Mean();
+  EXPECT_NEAR(mean[0], 0.25, 1e-12);
+  EXPECT_NEAR(mean[1], 0.75, 1e-12);
+}
+
+TEST(DirichletTest, SamplesOnSimplexWithRightMean) {
+  auto d = DirichletDistribution::Create({2.0, 5.0, 3.0});
+  ASSERT_TRUE(d.ok());
+  Rng rng(41);
+  std::vector<double> avg(3, 0.0);
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    auto s = d->Sample(&rng);
+    double total = std::accumulate(s.begin(), s.end(), 0.0);
+    ASSERT_NEAR(total, 1.0, 1e-9);
+    for (size_t k = 0; k < 3; ++k) avg[k] += s[k];
+  }
+  for (size_t k = 0; k < 3; ++k) avg[k] /= n;
+  EXPECT_NEAR(avg[0], 0.2, 0.02);
+  EXPECT_NEAR(avg[1], 0.5, 0.02);
+  EXPECT_NEAR(avg[2], 0.3, 0.02);
+}
+
+TEST(DirichletTest, PdfIntegratesToOneOnCoarseGrid) {
+  // 2-simplex: integrate over theta_1 on [0,1] with theta_2 = 1 - theta_1.
+  auto d = DirichletDistribution::Create({2.0, 3.0});
+  ASSERT_TRUE(d.ok());
+  const int steps = 20000;
+  double acc = 0.0;
+  for (int i = 1; i < steps; ++i) {
+    const double t = static_cast<double>(i) / steps;
+    acc += std::exp(d->LogPdf({t, 1.0 - t})) / steps;
+  }
+  EXPECT_NEAR(acc, 1.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace genclus

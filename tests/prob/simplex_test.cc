@@ -1,0 +1,128 @@
+#include "prob/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace genclus {
+namespace {
+
+TEST(NormalizeTest, BasicNormalization) {
+  std::vector<double> v = {1.0, 3.0};
+  NormalizeToSimplex(&v);
+  EXPECT_DOUBLE_EQ(v[0], 0.25);
+  EXPECT_DOUBLE_EQ(v[1], 0.75);
+}
+
+TEST(NormalizeTest, ZeroVectorBecomesUniform) {
+  std::vector<double> v = {0.0, 0.0, 0.0, 0.0};
+  NormalizeToSimplex(&v);
+  for (double x : v) EXPECT_DOUBLE_EQ(x, 0.25);
+}
+
+TEST(NormalizeTest, NegativeOrNanBecomesUniform) {
+  std::vector<double> v = {1.0, -0.5};
+  NormalizeToSimplex(&v);
+  EXPECT_DOUBLE_EQ(v[0], 0.5);
+  std::vector<double> w = {std::nan(""), 1.0};
+  NormalizeToSimplex(&w);
+  EXPECT_DOUBLE_EQ(w[0], 0.5);
+}
+
+TEST(ClampTest, FloorsTinyComponents) {
+  std::vector<double> v = {1.0, 0.0};
+  ClampToSimplex(&v, 1e-6);
+  EXPECT_GT(v[1], 0.0);
+  EXPECT_NEAR(v[0] + v[1], 1.0, 1e-15);
+  EXPECT_TRUE(IsOnSimplex(v));
+}
+
+TEST(ClampTest, NoopWhenAlreadyAboveFloor) {
+  std::vector<double> v = {0.4, 0.6};
+  ClampToSimplex(&v, 1e-6);
+  EXPECT_DOUBLE_EQ(v[0], 0.4);
+  EXPECT_DOUBLE_EQ(v[1], 0.6);
+}
+
+TEST(IsOnSimplexTest, AcceptsAndRejects) {
+  EXPECT_TRUE(IsOnSimplex({0.5, 0.5}));
+  EXPECT_TRUE(IsOnSimplex({1.0, 0.0}));
+  EXPECT_FALSE(IsOnSimplex({0.6, 0.6}));
+  EXPECT_FALSE(IsOnSimplex({1.2, -0.2}));
+}
+
+TEST(EntropyTest, UniformIsLogK) {
+  EXPECT_NEAR(Entropy({0.25, 0.25, 0.25, 0.25}), std::log(4.0), 1e-12);
+}
+
+TEST(EntropyTest, PointMassIsZero) {
+  EXPECT_DOUBLE_EQ(Entropy({1.0, 0.0, 0.0}), 0.0);
+}
+
+TEST(CrossEntropyTest, EqualsEntropyWhenIdentical) {
+  std::vector<double> p = {0.2, 0.3, 0.5};
+  EXPECT_NEAR(CrossEntropy(p, p), Entropy(p), 1e-12);
+}
+
+TEST(CrossEntropyTest, ExceedsEntropyOtherwise) {
+  // Gibbs inequality: H(q,p) >= H(q).
+  std::vector<double> q = {0.7, 0.2, 0.1};
+  std::vector<double> p = {0.1, 0.2, 0.7};
+  EXPECT_GT(CrossEntropy(q, p), Entropy(q));
+}
+
+TEST(CrossEntropyTest, AsymmetricInArguments) {
+  std::vector<double> q = {0.9, 0.1};
+  std::vector<double> p = {0.5, 0.5};
+  EXPECT_NE(CrossEntropy(q, p), CrossEntropy(p, q));
+}
+
+TEST(CrossEntropyTest, FiniteWhenPHasZeros) {
+  std::vector<double> q = {0.5, 0.5};
+  std::vector<double> p = {1.0, 0.0};
+  EXPECT_TRUE(std::isfinite(CrossEntropy(q, p)));
+}
+
+TEST(PaperExampleTest, FeatureFunctionValuesFromFigure4) {
+  // The paper's Fig. 4 worked example: membership vectors of objects 1, 3,
+  // 4, 5 and the cross entropies behind f(<1,3>), f(<1,4>), f(<1,5>).
+  // Object 1 (the paper node whose out-links are drawn) carries
+  // (5/6, 1/12, 1/12); object 3 carries (7/8, 1/16, 1/16).
+  std::vector<double> theta1 = {5.0 / 6, 1.0 / 12, 1.0 / 12};
+  std::vector<double> theta3 = {7.0 / 8, 1.0 / 16, 1.0 / 16};
+  std::vector<double> theta4 = {1.0 / 3, 1.0 / 3, 1.0 / 3};
+  std::vector<double> theta5 = {1.0 / 16, 1.0 / 16, 7.0 / 8};
+  // f(<1,j>) = -gamma * H(theta_j, theta_1); the paper reports
+  // 0.4701, 1.7174, 2.3410 for j = 3, 4, 5.
+  EXPECT_NEAR(CrossEntropy(theta3, theta1), 0.4701, 5e-4);
+  EXPECT_NEAR(CrossEntropy(theta4, theta1), 1.7174, 5e-4);
+  EXPECT_NEAR(CrossEntropy(theta5, theta1), 2.3410, 5e-4);
+  // And f(<4,1>) uses H(theta_1, theta_4) = 1.0986 (= log 3).
+  EXPECT_NEAR(CrossEntropy(theta1, theta4), 1.0986, 5e-4);
+}
+
+TEST(KlDivergenceTest, NonNegativeAndZeroIffEqual) {
+  std::vector<double> p = {0.3, 0.7};
+  std::vector<double> q = {0.6, 0.4};
+  EXPECT_GT(KlDivergence(q, p), 0.0);
+  EXPECT_NEAR(KlDivergence(p, p), 0.0, 1e-12);
+}
+
+TEST(CosineTest, IdenticalAndOrthogonal) {
+  EXPECT_NEAR(CosineSimilarity({1.0, 0.0}, {2.0, 0.0}), 1.0, 1e-12);
+  EXPECT_NEAR(CosineSimilarity({1.0, 0.0}, {0.0, 1.0}), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({0.0, 0.0}, {1.0, 0.0}), 0.0);
+}
+
+TEST(EuclideanTest, KnownDistance) {
+  EXPECT_DOUBLE_EQ(EuclideanDistance({0.0, 0.0}, {3.0, 4.0}), 5.0);
+}
+
+TEST(ArgMaxTest, FirstOfTiesWins) {
+  EXPECT_EQ(ArgMax({0.1, 0.5, 0.4}), 1u);
+  EXPECT_EQ(ArgMax({0.5, 0.5}), 0u);
+  EXPECT_EQ(ArgMax({2.0}), 0u);
+}
+
+}  // namespace
+}  // namespace genclus

@@ -1,0 +1,132 @@
+#include "prob/special_functions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace genclus {
+namespace {
+
+// Euler-Mascheroni constant.
+constexpr double kEulerGamma = 0.57721566490153286;
+
+TEST(DigammaTest, KnownValues) {
+  // psi(1) = -gamma.
+  EXPECT_NEAR(Digamma(1.0), -kEulerGamma, 1e-12);
+  // psi(2) = 1 - gamma.
+  EXPECT_NEAR(Digamma(2.0), 1.0 - kEulerGamma, 1e-12);
+  // psi(1/2) = -gamma - 2 ln 2.
+  EXPECT_NEAR(Digamma(0.5), -kEulerGamma - 2.0 * std::log(2.0), 1e-12);
+}
+
+TEST(DigammaTest, RecurrenceHolds) {
+  // psi(x+1) = psi(x) + 1/x across a range of x.
+  for (double x : {0.1, 0.7, 1.3, 2.9, 5.5, 10.0, 42.0}) {
+    EXPECT_NEAR(Digamma(x + 1.0), Digamma(x) + 1.0 / x, 1e-11) << "x=" << x;
+  }
+}
+
+TEST(DigammaTest, MatchesNumericalDerivativeOfLogGamma) {
+  const double h = 1e-6;
+  for (double x : {0.5, 1.0, 2.5, 7.0, 20.0}) {
+    const double numeric = (LogGamma(x + h) - LogGamma(x - h)) / (2.0 * h);
+    EXPECT_NEAR(Digamma(x), numeric, 1e-6) << "x=" << x;
+  }
+}
+
+TEST(DigammaTest, AsymptoticallyLogX) {
+  const double x = 1e6;
+  EXPECT_NEAR(Digamma(x), std::log(x), 1e-6);
+}
+
+TEST(TrigammaTest, KnownValues) {
+  // psi'(1) = pi^2/6.
+  EXPECT_NEAR(Trigamma(1.0), M_PI * M_PI / 6.0, 1e-11);
+  // psi'(1/2) = pi^2/2.
+  EXPECT_NEAR(Trigamma(0.5), M_PI * M_PI / 2.0, 1e-11);
+}
+
+TEST(TrigammaTest, RecurrenceHolds) {
+  // psi'(x+1) = psi'(x) - 1/x^2.
+  for (double x : {0.2, 1.1, 3.3, 8.0, 25.0}) {
+    EXPECT_NEAR(Trigamma(x + 1.0), Trigamma(x) - 1.0 / (x * x), 1e-11)
+        << "x=" << x;
+  }
+}
+
+TEST(TrigammaTest, MatchesNumericalDerivativeOfDigamma) {
+  const double h = 1e-6;
+  for (double x : {0.8, 2.0, 6.0, 15.0}) {
+    const double numeric = (Digamma(x + h) - Digamma(x - h)) / (2.0 * h);
+    EXPECT_NEAR(Trigamma(x), numeric, 1e-5) << "x=" << x;
+  }
+}
+
+TEST(TrigammaTest, PositiveEverywhere) {
+  for (double x : {0.01, 0.5, 1.0, 10.0, 1000.0}) {
+    EXPECT_GT(Trigamma(x), 0.0) << "x=" << x;
+  }
+}
+
+TEST(LogMultivariateBetaTest, MatchesBetaFunctionForTwo) {
+  // B(a, b) = Gamma(a) Gamma(b) / Gamma(a + b).
+  const double a = 2.5;
+  const double b = 3.5;
+  const double expected =
+      std::lgamma(a) + std::lgamma(b) - std::lgamma(a + b);
+  EXPECT_NEAR(LogMultivariateBeta({a, b}), expected, 1e-12);
+}
+
+TEST(LogMultivariateBetaTest, UniformDirichletNormalizer) {
+  // B(1,...,1) over K dims = 1 / Gamma(K) ... actually = Gamma(1)^K /
+  // Gamma(K) = 1 / (K-1)!.
+  EXPECT_NEAR(LogMultivariateBeta({1.0, 1.0, 1.0, 1.0}),
+              -std::lgamma(4.0), 1e-12);
+}
+
+TEST(LogSumExpTest, BasicValues) {
+  EXPECT_NEAR(LogSumExp({0.0, 0.0}), std::log(2.0), 1e-12);
+  EXPECT_NEAR(LogSumExp({1.0}), 1.0, 1e-12);
+}
+
+TEST(LogSumExpTest, StableForLargeMagnitudes) {
+  // Without max-shifting these would overflow / underflow.
+  EXPECT_NEAR(LogSumExp({1000.0, 1000.0}), 1000.0 + std::log(2.0), 1e-9);
+  EXPECT_NEAR(LogSumExp({-1000.0, -1000.0}), -1000.0 + std::log(2.0), 1e-9);
+  // A dominated term contributes nothing measurable.
+  EXPECT_NEAR(LogSumExp({0.0, -1000.0}), 0.0, 1e-12);
+}
+
+TEST(LogSumExpTest, EmptyIsNegativeInfinity) {
+  EXPECT_EQ(LogSumExp({}), -std::numeric_limits<double>::infinity());
+}
+
+TEST(LogAddExpTest, MatchesLogSumExp) {
+  EXPECT_NEAR(LogAddExp(1.0, 2.0), LogSumExp({1.0, 2.0}), 1e-12);
+  EXPECT_NEAR(LogAddExp(-50.0, -51.0), LogSumExp({-50.0, -51.0}), 1e-12);
+}
+
+TEST(LogAddExpTest, InfinityHandling) {
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(LogAddExp(-inf, 3.0), 3.0);
+  EXPECT_EQ(LogAddExp(-inf, -inf), -inf);
+}
+
+// Property sweep: LogSumExp equals the naive sum where the naive sum is
+// representable.
+class LogSumExpPropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(LogSumExpPropertyTest, AgreesWithNaive) {
+  const double shift = GetParam();
+  std::vector<double> x = {shift, shift - 1.0, shift + 0.5, shift - 3.0};
+  double naive = 0.0;
+  for (double v : x) naive += std::exp(v);
+  EXPECT_NEAR(LogSumExp(x), std::log(naive), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, LogSumExpPropertyTest,
+                         ::testing::Values(-5.0, -1.0, 0.0, 1.0, 5.0, 20.0));
+
+}  // namespace
+}  // namespace genclus
