@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 namespace genclus {
@@ -84,6 +86,73 @@ TEST(ThreadPoolTest, ParallelForSumMatchesSerial) {
   const double total =
       std::accumulate(partial.begin(), partial.end(), 0.0);
   EXPECT_DOUBLE_EQ(total, static_cast<double>(n) * (n - 1) / 2.0);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasksBeforeJoining) {
+  // The destructor must let workers finish every task already queued: it
+  // sets shutdown_ first, but workers only exit once the queue is empty.
+  std::atomic<int> completed{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&completed] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        completed.fetch_add(1);
+      });
+    }
+    // Destructor runs here with most tasks still queued.
+  }
+  EXPECT_EQ(completed.load(), 64);
+}
+
+TEST(ThreadPoolTest, DestructorJoinsIdleWorkersPromptly) {
+  // Shutdown of an idle pool must not deadlock on the condition variable:
+  // notify_all after setting shutdown_ wakes every sleeping worker.
+  const auto start = std::chrono::steady_clock::now();
+  { ThreadPool pool(8); }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(),
+            5);
+}
+
+TEST(ThreadPoolTest, SingleWorkerExecutesSubmittedTasksInFifoOrder) {
+  // With one worker the queue is strictly FIFO, so tasks queued before
+  // shutdown observe every earlier task's effect — the ordering guarantee
+  // the destructor's drain relies on.
+  ThreadPool pool(1);
+  std::vector<int> order;
+  for (int i = 0; i < 32; ++i) {
+    pool.Submit([&order, i] { order.push_back(i); });
+  }
+  pool.Wait();
+  ASSERT_EQ(order.size(), 32u);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolTest, SingleWorkerParallelForRunsInlineOnCaller) {
+  // A 1-thread pool must take the inline fast path: the body runs on the
+  // calling thread, in one shard covering the whole range.
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  size_t calls = 0;
+  pool.ParallelFor(1000, [&](size_t shard, size_t begin, size_t end) {
+    ++calls;
+    EXPECT_EQ(shard, 0u);
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 1000u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(ThreadPoolTest, TinyRangeRunsInlineEvenWithManyWorkers) {
+  // n < 2 * shards skips dispatch entirely — same thread, single shard.
+  ThreadPool pool(8);
+  const std::thread::id caller = std::this_thread::get_id();
+  pool.ParallelFor(5, [&](size_t shard, size_t, size_t) {
+    EXPECT_EQ(shard, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
 }
 
 TEST(ThreadPoolTest, ReusableAcrossCalls) {

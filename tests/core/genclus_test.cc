@@ -15,15 +15,7 @@ namespace {
 
 using testing::MakeTwoCommunityNetwork;
 
-GenClusConfig SmallConfig() {
-  GenClusConfig config;
-  config.num_clusters = 2;
-  config.outer_iterations = 5;
-  config.em_iterations = 60;
-  config.seed = 123;
-  config.num_init_seeds = 3;
-  return config;
-}
+GenClusConfig SmallConfig() { return testing::PlantedFixtureConfig(123); }
 
 TEST(GenClusTest, RecoversPlantedCommunitiesWithFullText) {
   auto fixture = MakeTwoCommunityNetwork(8, 1.0, 51);

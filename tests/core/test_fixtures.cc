@@ -4,6 +4,16 @@
 
 namespace genclus::testing {
 
+GenClusConfig PlantedFixtureConfig(uint64_t seed) {
+  GenClusConfig config;
+  config.num_clusters = 2;
+  config.outer_iterations = 5;
+  config.em_iterations = 60;
+  config.seed = seed;
+  config.num_init_seeds = 3;
+  return config;
+}
+
 TwoCommunityNetwork MakeTwoCommunityNetwork(size_t docs_per_side,
                                             double text_fraction,
                                             uint64_t seed) {

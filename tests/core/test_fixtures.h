@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "core/config.h"
 #include "hin/dataset.h"
 #include "linalg/matrix.h"
 
@@ -32,6 +33,12 @@ struct TwoCommunityNetwork {
 TwoCommunityNetwork MakeTwoCommunityNetwork(size_t docs_per_side,
                                             double text_fraction,
                                             uint64_t seed);
+
+/// The canonical small configuration for end-to-end runs on the planted
+/// fixtures: K=2, 5 outer iterations, 60 EM iterations, 3 init seeds. The
+/// genclus and regression tests share this so a GenClusConfig field change
+/// only needs one update.
+GenClusConfig PlantedFixtureConfig(uint64_t seed);
 
 /// A membership matrix where each node's row concentrates (1 - eps) on
 /// `labels[v]`.
