@@ -9,11 +9,7 @@
 namespace genclus::bench {
 
 std::vector<uint32_t> HardLabels(const Matrix& theta) {
-  std::vector<uint32_t> labels(theta.rows());
-  for (size_t v = 0; v < theta.rows(); ++v) {
-    labels[v] = static_cast<uint32_t>(ArgMax(theta.RowVector(v)));
-  }
-  return labels;
+  return RowArgMax(theta);
 }
 
 double SubsetNmi(const std::vector<uint32_t>& pred, const Labels& truth,

@@ -1,6 +1,7 @@
 #include "bench/dblp_bench_common.h"
 
 #include "common/timer.h"
+#include "core/engine.h"
 
 namespace genclus::bench {
 
@@ -42,8 +43,10 @@ void RunDblpAccuracyBench(
                    it.status().ToString().c_str());
       continue;
     }
-    auto gen = RunGenClus(dataset, {"text"},
-                          options.MakeGenClusConfig(seed));
+    FitOptions fit_options;
+    fit_options.attributes = {"text"};
+    fit_options.config = options.MakeGenClusConfig(seed);
+    auto gen = Engine::Fit(dataset, fit_options);
     if (!gen.ok()) {
       std::fprintf(stderr, "GenClus failed: %s\n",
                    gen.status().ToString().c_str());
@@ -51,7 +54,8 @@ void RunDblpAccuracyBench(
     }
 
     const std::vector<std::vector<uint32_t>> preds = {
-        HardLabels(np->theta), HardLabels(it->theta), gen->HardLabels()};
+        HardLabels(np->theta), HardLabels(it->theta),
+        gen->model.HardLabels()};
     for (size_t m = 0; m < methods.size(); ++m) {
       for (size_t g = 0; g < num_groups; ++g) {
         const double nmi =
@@ -62,7 +66,7 @@ void RunDblpAccuracyBench(
       }
     }
     for (size_t r = 0; r < relation_names.size(); ++r) {
-      gamma_mean[r] += gen->gamma[r];
+      gamma_mean[r] += gen->model.gamma[r];
     }
     ++gamma_samples;
   }

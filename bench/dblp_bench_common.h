@@ -11,7 +11,7 @@
 #include "baselines/topic_models.h"
 #include "bench/bench_util.h"
 #include "common/flags.h"
-#include "core/genclus.h"
+#include "core/engine.h"
 #include "datagen/dblp_generator.h"
 
 namespace genclus::bench {

@@ -12,7 +12,7 @@
 #include "bench/bench_util.h"
 #include "common/flags.h"
 #include "common/string_util.h"
-#include "core/genclus.h"
+#include "core/engine.h"
 #include "datagen/dblp_generator.h"
 
 int main(int argc, char** argv) {
@@ -30,36 +30,46 @@ int main(int argc, char** argv) {
   auto ac = BuildAcNetwork(*corpus, data_config);
   if (!ac.ok()) return 1;
 
-  GenClusConfig config;
-  config.num_clusters = 4;
-  config.outer_iterations =
+  FitOptions options;
+  options.attributes = {"text"};
+  options.config.num_clusters = 4;
+  options.config.outer_iterations =
       static_cast<size_t>(flags.GetInt("iterations", 10));
-  config.outer_tolerance = 0.0;  // show every iteration
-  config.em_iterations = 40;
-  config.num_init_seeds = 5;
-  config.init_em_steps = 3;
-  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  options.config.outer_tolerance = 0.0;  // show every iteration
+  options.config.em_iterations = 40;
+  options.config.num_init_seeds = 5;
+  options.config.init_em_steps = 3;
+  options.config.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
 
   PrintHeader("Fig. 10 — Running case on the AC network");
   PrintRow({"iter", "NMI(C)", "NMI(A)", "g<A,C>", "g<C,A>", "g<A,A>",
             "g1-objective"});
 
-  std::vector<const Attribute*> attrs = {&ac->dataset.attributes[0]};
-  GenClus algorithm(&ac->dataset.network, attrs, config);
-  algorithm.SetIterationCallback([&](const OuterIterationRecord& record,
-                                     const Matrix& theta) {
-    const auto pred = HardLabels(theta);
-    PrintRow({StrFormat("%zu", record.iteration),
-              Fmt(SubsetNmi(pred, ac->dataset.labels, ac->conference_nodes)),
-              Fmt(SubsetNmi(pred, ac->dataset.labels, ac->author_nodes)),
-              Fmt(record.gamma[ac->publish_in]),
-              Fmt(record.gamma[ac->published_by]),
-              Fmt(record.gamma[ac->coauthor]),
-              StrFormat("%.1f", record.em_objective)});
-  });
-  auto result = algorithm.Run();
-  if (!result.ok()) {
-    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+  // Streams one table row per outer iteration as training progresses.
+  class RowPrinter : public ProgressObserver {
+   public:
+    explicit RowPrinter(const AcNetworkData* ac) : ac_(ac) {}
+    void OnOuterIteration(const OuterIterationRecord& record,
+                          const Matrix& theta) override {
+      const auto pred = HardLabels(theta);
+      PrintRow(
+          {StrFormat("%zu", record.iteration),
+           Fmt(SubsetNmi(pred, ac_->dataset.labels, ac_->conference_nodes)),
+           Fmt(SubsetNmi(pred, ac_->dataset.labels, ac_->author_nodes)),
+           Fmt(record.gamma[ac_->publish_in]),
+           Fmt(record.gamma[ac_->published_by]),
+           Fmt(record.gamma[ac_->coauthor]),
+           StrFormat("%.1f", record.em_objective)});
+    }
+
+   private:
+    const AcNetworkData* ac_;
+  };
+  RowPrinter printer(&*ac);
+  options.observer = &printer;
+  auto fit = Engine::Fit(ac->dataset, options);
+  if (!fit.ok()) {
+    std::fprintf(stderr, "%s\n", fit.status().ToString().c_str());
     return 1;
   }
   std::printf(

@@ -3,6 +3,11 @@
 // (P in {250, 500, 1000}) and nobs in {1, 5, 20}. Also reproduces §5.4's
 // parallel-EM note (the paper reports a 3.19x speedup on 4 threads).
 //
+// Runs through the Engine::Fit training surface: one outer iteration with
+// a fixed EM budget and strength learning disabled, reading the EM wall
+// time from the FitReport trace (which times exactly the EM loop, not the
+// initialization).
+//
 // Paper shape: time/iteration grows ~linearly with the number of objects
 // and with the observation count; absolute numbers were ~0.1-1.5 s on
 // 2008-era hardware.
@@ -12,10 +17,7 @@
 #include "bench/bench_util.h"
 #include "common/flags.h"
 #include "common/string_util.h"
-#include "common/thread_pool.h"
-#include "common/timer.h"
-#include "core/em.h"
-#include "core/init.h"
+#include "core/engine.h"
 #include "datagen/weather_generator.h"
 
 namespace {
@@ -23,23 +25,25 @@ namespace {
 using namespace genclus;
 
 double MeasureEmSecondsPerIteration(const Dataset& dataset,
-                                    const GenClusConfig& config,
-                                    ThreadPool* pool, size_t iterations) {
-  std::vector<const Attribute*> attrs = {&dataset.attributes[0],
-                                         &dataset.attributes[1]};
-  EmOptimizer optimizer(&dataset.network, attrs, &config, pool);
-  Rng rng(config.seed);
-  Matrix theta = RandomTheta(dataset.network.num_nodes(),
-                             config.num_clusters, &rng);
-  auto components = InitialComponents(attrs, config, &rng);
-  std::vector<double> gamma(dataset.network.schema().num_link_types(), 1.0);
-  // Warm-up sweep (touches all memory once).
-  optimizer.Step(gamma, &theta, &components);
-  WallTimer timer;
-  for (size_t i = 0; i < iterations; ++i) {
-    optimizer.Step(gamma, &theta, &components);
+                                    size_t num_threads, size_t iterations) {
+  FitOptions options;
+  options.attributes = {"temperature", "precipitation"};
+  options.config.num_clusters = 4;
+  options.config.seed = 3;
+  options.config.num_threads = num_threads;
+  options.config.outer_iterations = 1;
+  options.config.em_iterations = iterations;
+  options.config.em_tolerance = 0.0;       // run the full EM budget
+  options.config.learn_strengths = false;  // time the EM step only
+  options.config.num_init_seeds = 1;
+  options.config.init_em_steps = 1;  // warm-up sweep, outside the EM timer
+  auto fit = Engine::Fit(dataset, options);
+  if (!fit.ok()) {
+    std::fprintf(stderr, "%s\n", fit.status().ToString().c_str());
+    return -1.0;
   }
-  return timer.Seconds() / static_cast<double>(iterations);
+  const OuterIterationRecord& record = fit->report.trace.back();
+  return record.em_seconds / static_cast<double>(record.em_iterations);
 }
 
 }  // namespace
@@ -65,12 +69,9 @@ int main(int argc, char** argv) {
         wconfig.seed = 11;
         auto data = GenerateWeatherNetwork(wconfig);
         if (!data.ok()) return 1;
-        GenClusConfig config;
-        config.num_clusters = 4;
-        config.seed = 3;
         row.push_back(StrFormat(
-            "%.4f", MeasureEmSecondsPerIteration(data->dataset, config,
-                                                 nullptr, iterations)));
+            "%.4f",
+            MeasureEmSecondsPerIteration(data->dataset, 1, iterations)));
       }
       PrintRow(row);
     }
@@ -87,17 +88,13 @@ int main(int argc, char** argv) {
   wconfig.seed = 11;
   auto data = GenerateWeatherNetwork(wconfig);
   if (!data.ok()) return 1;
-  GenClusConfig config;
-  config.num_clusters = 4;
-  config.seed = 3;
-  const double serial = MeasureEmSecondsPerIteration(data->dataset, config,
-                                                     nullptr, iterations);
+  const double serial =
+      MeasureEmSecondsPerIteration(data->dataset, 1, iterations);
   PrintRow({"threads", "sec/iter", "speedup"});
   PrintRow({"1", StrFormat("%.4f", serial), "1.00"});
   for (size_t threads : {2u, 4u, 8u}) {
-    genclus::ThreadPool pool(threads);
-    const double t = MeasureEmSecondsPerIteration(data->dataset, config,
-                                                  &pool, iterations);
+    const double t =
+        MeasureEmSecondsPerIteration(data->dataset, threads, iterations);
     PrintRow({StrFormat("%zu", threads), StrFormat("%.4f", t),
               StrFormat("%.2f", serial / t)});
   }

@@ -8,7 +8,7 @@
 #include "bench/bench_util.h"
 #include "common/string_util.h"
 #include "common/timer.h"
-#include "core/genclus.h"
+#include "core/engine.h"
 
 namespace genclus::bench {
 namespace {
@@ -83,12 +83,13 @@ void RunWeatherAccuracyBench(int setting,
           }
         }
 
-        auto gen = RunGenClus(data->dataset,
-                              {"temperature", "precipitation"},
-                              MakeGenClusConfig(seed, options.fixed_gamma));
+        FitOptions fit_options;
+        fit_options.attributes = {"temperature", "precipitation"};
+        fit_options.config = MakeGenClusConfig(seed, options.fixed_gamma);
+        auto gen = Engine::Fit(data->dataset, fit_options);
         if (gen.ok()) {
           gen_nmi.push_back(
-              OverallNmi(gen->HardLabels(), data->dataset.labels));
+              OverallNmi(gen->model.HardLabels(), data->dataset.labels));
         }
       }
       PrintRow({StrFormat("%zu", nobs), FmtMeanStd(Summarize(km_nmi)),

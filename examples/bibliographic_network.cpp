@@ -10,7 +10,7 @@
 #include <cstdio>
 
 #include "common/flags.h"
-#include "core/genclus.h"
+#include "core/engine.h"
 #include "datagen/dblp_generator.h"
 #include "eval/nmi.h"
 #include "prob/simplex.h"
@@ -60,21 +60,23 @@ int main(int argc, char** argv) {
               dataset.attributes[0].NumObservedNodes(),
               dataset.network.num_nodes());
 
-  GenClusConfig config;
-  config.num_clusters = 4;
-  config.outer_iterations = 10;
-  config.em_iterations = 40;
-  config.num_init_seeds = 5;
-  config.init_em_steps = 3;
-  config.seed = 7;
-  config.num_threads = 4;
-  auto result = RunGenClus(dataset, {"text"}, config);
-  if (!result.ok()) {
-    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+  FitOptions options;
+  options.attributes = {"text"};
+  options.config.num_clusters = 4;
+  options.config.outer_iterations = 10;
+  options.config.em_iterations = 40;
+  options.config.num_init_seeds = 5;
+  options.config.init_em_steps = 3;
+  options.config.seed = 7;
+  options.config.num_threads = 4;
+  auto fit = Engine::Fit(dataset, options);
+  if (!fit.ok()) {
+    std::fprintf(stderr, "%s\n", fit.status().ToString().c_str());
     return 1;
   }
+  const Model& model = fit->model;
 
-  const auto pred = result->HardLabels();
+  const auto pred = model.HardLabels();
   std::printf("clustering accuracy vs planted areas (NMI):\n");
   std::printf("  papers:      %.3f\n",
               SubsetNmi(pred, dataset.labels, acp->paper_nodes));
@@ -89,7 +91,7 @@ int main(int argc, char** argv) {
   const LinkTypeId ids[] = {acp->write, acp->written_by, acp->publish,
                             acp->published_by};
   for (int i = 0; i < 4; ++i) {
-    std::printf("  %-18s %.3f\n", names[i], result->gamma[ids[i]]);
+    std::printf("  %-18s %.3f\n", names[i], model.gamma[ids[i]]);
   }
   std::printf("\nReading: written_by<P,A> outweighs published_by<P,C> — an\n"
               "author identifies a paper's area better than its venue,\n"

@@ -9,7 +9,7 @@
 #include <cstdio>
 
 #include "common/random.h"
-#include "core/genclus.h"
+#include "core/engine.h"
 #include "hin/dataset.h"
 #include "prob/simplex.h"
 
@@ -108,21 +108,23 @@ int main() {
               "%zu books\n\n",
               kUsers, with_profile, kBlogs, kBooks);
 
-  GenClusConfig config;
-  config.num_clusters = 2;
-  config.outer_iterations = 8;
-  config.seed = 5;
-  config.num_init_seeds = 5;
-  auto result = RunGenClus(dataset, {"text"}, config);
-  if (!result.ok()) {
-    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+  FitOptions options;
+  options.attributes = {"text"};
+  options.config.num_clusters = 2;
+  options.config.outer_iterations = 8;
+  options.config.seed = 5;
+  options.config.num_init_seeds = 5;
+  auto fit = Engine::Fit(dataset, options);
+  if (!fit.ok()) {
+    std::fprintf(stderr, "%s\n", fit.status().ToString().c_str());
     return 1;
   }
+  const Model& model = fit->model;
 
   // How many users land in their true camp (up to label swap)?
   size_t agree = 0;
   for (size_t u = 0; u < kUsers; ++u) {
-    const size_t label = ArgMax(result->theta.RowVector(users[u]));
+    const size_t label = ArgMax(model.theta.RowVector(users[u]));
     if (static_cast<int>(label) == camp[u]) ++agree;
   }
   if (agree < kUsers / 2) agree = kUsers - agree;  // cluster ids may swap
@@ -132,7 +134,7 @@ int main() {
   for (LinkTypeId r = 0; r < schema.num_link_types(); ++r) {
     std::printf("  %-12s %.3f\n",
                 dataset.network.schema().link_type(r).name.c_str(),
-                result->gamma[r]);
+                model.gamma[r]);
   }
   std::printf("\nFig. 1's question answered: for the purpose of clustering\n"
               "POLITICAL interests, user-like-book carries more weight than\n"

@@ -1,14 +1,18 @@
 // Quickstart: build the paper's Fig. 2/Fig. 4 style toy bibliographic
-// network by hand, run GenClus, and print the soft clustering and the
-// learned relation strengths.
+// network by hand, train a clustering Model with Engine::Fit, print the
+// soft clustering and the learned relation strengths — then persist the
+// model, reload it, and serve a fold-in query for a brand-new paper
+// through Engine::InferBatch (train once, serve many).
 //
 //   papers carry text; authors and venues carry nothing — their membership
 //   comes purely from links, and the strength of each relation is learned.
 //
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
+#include <filesystem>
 
-#include "core/genclus.h"
+#include "core/engine.h"
+#include "core/model_io.h"
 #include "hin/dataset.h"
 
 using namespace genclus;
@@ -67,34 +71,80 @@ int main() {
   }
   dataset.attributes.push_back(std::move(text));
 
-  // 5. Run GenClus with K = 2.
-  GenClusConfig config;
-  config.num_clusters = 2;
-  config.outer_iterations = 5;
-  config.seed = 1;
-  auto result = RunGenClus(dataset, {"text"}, config);
-  if (!result.ok()) {
-    std::fprintf(stderr, "GenClus failed: %s\n",
-                 result.status().ToString().c_str());
+  // 5. Train with K = 2. Engine::Fit returns a persistable Model plus a
+  //    FitReport summarizing the run.
+  FitOptions options;
+  options.attributes = {"text"};
+  options.config.num_clusters = 2;
+  options.config.outer_iterations = 5;
+  options.config.seed = 1;
+  auto fit = Engine::Fit(dataset, options);
+  if (!fit.ok()) {
+    std::fprintf(stderr, "Engine::Fit failed: %s\n",
+                 fit.status().ToString().c_str());
     return 1;
   }
+  const Model& model = fit->model;
+  std::printf("fit: %zu outer iterations in %.3fs, converged=%s\n\n",
+              fit->report.outer_iterations, fit->report.total_seconds,
+              fit->report.converged ? "yes" : "no");
 
   // 6. Inspect the output: every object now has a membership vector, and
   //    every relation a learned strength.
   std::printf("soft clustering (theta):\n");
   for (NodeId v = 0; v < dataset.network.num_nodes(); ++v) {
     std::printf("  %-8s [%.3f, %.3f]\n",
-                dataset.network.node_name(v).c_str(), result->theta(v, 0),
-                result->theta(v, 1));
+                dataset.network.node_name(v).c_str(), model.theta(v, 0),
+                model.theta(v, 1));
   }
   std::printf("learned relation strengths (gamma):\n");
   for (LinkTypeId r = 0; r < schema.num_link_types(); ++r) {
-    std::printf("  %-14s %.3f\n",
-                dataset.network.schema().link_type(r).name.c_str(),
-                result->gamma[r]);
+    std::printf("  %-14s %.3f\n", model.link_types[r].c_str(),
+                model.gamma[r]);
   }
+
+  // 7. Train once, serve many: persist the model, reload it, and answer a
+  //    membership query for a NEW paper without retraining.
+  const std::string model_path =
+      (std::filesystem::temp_directory_path() / "quickstart_model.genclus")
+          .string();
+  if (Status s = SaveModel(model, model_path); !s.ok()) {
+    std::fprintf(stderr, "SaveModel failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  auto reloaded = LoadModel(model_path);
+  if (!reloaded.ok()) {
+    std::fprintf(stderr, "LoadModel failed: %s\n",
+                 reloaded.status().ToString().c_str());
+    return 1;
+  }
+  auto engine =
+      Engine::Create(&dataset.network, std::move(reloaded).value());
+  if (!engine.ok()) {
+    std::fprintf(stderr, "Engine::Create failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+
+  // A new paper written by alice, published at VLDB, using database words.
+  NewObjectQuery query;
+  query.links.push_back({authors[0], written_by, 1.0});
+  query.links.push_back({venues[0], published_by, 1.0});
+  query.observations.push_back({/*attribute=*/0, /*term=*/0,
+                                /*count=*/2.0, /*value=*/0.0});
+  auto batch = engine->InferBatch(std::span(&query, 1));
+  if (!batch[0].ok()) {
+    std::fprintf(stderr, "InferBatch failed: %s\n",
+                 batch[0].status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nnew paper (alice + VLDB + database words), served from\n"
+              "the reloaded model: [%.3f, %.3f]\n", (*batch[0])[0],
+              (*batch[0])[1]);
   std::printf("\nExpected: papers/authors/venues of the two areas fall in\n"
               "opposite clusters; all objects get memberships even though\n"
-              "only papers carry text.\n");
+              "only papers carry text — and new objects are served without\n"
+              "retraining.\n");
+  std::filesystem::remove(model_path);
   return 0;
 }

@@ -7,7 +7,7 @@
 #include <cstdio>
 
 #include "common/flags.h"
-#include "core/genclus.h"
+#include "core/engine.h"
 #include "datagen/weather_generator.h"
 #include "eval/link_prediction.h"
 #include "eval/nmi.h"
@@ -41,26 +41,27 @@ int main(int argc, char** argv) {
   std::printf("every sensor observes ONE attribute; the 4 weather patterns\n"
               "are only identifiable from both — links must combine them.\n\n");
 
-  GenClusConfig config;
-  config.num_clusters = 4;
-  config.outer_iterations = 5;
-  config.em_iterations = 40;
-  config.num_init_seeds = 5;
-  config.init_em_steps = 5;
-  config.seed = 3;
-  auto result = RunGenClus(data->dataset, {"temperature", "precipitation"},
-                           config);
-  if (!result.ok()) {
-    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+  FitOptions options;
+  options.attributes = {"temperature", "precipitation"};
+  options.config.num_clusters = 4;
+  options.config.outer_iterations = 5;
+  options.config.em_iterations = 40;
+  options.config.num_init_seeds = 5;
+  options.config.init_em_steps = 5;
+  options.config.seed = 3;
+  auto fit = Engine::Fit(data->dataset, options);
+  if (!fit.ok()) {
+    std::fprintf(stderr, "%s\n", fit.status().ToString().c_str());
     return 1;
   }
+  const Model& model = fit->model;
 
   std::printf("NMI vs planted weather patterns: %.3f\n",
-              NormalizedMutualInformation(result->HardLabels(),
+              NormalizedMutualInformation(model.HardLabels(),
                                           data->dataset.labels.raw()));
   std::printf("learned strengths: TT=%.2f TP=%.2f PT=%.2f PP=%.2f\n",
-              result->gamma[data->tt_link], result->gamma[data->tp_link],
-              result->gamma[data->pt_link], result->gamma[data->pp_link]);
+              model.gamma[data->tt_link], model.gamma[data->tp_link],
+              model.gamma[data->pt_link], model.gamma[data->pp_link]);
 
   // Link prediction: who are a temperature sensor's precipitation
   // neighbors? Rank by membership similarity.
@@ -68,7 +69,7 @@ int main(int argc, char** argv) {
   for (SimilarityKind kind :
        {SimilarityKind::kCosine, SimilarityKind::kNegativeEuclidean,
         SimilarityKind::kNegativeCrossEntropy}) {
-    auto map = EvaluateLinkPrediction(data->dataset.network, result->theta,
+    auto map = EvaluateLinkPrediction(data->dataset.network, model.theta,
                                       data->tp_link, kind);
     if (map.ok()) {
       std::printf("  %-12s %.4f over %zu queries\n",

@@ -1,0 +1,35 @@
+// Cooperative cancellation for long-running operations (training runs,
+// batch jobs). The caller keeps a CancellationToken alive, hands a pointer
+// to the operation, and may request cancellation from any thread; the
+// operation polls at safe points and winds down with StatusCode::kCancelled.
+#pragma once
+
+#include <atomic>
+
+namespace genclus {
+
+/// Thread-safe one-way cancellation flag. Once requested, cancellation
+/// cannot be revoked; create a fresh token per operation instead.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// Requests cancellation. Safe to call from any thread, any number of
+  /// times.
+  void RequestCancellation() {
+    cancelled_.store(true, std::memory_order_release);
+  }
+
+  /// True once cancellation has been requested.
+  bool IsCancellationRequested() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace genclus

@@ -24,6 +24,8 @@ const char* StatusCodeName(StatusCode code) {
       return "NotConverged";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

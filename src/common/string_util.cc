@@ -1,8 +1,11 @@
 #include "common/string_util.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
+#include <limits>
 
 namespace genclus {
 
@@ -65,6 +68,55 @@ std::string StrFormat(const char* fmt, ...) {
   }
   va_end(args_copy);
   return out;
+}
+
+namespace {
+
+// strtod/strtoull need a NUL-terminated buffer; tokens are short, so a
+// stack copy is cheap.
+bool CopyToken(std::string_view s, char* buf, size_t buf_size) {
+  if (s.empty() || s.size() >= buf_size) return false;
+  s.copy(buf, s.size());
+  buf[s.size()] = '\0';
+  return true;
+}
+
+}  // namespace
+
+bool ParseDouble(std::string_view s, double* out) {
+  char buf[64];
+  if (!CopyToken(s, buf, sizeof(buf))) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(buf, &end);
+  if (end != buf + s.size() || errno == ERANGE) return false;
+  *out = value;
+  return true;
+}
+
+bool ParseSizeT(std::string_view s, size_t* out) {
+  char buf[32];
+  if (!CopyToken(s, buf, sizeof(buf))) return false;
+  if (s[0] == '-' || s[0] == '+') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(buf, &end, 10);
+  if (end != buf + s.size() || errno == ERANGE ||
+      value > std::numeric_limits<size_t>::max()) {
+    return false;
+  }
+  *out = static_cast<size_t>(value);
+  return true;
+}
+
+bool ParseUint32(std::string_view s, uint32_t* out) {
+  size_t value = 0;
+  if (!ParseSizeT(s, &value) ||
+      value > std::numeric_limits<uint32_t>::max()) {
+    return false;
+  }
+  *out = static_cast<uint32_t>(value);
+  return true;
 }
 
 }  // namespace genclus

@@ -1,6 +1,8 @@
 // Small string helpers shared across IO, benches and tests.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -26,5 +28,13 @@ bool StartsWith(std::string_view s, std::string_view prefix);
 /// printf-style formatting into a std::string.
 std::string StrFormat(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));
+
+/// Strict numeric parsing: the whole token must be consumed, and the value
+/// must fit the target type. Returns false (leaving *out untouched) on any
+/// malformed input — unlike std::stod/stoul these never throw, so loaders
+/// can turn bad file contents into a clean Status.
+bool ParseDouble(std::string_view s, double* out);
+bool ParseSizeT(std::string_view s, size_t* out);
+bool ParseUint32(std::string_view s, uint32_t* out);
 
 }  // namespace genclus

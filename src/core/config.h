@@ -7,6 +7,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
+
 namespace genclus {
 
 /// How Gaussian component means are initialized for numerical attributes.
@@ -115,6 +117,14 @@ struct GenClusConfig {
 
   /// Initial strength per link type; empty = all ones (paper default).
   std::vector<double> initial_gamma;
+
+  /// Checks every field for sanity: num_clusters >= 2, iteration budgets
+  /// and seed counts >= 1, tolerances finite and non-negative, floors and
+  /// the gamma prior positive, and initial_gamma (when non-empty) sized
+  /// for `num_link_types` with finite non-negative entries. Called at the
+  /// top of Engine::Fit and GenClus::Run; surfaced here so callers can
+  /// reject a bad config before paying for data loading.
+  Status Validate(size_t num_link_types) const;
 };
 
 }  // namespace genclus

@@ -1,0 +1,106 @@
+#include "core/engine.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+
+namespace genclus {
+
+Result<FitResult> Engine::Fit(const Dataset& dataset,
+                              const FitOptions& options) {
+  GENCLUS_RETURN_IF_ERROR(dataset.Validate());
+  const Schema& schema = dataset.network.schema();
+  GENCLUS_RETURN_IF_ERROR(
+      options.config.Validate(schema.num_link_types()));
+
+  std::vector<const Attribute*> attrs;
+  std::vector<ModelAttributeInfo> attr_info;
+  attrs.reserve(options.attributes.size());
+  attr_info.reserve(options.attributes.size());
+  for (const std::string& name : options.attributes) {
+    AttributeId id = dataset.FindAttribute(name);
+    if (id == kInvalidAttribute) {
+      return Status::NotFound(
+          StrFormat("attribute '%s' not in dataset", name.c_str()));
+    }
+    const Attribute& attribute = dataset.attributes[id];
+    attrs.push_back(&attribute);
+    ModelAttributeInfo info;
+    info.name = attribute.name();
+    info.kind = attribute.kind();
+    info.vocab_size = attribute.kind() == AttributeKind::kCategorical
+                          ? attribute.vocab_size()
+                          : 0;
+    attr_info.push_back(std::move(info));
+  }
+
+  WallTimer timer;
+  GenClus algorithm(&dataset.network, std::move(attrs), options.config);
+  algorithm.SetProgressObserver(options.observer);
+  algorithm.SetCancellationToken(options.cancellation);
+  GENCLUS_ASSIGN_OR_RETURN(GenClusResult run, algorithm.Run());
+
+  FitResult out;
+  out.model.theta = std::move(run.theta);
+  out.model.gamma = std::move(run.gamma);
+  out.model.components = std::move(run.components);
+  out.model.attributes = std::move(attr_info);
+  out.model.objective = run.objective;
+  out.model.link_types.reserve(schema.num_link_types());
+  for (LinkTypeId r = 0; r < schema.num_link_types(); ++r) {
+    out.model.link_types.push_back(schema.link_type(r).name);
+  }
+  out.report.converged = run.converged;
+  out.report.objective = run.objective;
+  out.report.outer_iterations =
+      run.trace.empty() ? 0 : run.trace.size() - 1;
+  out.report.trace = std::move(run.trace);
+  out.report.total_seconds = timer.Seconds();
+  return out;
+}
+
+Engine::Engine(const Network* network, Model model, EngineOptions options)
+    : network_(network),
+      model_(std::move(model)),
+      options_(options),
+      pool_(std::make_unique<ThreadPool>(options.num_threads)) {}
+
+Result<Engine> Engine::Create(const Network* network, Model model,
+                              EngineOptions options) {
+  if (network == nullptr) {
+    return Status::InvalidArgument("network must not be null");
+  }
+  GENCLUS_RETURN_IF_ERROR(model.ValidateAgainst(*network));
+  if (options.inference_iterations < 1) {
+    return Status::InvalidArgument("inference_iterations must be >= 1");
+  }
+  if (!(options.theta_floor > 0.0)) {
+    return Status::InvalidArgument("theta_floor must be > 0");
+  }
+  return Engine(network, std::move(model), options);
+}
+
+Result<std::vector<double>> Engine::Infer(const NewObjectQuery& query) const {
+  return InferMembership(*network_, model_, query.links, query.observations,
+                         options_.inference_iterations,
+                         options_.theta_floor);
+}
+
+std::vector<Result<std::vector<double>>> Engine::InferBatch(
+    std::span<const NewObjectQuery> queries) const {
+  std::vector<Result<std::vector<double>>> out(
+      queries.size(),
+      Result<std::vector<double>>(Status::Internal("query not executed")));
+  // Each slot depends only on its own query, so any sharding yields the
+  // same results — determinism across thread counts for free.
+  pool_->ParallelFor(queries.size(),
+                     [&](size_t /*shard*/, size_t begin, size_t end) {
+                       for (size_t i = begin; i < end; ++i) {
+                         out[i] = Infer(queries[i]);
+                       }
+                     });
+  return out;
+}
+
+}  // namespace genclus

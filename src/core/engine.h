@@ -1,0 +1,124 @@
+// Train/serve split around the GenClus algorithm.
+//
+// Training: Engine::Fit(dataset, options) runs Algorithm 1 once and
+// returns a persistable Model plus a structured FitReport — convergence,
+// objective, timings and the per-iteration trace. Progress streaming and
+// cooperative cancellation go through FitOptions (ProgressObserver /
+// CancellationToken), replacing the old SetIterationCallback.
+//
+// Serving: Engine::Create(network, model) builds a reusable serving object
+// that owns a ThreadPool and answers membership queries for new objects
+// via the Eq. 10/11 fold-in update (core/inference.h). InferBatch fans a
+// batch out across the pool; results are deterministic regardless of
+// thread count, and each query fails or succeeds on its own.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/genclus.h"
+#include "core/inference.h"
+#include "core/model.h"
+#include "hin/dataset.h"
+
+namespace genclus {
+
+/// Training-surface options: which attributes to cluster by, the algorithm
+/// configuration, and optional progress/cancellation hooks (not owned;
+/// must outlive the Fit call).
+struct FitOptions {
+  /// Attribute names resolved against the dataset (the user-specified
+  /// subset X; may be empty for pure link-based clustering).
+  std::vector<std::string> attributes;
+  GenClusConfig config;
+  /// Notified after every outer iteration; null = no observation.
+  ProgressObserver* observer = nullptr;
+  /// Polled between outer iterations; null = not cancellable.
+  const CancellationToken* cancellation = nullptr;
+};
+
+/// Structured summary of one training run.
+struct FitReport {
+  /// True if the outer loop hit the gamma-change tolerance.
+  bool converged = false;
+  /// g1 objective at the final iterate.
+  double objective = 0.0;
+  /// Outer iterations actually executed.
+  size_t outer_iterations = 0;
+  /// Wall-clock seconds for the whole fit, including initialization.
+  double total_seconds = 0.0;
+  /// Per-outer-iteration records, including the initial gamma at index 0.
+  std::vector<OuterIterationRecord> trace;
+};
+
+/// Result of Engine::Fit: the trained artifact plus the run summary.
+struct FitResult {
+  Model model;
+  FitReport report;
+};
+
+/// A new object's evidence for one fold-in membership query: its would-be
+/// out-links into the serving network and its own attribute observations.
+struct NewObjectQuery {
+  std::vector<NewObjectLink> links;
+  std::vector<NewObjectObservation> observations;
+};
+
+/// Serving-side knobs.
+struct EngineOptions {
+  /// Worker threads for InferBatch. 0 = hardware concurrency.
+  size_t num_threads = 0;
+  /// Fixed-point sweeps per query (see InferMembership).
+  size_t inference_iterations = 10;
+  /// Floor applied to inferred membership probabilities.
+  double theta_floor = kDefaultInferenceThetaFloor;
+};
+
+/// Reusable serving object: a Network + trained Model + thread pool.
+/// The network must outlive the engine; the model is owned.
+class Engine {
+ public:
+  /// Trains a model on `dataset`. Validates the dataset, the attribute
+  /// names and the config up front; fails with kCancelled if
+  /// options.cancellation fires mid-run.
+  static Result<FitResult> Fit(const Dataset& dataset,
+                               const FitOptions& options);
+
+  /// Builds a serving engine after checking that `model` is internally
+  /// consistent and matches `network` (node count, link-type names).
+  static Result<Engine> Create(const Network* network, Model model,
+                               EngineOptions options = {});
+
+  Engine(Engine&&) = default;
+  Engine& operator=(Engine&&) = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  const Model& model() const { return model_; }
+  size_t num_threads() const { return pool_->num_threads(); }
+
+  /// Answers one fold-in query.
+  Result<std::vector<double>> Infer(const NewObjectQuery& query) const;
+
+  /// Answers a batch of queries in parallel over the engine's pool.
+  /// Slot i holds query i's membership vector or its own error status;
+  /// one bad query never poisons the rest, and results are identical for
+  /// any thread count.
+  std::vector<Result<std::vector<double>>> InferBatch(
+      std::span<const NewObjectQuery> queries) const;
+
+ private:
+  Engine(const Network* network, Model model, EngineOptions options);
+
+  const Network* network_;
+  Model model_;
+  EngineOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace genclus

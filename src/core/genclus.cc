@@ -14,16 +14,7 @@
 namespace genclus {
 
 std::vector<uint32_t> GenClusResult::HardLabels() const {
-  std::vector<uint32_t> labels(theta.rows());
-  for (size_t v = 0; v < theta.rows(); ++v) {
-    const double* row = theta.Row(v);
-    size_t best = 0;
-    for (size_t k = 1; k < theta.cols(); ++k) {
-      if (row[k] > row[best]) best = k;
-    }
-    labels[v] = static_cast<uint32_t>(best);
-  }
-  return labels;
+  return RowArgMax(theta);
 }
 
 GenClus::GenClus(const Network* network,
@@ -40,21 +31,17 @@ GenClus::GenClus(const Network* network,
 
 GenClus::~GenClus() = default;
 
-void GenClus::SetIterationCallback(IterationCallback callback) {
-  callback_ = std::move(callback);
+void GenClus::SetProgressObserver(ProgressObserver* observer) {
+  observer_ = observer;
+}
+
+void GenClus::SetCancellationToken(const CancellationToken* token) {
+  cancellation_ = token;
 }
 
 Result<GenClusResult> GenClus::Run() {
-  if (config_.num_clusters < 2) {
-    return Status::InvalidArgument("num_clusters must be >= 2");
-  }
   const size_t num_relations = network_->schema().num_link_types();
-  if (!config_.initial_gamma.empty() &&
-      config_.initial_gamma.size() != num_relations) {
-    return Status::InvalidArgument(StrFormat(
-        "initial_gamma has %zu entries, schema declares %zu link types",
-        config_.initial_gamma.size(), num_relations));
-  }
+  GENCLUS_RETURN_IF_ERROR(config_.Validate(num_relations));
   for (const Attribute* a : attributes_) {
     if (a == nullptr || a->num_nodes() != network_->num_nodes()) {
       return Status::InvalidArgument(
@@ -84,6 +71,10 @@ Result<GenClusResult> GenClus::Run() {
                   &result.theta, &result.components);
 
   for (size_t outer = 1; outer <= config_.outer_iterations; ++outer) {
+    if (cancellation_ && cancellation_->IsCancellationRequested()) {
+      return Status::Cancelled(StrFormat(
+          "training cancelled before outer iteration %zu", outer));
+    }
     OuterIterationRecord record;
     record.iteration = outer;
 
@@ -123,7 +114,9 @@ Result<GenClusResult> GenClus::Run() {
                        << " gamma_delta=" << gamma_delta;
 
     result.trace.push_back(record);
-    if (callback_) callback_(result.trace.back(), result.theta);
+    if (observer_) {
+      observer_->OnOuterIteration(result.trace.back(), result.theta);
+    }
 
     if (config_.learn_strengths && outer > 1 &&
         gamma_delta < config_.outer_tolerance) {

@@ -4,11 +4,11 @@
 // outer iteration budget or gamma convergence.
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/components.h"
@@ -48,6 +48,19 @@ struct GenClusResult {
   std::vector<uint32_t> HardLabels() const;
 };
 
+/// Observer notified after every outer iteration of a training run with
+/// the iteration record and the current memberships. Implementations must
+/// not retain the Matrix reference beyond the call. Replaces the old
+/// ad-hoc SetIterationCallback; pass via FitOptions::observer
+/// (core/engine.h) or GenClus::SetProgressObserver.
+class ProgressObserver {
+ public:
+  virtual ~ProgressObserver() = default;
+
+  virtual void OnOuterIteration(const OuterIterationRecord& record,
+                                const Matrix& theta) = 0;
+};
+
 /// The GenClus algorithm over a network and a user-specified attribute
 /// subset. The network and attributes must outlive the instance.
 class GenClus {
@@ -61,11 +74,14 @@ class GenClus {
   GenClus(const GenClus&) = delete;
   GenClus& operator=(const GenClus&) = delete;
 
-  /// Called after every outer iteration with the record and current Theta;
-  /// used by the Fig. 10 running-case bench to trace NMI across iterations.
-  using IterationCallback =
-      std::function<void(const OuterIterationRecord&, const Matrix&)>;
-  void SetIterationCallback(IterationCallback callback);
+  /// Observer notified after every outer iteration (may be null). Not
+  /// owned; must outlive Run().
+  void SetProgressObserver(ProgressObserver* observer);
+
+  /// Cooperative cancellation: Run() polls the token before every outer
+  /// iteration and returns StatusCode::kCancelled once it is set. Not
+  /// owned; must outlive Run().
+  void SetCancellationToken(const CancellationToken* token);
 
   /// Runs Algorithm 1 and returns the clustering, strengths and trace.
   Result<GenClusResult> Run();
@@ -75,11 +91,16 @@ class GenClus {
   std::vector<const Attribute*> attributes_;
   GenClusConfig config_;
   std::unique_ptr<ThreadPool> pool_;
-  IterationCallback callback_;
+  ProgressObserver* observer_ = nullptr;
+  const CancellationToken* cancellation_ = nullptr;
 };
 
-/// Convenience wrapper: resolves attribute names against `dataset` and runs
-/// GenClus. Unknown attribute names fail with NotFound.
+/// Compatibility shim over the Engine/Model API (core/engine.h): resolves
+/// attribute names against `dataset` and runs one full training pass,
+/// returning the legacy GenClusResult. Prefer Engine::Fit for new code —
+/// it returns a persistable Model plus a structured FitReport and supports
+/// progress observation and cancellation. Unknown attribute names fail
+/// with NotFound.
 Result<GenClusResult> RunGenClus(const Dataset& dataset,
                                  const std::vector<std::string>& attributes,
                                  const GenClusConfig& config);

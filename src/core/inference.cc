@@ -9,7 +9,7 @@
 namespace genclus {
 
 Result<std::vector<double>> InferMembership(
-    const Network& network, const GenClusResult& model,
+    const Network& network, const Model& model,
     const std::vector<NewObjectLink>& links,
     const std::vector<NewObjectObservation>& observations,
     size_t iterations, double theta_floor) {
@@ -17,7 +17,8 @@ Result<std::vector<double>> InferMembership(
   if (num_clusters < 2) {
     return Status::FailedPrecondition("model has no clustering");
   }
-  if (model.theta.rows() != network.num_nodes()) {
+  if (model.theta.rows() != network.num_nodes() ||
+      model.gamma.size() != network.schema().num_link_types()) {
     return Status::InvalidArgument("model does not match network");
   }
   for (const NewObjectLink& link : links) {

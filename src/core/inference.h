@@ -1,19 +1,20 @@
 // Fold-in inference: compute the membership vector of a NEW object from
 // its links into an already-clustered network plus its own attribute
-// observations, holding the trained model (Theta, beta, gamma) fixed.
+// observations, holding the trained Model (Theta, beta, gamma) fixed.
 // This is exactly one Eq. 10/11-style update for the new object — the
 // update GenClus applies to attribute-free objects every sweep — so the
-// result is consistent with what a full re-run would assign.
+// result is consistent with what a full re-run would assign. For serving
+// many queries, prefer Engine::InferBatch (core/engine.h), which runs this
+// path in parallel over a thread pool.
 #pragma once
 
 #include <cstdint>
-#include <span>
 #include <vector>
 
 #include "common/status.h"
 #include "core/components.h"
 #include "core/config.h"
-#include "core/genclus.h"
+#include "core/model.h"
 #include "hin/network.h"
 #include "linalg/matrix.h"
 
@@ -43,7 +44,7 @@ inline constexpr double kDefaultInferenceThetaFloor = 1e-12;
 /// the link part is constant). Fails if a link/observation references
 /// unknown ids or mismatched attribute kinds.
 Result<std::vector<double>> InferMembership(
-    const Network& network, const GenClusResult& model,
+    const Network& network, const Model& model,
     const std::vector<NewObjectLink>& links,
     const std::vector<NewObjectObservation>& observations,
     size_t iterations = 10,

@@ -1,0 +1,81 @@
+#include "core/model.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace genclus {
+
+std::vector<uint32_t> Model::HardLabels() const { return RowArgMax(theta); }
+
+Status Model::Validate() const {
+  if (theta.cols() < 2) {
+    return Status::FailedPrecondition("model has no clustering (K < 2)");
+  }
+  for (double t : theta.data()) {
+    if (!std::isfinite(t)) {
+      return Status::InvalidArgument("model theta must be finite");
+    }
+  }
+  if (gamma.size() != link_types.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "model has %zu gamma entries but %zu link-type names", gamma.size(),
+        link_types.size()));
+  }
+  for (double g : gamma) {
+    if (!std::isfinite(g) || g < 0.0) {
+      return Status::InvalidArgument("model gamma must be finite and >= 0");
+    }
+  }
+  if (components.size() != attributes.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "model has %zu components but %zu attribute records",
+        components.size(), attributes.size()));
+  }
+  for (size_t a = 0; a < components.size(); ++a) {
+    const AttributeComponents& comp = components[a];
+    const ModelAttributeInfo& info = attributes[a];
+    if (comp.kind() != info.kind) {
+      return Status::InvalidArgument(StrFormat(
+          "attribute '%s': component kind does not match metadata",
+          info.name.c_str()));
+    }
+    if (comp.num_clusters() != num_clusters()) {
+      return Status::InvalidArgument(StrFormat(
+          "attribute '%s': components for %zu clusters, model has %zu",
+          info.name.c_str(), comp.num_clusters(), num_clusters()));
+    }
+    if (info.kind == AttributeKind::kCategorical &&
+        comp.beta().cols() != info.vocab_size) {
+      return Status::InvalidArgument(StrFormat(
+          "attribute '%s': beta vocabulary %zu does not match declared %zu",
+          info.name.c_str(), comp.beta().cols(), info.vocab_size));
+    }
+  }
+  return Status::OK();
+}
+
+Status Model::ValidateAgainst(const Network& network) const {
+  GENCLUS_RETURN_IF_ERROR(Validate());
+  if (num_nodes() != network.num_nodes()) {
+    return Status::InvalidArgument(StrFormat(
+        "model trained on %zu nodes, network has %zu", num_nodes(),
+        network.num_nodes()));
+  }
+  const Schema& schema = network.schema();
+  if (link_types.size() != schema.num_link_types()) {
+    return Status::InvalidArgument(StrFormat(
+        "model trained with %zu link types, schema declares %zu",
+        link_types.size(), schema.num_link_types()));
+  }
+  for (LinkTypeId r = 0; r < link_types.size(); ++r) {
+    if (schema.link_type(r).name != link_types[r]) {
+      return Status::InvalidArgument(StrFormat(
+          "link type %u is '%s' in the model but '%s' in the schema",
+          r, link_types[r].c_str(), schema.link_type(r).name.c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace genclus

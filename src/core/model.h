@@ -1,0 +1,65 @@
+// The persistable trained artifact of a GenClus fit: memberships Theta,
+// learned link-type strengths gamma, the per-attribute mixture components
+// beta, and enough schema/attribute metadata to validate serving queries
+// against the model without the original Dataset. A Model is produced by
+// Engine::Fit, serialized with SaveModel/LoadModel (core/model_io.h), and
+// served through an Engine (core/engine.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/components.h"
+#include "hin/attributes.h"
+#include "hin/network.h"
+#include "linalg/matrix.h"
+
+namespace genclus {
+
+/// Metadata of one attribute the model was trained on, aligned with
+/// Model::components. Lets the serving layer reject queries referencing
+/// attributes or terms the model has never seen.
+struct ModelAttributeInfo {
+  std::string name;
+  AttributeKind kind = AttributeKind::kCategorical;
+  /// Vocabulary size (categorical); 0 for numerical attributes.
+  size_t vocab_size = 0;
+};
+
+/// Self-contained trained clustering model. Plain data: copy, move and
+/// serialize freely. Invariants are checked by Validate(), compatibility
+/// with a serving network by ValidateAgainst().
+struct Model {
+  /// Soft clustering: row v is theta_v on the K-simplex.
+  Matrix theta;
+  /// Learned strength per link type (indexed by LinkTypeId).
+  std::vector<double> gamma;
+  /// Link-type names in LinkTypeId order — the schema fingerprint used to
+  /// check that a loaded model matches the serving network.
+  std::vector<std::string> link_types;
+  /// Mixture components per trained attribute (AttributeId order of the
+  /// training call).
+  std::vector<AttributeComponents> components;
+  /// Attribute metadata aligned with `components`.
+  std::vector<ModelAttributeInfo> attributes;
+  /// g1 objective at the final training iterate.
+  double objective = 0.0;
+
+  size_t num_clusters() const { return theta.cols(); }
+  size_t num_nodes() const { return theta.rows(); }
+
+  /// Hard labels: argmax_k theta(v, k).
+  std::vector<uint32_t> HardLabels() const;
+
+  /// Internal consistency: non-degenerate clustering, gamma/link_types
+  /// aligned, components matching their attribute metadata and K.
+  Status Validate() const;
+
+  /// Validate() plus compatibility with `network`: node count and
+  /// link-type names must match the schema the model was trained on.
+  Status ValidateAgainst(const Network& network) const;
+};
+
+}  // namespace genclus

@@ -1,0 +1,36 @@
+// Plain-text serialization of trained Models, alongside the dataset format
+// in hin/io.h (both share ForEachTextRecord's line-oriented scaffolding).
+// Doubles are written at 17 significant digits, so a save/load round trip
+// is bit-exact and a model trained once keeps answering queries with the
+// same doubles after being persisted and reloaded.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "core/model.h"
+
+namespace genclus {
+
+/// Writes `model` to `path`. Fails with InvalidArgument if the model does
+/// not pass Model::Validate(), IoError on filesystem problems.
+Status SaveModel(const Model& model, const std::string& path);
+
+/// Reads a model written by SaveModel. Truncated or corrupt files fail
+/// with a clean IoError naming the offending line; the loaded model is
+/// re-validated before being returned.
+///
+/// Grammar (one record per line, '#' starts a comment):
+///   genclus_model <version>
+///   clusters <K>
+///   nodes <N>
+///   objective <value>
+///   link_type <name> <gamma>
+///   theta <node> <K values>
+///   attribute categorical <name> <vocab>
+///   beta <cluster> <vocab values>        (for the preceding attribute)
+///   attribute numerical <name>
+///   gaussian <cluster> <mean> <variance> (for the preceding attribute)
+Result<Model> LoadModel(const std::string& path);
+
+}  // namespace genclus

@@ -9,6 +9,30 @@
 
 namespace genclus {
 
+Status RecordError(const std::string& path, size_t line_no, const char* why) {
+  return Status::IoError(
+      StrFormat("%s:%zu: %s", path.c_str(), line_no, why));
+}
+
+Status ForEachTextRecord(
+    const std::string& path,
+    const std::function<Status(size_t line_no,
+                               const std::vector<std::string>& tokens)>& fn) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError(StrFormat("cannot open '%s'", path.c_str()));
+  }
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    GENCLUS_RETURN_IF_ERROR(fn(line_no, SplitWhitespace(trimmed)));
+  }
+  return Status::OK();
+}
+
 Status SaveDataset(const Dataset& dataset, const std::string& path) {
   GENCLUS_RETURN_IF_ERROR(dataset.Validate());
   std::ofstream out(path);
@@ -84,11 +108,6 @@ Status SaveDataset(const Dataset& dataset, const std::string& path) {
 }
 
 Result<Dataset> LoadDataset(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) {
-    return Status::IoError(StrFormat("cannot open '%s'", path.c_str()));
-  }
-
   Schema schema;
   struct PendingNode {
     std::string type;
@@ -125,70 +144,91 @@ Result<Dataset> LoadDataset(const std::string& path) {
   std::vector<PendingValueObs> value_obs;
   std::vector<std::pair<NodeId, uint32_t>> label_records;
 
-  std::string line;
-  size_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    std::string trimmed = Trim(line);
-    if (trimmed.empty() || trimmed[0] == '#') continue;
-    std::vector<std::string> tok = SplitWhitespace(trimmed);
-    const std::string& cmd = tok[0];
-    auto bad = [&](const char* why) {
-      return Status::IoError(
-          StrFormat("%s:%zu: %s", path.c_str(), line_no, why));
-    };
-    if (cmd == "object_type") {
-      if (tok.size() != 2) return bad("object_type needs 1 field");
-      auto r = schema.AddObjectType(tok[1]);
-      if (!r.ok()) return r.status();
-    } else if (cmd == "link_type") {
-      if (tok.size() != 4) return bad("link_type needs 3 fields");
-      ObjectTypeId s = schema.FindObjectType(tok[2]);
-      ObjectTypeId t = schema.FindObjectType(tok[3]);
-      if (s == kInvalidObjectType || t == kInvalidObjectType) {
-        return bad("link_type references unknown object type");
-      }
-      auto r = schema.AddLinkType(tok[1], s, t);
-      if (!r.ok()) return r.status();
-    } else if (cmd == "inverse") {
-      if (tok.size() != 3) return bad("inverse needs 2 fields");
-      inverses.emplace_back(tok[1], tok[2]);
-    } else if (cmd == "node") {
-      if (tok.size() < 2) return bad("node needs at least 1 field");
-      nodes.push_back({tok[1], tok.size() > 2 ? tok[2] : ""});
-    } else if (cmd == "link") {
-      if (tok.size() != 5) return bad("link needs 4 fields");
-      links.push_back({static_cast<NodeId>(std::stoul(tok[1])),
-                       static_cast<NodeId>(std::stoul(tok[2])), tok[3],
-                       std::stod(tok[4])});
-    } else if (cmd == "attribute") {
-      if (tok.size() < 3) return bad("attribute needs at least 2 fields");
-      if (tok[1] == "categorical") {
-        if (tok.size() != 4) return bad("categorical attribute needs vocab");
-        attr_decls.push_back(
-            {tok[2], AttributeKind::kCategorical, std::stoul(tok[3])});
-      } else if (tok[1] == "numerical") {
-        attr_decls.push_back({tok[2], AttributeKind::kNumerical, 0});
-      } else {
-        return bad("unknown attribute kind");
-      }
-    } else if (cmd == "obs_term") {
-      if (tok.size() != 5) return bad("obs_term needs 4 fields");
-      term_obs.push_back({tok[1], static_cast<NodeId>(std::stoul(tok[2])),
-                          static_cast<uint32_t>(std::stoul(tok[3])),
-                          std::stod(tok[4])});
-    } else if (cmd == "obs_value") {
-      if (tok.size() != 4) return bad("obs_value needs 3 fields");
-      value_obs.push_back({tok[1], static_cast<NodeId>(std::stoul(tok[2])),
-                           std::stod(tok[3])});
-    } else if (cmd == "label") {
-      if (tok.size() != 3) return bad("label needs 2 fields");
-      label_records.emplace_back(static_cast<NodeId>(std::stoul(tok[1])),
-                                 static_cast<uint32_t>(std::stoul(tok[2])));
-    } else {
-      return bad("unknown record type");
-    }
-  }
+  GENCLUS_RETURN_IF_ERROR(ForEachTextRecord(
+      path,
+      [&](size_t line_no,
+          const std::vector<std::string>& tok) -> Status {
+        const std::string& cmd = tok[0];
+        auto bad = [&](const char* why) {
+          return RecordError(path, line_no, why);
+        };
+        if (cmd == "object_type") {
+          if (tok.size() != 2) return bad("object_type needs 1 field");
+          auto r = schema.AddObjectType(tok[1]);
+          if (!r.ok()) return r.status();
+        } else if (cmd == "link_type") {
+          if (tok.size() != 4) return bad("link_type needs 3 fields");
+          ObjectTypeId s = schema.FindObjectType(tok[2]);
+          ObjectTypeId t = schema.FindObjectType(tok[3]);
+          if (s == kInvalidObjectType || t == kInvalidObjectType) {
+            return bad("link_type references unknown object type");
+          }
+          auto r = schema.AddLinkType(tok[1], s, t);
+          if (!r.ok()) return r.status();
+        } else if (cmd == "inverse") {
+          if (tok.size() != 3) return bad("inverse needs 2 fields");
+          inverses.emplace_back(tok[1], tok[2]);
+        } else if (cmd == "node") {
+          if (tok.size() < 2) return bad("node needs at least 1 field");
+          nodes.push_back({tok[1], tok.size() > 2 ? tok[2] : ""});
+        } else if (cmd == "link") {
+          if (tok.size() != 5) return bad("link needs 4 fields");
+          PendingLink pl;
+          if (!ParseUint32(tok[1], &pl.src) ||
+              !ParseUint32(tok[2], &pl.dst) ||
+              !ParseDouble(tok[4], &pl.weight)) {
+            return bad("link has malformed numeric field");
+          }
+          pl.type = tok[3];
+          links.push_back(std::move(pl));
+        } else if (cmd == "attribute") {
+          if (tok.size() < 3) return bad("attribute needs at least 2 fields");
+          if (tok[1] == "categorical") {
+            if (tok.size() != 4) {
+              return bad("categorical attribute needs vocab");
+            }
+            size_t vocab = 0;
+            if (!ParseSizeT(tok[3], &vocab)) {
+              return bad("malformed vocabulary size");
+            }
+            attr_decls.push_back({tok[2], AttributeKind::kCategorical, vocab});
+          } else if (tok[1] == "numerical") {
+            attr_decls.push_back({tok[2], AttributeKind::kNumerical, 0});
+          } else {
+            return bad("unknown attribute kind");
+          }
+        } else if (cmd == "obs_term") {
+          if (tok.size() != 5) return bad("obs_term needs 4 fields");
+          PendingTermObs o;
+          if (!ParseUint32(tok[2], &o.node) ||
+              !ParseUint32(tok[3], &o.term) ||
+              !ParseDouble(tok[4], &o.count)) {
+            return bad("obs_term has malformed numeric field");
+          }
+          o.attr = tok[1];
+          term_obs.push_back(std::move(o));
+        } else if (cmd == "obs_value") {
+          if (tok.size() != 4) return bad("obs_value needs 3 fields");
+          PendingValueObs o;
+          if (!ParseUint32(tok[2], &o.node) ||
+              !ParseDouble(tok[3], &o.value)) {
+            return bad("obs_value has malformed numeric field");
+          }
+          o.attr = tok[1];
+          value_obs.push_back(std::move(o));
+        } else if (cmd == "label") {
+          if (tok.size() != 3) return bad("label needs 2 fields");
+          NodeId v = 0;
+          uint32_t l = 0;
+          if (!ParseUint32(tok[1], &v) || !ParseUint32(tok[2], &l)) {
+            return bad("label has malformed numeric field");
+          }
+          label_records.emplace_back(v, l);
+        } else {
+          return bad("unknown record type");
+        }
+        return Status::OK();
+      }));
 
   for (const auto& [a, b] : inverses) {
     LinkTypeId ra = schema.FindLinkType(a);

@@ -134,4 +134,17 @@ double MaxAbsDiff(const Vector& a, const Vector& b) {
   return m;
 }
 
+std::vector<uint32_t> RowArgMax(const Matrix& m) {
+  std::vector<uint32_t> out(m.rows());
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const double* row = m.Row(r);
+    size_t best = 0;
+    for (size_t c = 1; c < m.cols(); ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    out[r] = static_cast<uint32_t>(best);
+  }
+  return out;
+}
+
 }  // namespace genclus

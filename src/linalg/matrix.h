@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <initializer_list>
 #include <vector>
 
@@ -103,5 +104,9 @@ Vector Scaled(const Vector& v, double s);
 
 /// Max |a_i - b_i|.
 double MaxAbsDiff(const Vector& a, const Vector& b);
+
+/// Index of the max entry per row (first wins on ties). The hard-label
+/// readout shared by Model/GenClusResult::HardLabels and the benches.
+std::vector<uint32_t> RowArgMax(const Matrix& m);
 
 }  // namespace genclus

@@ -1,0 +1,124 @@
+// GenClusConfig::Validate: every rejection path returns InvalidArgument
+// with the offending field named, and the defaults pass.
+#include "core/config.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+namespace genclus {
+namespace {
+
+constexpr size_t kLinkTypes = 3;
+
+void ExpectRejected(const GenClusConfig& config, const std::string& field) {
+  Status s = config.Validate(kLinkTypes);
+  EXPECT_FALSE(s.ok()) << "expected rejection for " << field;
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find(field), std::string::npos)
+      << "message '" << s.message() << "' does not name " << field;
+}
+
+TEST(ConfigValidateTest, DefaultsAreValid) {
+  EXPECT_TRUE(GenClusConfig().Validate(kLinkTypes).ok());
+  EXPECT_TRUE(GenClusConfig().Validate(0).ok());
+}
+
+TEST(ConfigValidateTest, RejectsTooFewClusters) {
+  GenClusConfig config;
+  config.num_clusters = 1;
+  ExpectRejected(config, "num_clusters");
+  config.num_clusters = 0;
+  ExpectRejected(config, "num_clusters");
+}
+
+TEST(ConfigValidateTest, RejectsZeroIterationBudgets) {
+  GenClusConfig config;
+  config.outer_iterations = 0;
+  ExpectRejected(config, "outer_iterations");
+
+  config = GenClusConfig();
+  config.em_iterations = 0;
+  ExpectRejected(config, "em_iterations");
+
+  config = GenClusConfig();
+  config.newton_iterations = 0;
+  ExpectRejected(config, "newton_iterations");
+
+  config = GenClusConfig();
+  config.num_init_seeds = 0;
+  ExpectRejected(config, "num_init_seeds");
+}
+
+TEST(ConfigValidateTest, RejectsBadTolerances) {
+  const double kNan = std::numeric_limits<double>::quiet_NaN();
+  GenClusConfig config;
+  config.outer_tolerance = -1.0;
+  ExpectRejected(config, "outer_tolerance");
+
+  config = GenClusConfig();
+  config.outer_tolerance = kNan;
+  ExpectRejected(config, "outer_tolerance");
+
+  config = GenClusConfig();
+  config.em_tolerance = -1e-9;
+  ExpectRejected(config, "em_tolerance");
+
+  config = GenClusConfig();
+  config.newton_tolerance =
+      std::numeric_limits<double>::infinity();
+  ExpectRejected(config, "newton_tolerance");
+
+  // Zero tolerances are deliberate ("never early-stop") and must pass.
+  config = GenClusConfig();
+  config.outer_tolerance = 0.0;
+  config.em_tolerance = 0.0;
+  config.newton_tolerance = 0.0;
+  EXPECT_TRUE(config.Validate(kLinkTypes).ok());
+}
+
+TEST(ConfigValidateTest, RejectsBadPriorAndFloors) {
+  GenClusConfig config;
+  config.gamma_prior_sigma = 0.0;
+  ExpectRejected(config, "gamma_prior_sigma");
+
+  config = GenClusConfig();
+  config.theta_floor = 0.0;
+  ExpectRejected(config, "theta_floor");
+
+  // A floor at or above 1/K makes the simplex clamp infeasible.
+  config = GenClusConfig();
+  config.theta_floor = 0.5;  // K = 4 by default
+  ExpectRejected(config, "theta_floor");
+
+  config = GenClusConfig();
+  config.beta_smoothing = -1.0;
+  ExpectRejected(config, "beta_smoothing");
+
+  config = GenClusConfig();
+  config.variance_floor = 0.0;
+  ExpectRejected(config, "variance_floor");
+}
+
+TEST(ConfigValidateTest, RejectsInitialGammaMismatchedWithSchema) {
+  GenClusConfig config;
+  config.initial_gamma = {1.0, 1.0};  // schema declares 3 link types
+  ExpectRejected(config, "initial_gamma");
+
+  config.initial_gamma = {1.0, 1.0, 1.0};
+  EXPECT_TRUE(config.Validate(kLinkTypes).ok());
+}
+
+TEST(ConfigValidateTest, RejectsNonFiniteOrNegativeInitialGamma) {
+  GenClusConfig config;
+  config.initial_gamma = {1.0, -0.5, 1.0};
+  ExpectRejected(config, "initial_gamma");
+
+  config.initial_gamma = {1.0, std::numeric_limits<double>::quiet_NaN(),
+                          1.0};
+  ExpectRejected(config, "initial_gamma");
+}
+
+}  // namespace
+}  // namespace genclus

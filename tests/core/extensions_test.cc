@@ -3,8 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <utility>
 
-#include "core/genclus.h"
+#include "core/engine.h"
 #include "core/inference.h"
 #include "core/interpret.h"
 #include "core/model_selection.h"
@@ -24,6 +25,19 @@ GenClusConfig FastConfig() {
   config.num_init_seeds = 3;
   config.seed = 11;
   return config;
+}
+
+FitOptions FastOptions() {
+  FitOptions options;
+  options.attributes = {"text"};
+  options.config = FastConfig();
+  return options;
+}
+
+Model FitModel(const Dataset& dataset) {
+  auto fit = Engine::Fit(dataset, FastOptions());
+  EXPECT_TRUE(fit.ok()) << fit.status().ToString();
+  return std::move(fit).value().model;
 }
 
 TEST(ModelSelectionTest, ParameterCountFormula) {
@@ -82,16 +96,16 @@ class InferenceFixture : public ::testing::Test {
  protected:
   void SetUp() override {
     fixture_ = MakeTwoCommunityNetwork(8, 1.0, 209);
-    auto result = RunGenClus(fixture_.dataset, {"text"}, FastConfig());
-    ASSERT_TRUE(result.ok());
-    model_ = std::move(result).value();
+    auto fit = Engine::Fit(fixture_.dataset, FastOptions());
+    ASSERT_TRUE(fit.ok());
+    model_ = std::move(fit).value().model;
     // Which cluster did community 0 land in?
     community0_cluster_ = static_cast<uint32_t>(
         ArgMax(model_.theta.RowVector(fixture_.docs[0])));
   }
 
   testing::TwoCommunityNetwork fixture_;
-  GenClusResult model_;
+  Model model_;
   uint32_t community0_cluster_ = 0;
 };
 
@@ -166,10 +180,9 @@ TEST_F(InferenceFixture, RejectsBadReferences) {
 
 TEST(InterpretTest, TopTermsIdentifyCommunityVocabulary) {
   auto fixture = MakeTwoCommunityNetwork(10, 1.0, 211);
-  auto result = RunGenClus(fixture.dataset, {"text"}, FastConfig());
-  ASSERT_TRUE(result.ok());
+  Model model = FitModel(fixture.dataset);
   auto top = TopTermsPerCluster(fixture.dataset.attributes[0],
-                                result->components[0], 2);
+                                model.components[0], 2);
   ASSERT_TRUE(top.ok());
   ASSERT_EQ(top->size(), 2u);
   // Each cluster's top-2 terms must be one community's pair {0,1} or {2,3}.
@@ -185,28 +198,26 @@ TEST(InterpretTest, TopTermsIdentifyCommunityVocabulary) {
 
 TEST(InterpretTest, RepresentativeObjectsAreConcentrated) {
   auto fixture = MakeTwoCommunityNetwork(10, 1.0, 213);
-  auto result = RunGenClus(fixture.dataset, {"text"}, FastConfig());
-  ASSERT_TRUE(result.ok());
-  auto reps = RepresentativeObjects(fixture.dataset.network, result->theta,
+  Model model = FitModel(fixture.dataset);
+  auto reps = RepresentativeObjects(fixture.dataset.network, model.theta,
                                     3);
   ASSERT_TRUE(reps.ok());
   ASSERT_EQ(reps->size(), 2u);
   for (size_t k = 0; k < 2; ++k) {
     ASSERT_FALSE((*reps)[k].empty());
     // The first representative is at least as concentrated as the rest.
-    const double first = result->theta((*reps)[k][0], k);
+    const double first = model.theta((*reps)[k][0], k);
     for (NodeId v : (*reps)[k]) {
-      EXPECT_LE(result->theta(v, k), first + 1e-12);
-      EXPECT_EQ(ArgMax(result->theta.RowVector(v)), k);
+      EXPECT_LE(model.theta(v, k), first + 1e-12);
+      EXPECT_EQ(ArgMax(model.theta.RowVector(v)), k);
     }
   }
 }
 
 TEST(InterpretTest, RepresentativeObjectsFilterByType) {
   auto fixture = MakeTwoCommunityNetwork(6, 1.0, 215);
-  auto result = RunGenClus(fixture.dataset, {"text"}, FastConfig());
-  ASSERT_TRUE(result.ok());
-  auto reps = RepresentativeObjects(fixture.dataset.network, result->theta,
+  Model model = FitModel(fixture.dataset);
+  auto reps = RepresentativeObjects(fixture.dataset.network, model.theta,
                                     10, fixture.tag_type);
   ASSERT_TRUE(reps.ok());
   size_t total = 0;
@@ -221,12 +232,11 @@ TEST(InterpretTest, RepresentativeObjectsFilterByType) {
 
 TEST(InterpretTest, RejectsBadInputs) {
   auto fixture = MakeTwoCommunityNetwork(4, 1.0, 217);
-  auto result = RunGenClus(fixture.dataset, {"text"}, FastConfig());
-  ASSERT_TRUE(result.ok());
+  Model model = FitModel(fixture.dataset);
   Attribute numerical =
       Attribute::Numerical("x", fixture.dataset.network.num_nodes());
   EXPECT_FALSE(
-      TopTermsPerCluster(numerical, result->components[0], 3).ok());
+      TopTermsPerCluster(numerical, model.components[0], 3).ok());
   Matrix wrong(3, 2, 0.5);
   EXPECT_FALSE(
       RepresentativeObjects(fixture.dataset.network, wrong, 3).ok());

@@ -1,0 +1,200 @@
+// SaveModel/LoadModel: bit-exact round trips of trained models (including
+// numerical-attribute Gaussians) and clean Status errors — never crashes —
+// on truncated or corrupt files.
+#include "core/model_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "core/engine.h"
+#include "tests/core/test_fixtures.h"
+
+namespace genclus {
+namespace {
+
+using testing::MakeTwoCommunityNetwork;
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// RAII deleter so failed assertions do not leak files between runs.
+class ScopedFile {
+ public:
+  explicit ScopedFile(std::string path) : path_(std::move(path)) {}
+  ~ScopedFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+Model TrainPlantedModel() {
+  auto fixture = MakeTwoCommunityNetwork(8, 1.0, 301);
+  FitOptions options;
+  options.attributes = {"text"};
+  options.config = testing::PlantedFixtureConfig(302);
+  auto fit = Engine::Fit(fixture.dataset, options);
+  EXPECT_TRUE(fit.ok()) << fit.status().ToString();
+  return std::move(fit).value().model;
+}
+
+void ExpectBitExact(const Model& a, const Model& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_clusters(), b.num_clusters());
+  EXPECT_EQ(a.theta.data(), b.theta.data());  // exact double equality
+  EXPECT_EQ(a.gamma, b.gamma);
+  EXPECT_EQ(a.link_types, b.link_types);
+  EXPECT_EQ(a.objective, b.objective);
+  ASSERT_EQ(a.components.size(), b.components.size());
+  ASSERT_EQ(a.attributes.size(), b.attributes.size());
+  for (size_t i = 0; i < a.components.size(); ++i) {
+    EXPECT_EQ(a.attributes[i].name, b.attributes[i].name);
+    EXPECT_EQ(a.attributes[i].kind, b.attributes[i].kind);
+    EXPECT_EQ(a.attributes[i].vocab_size, b.attributes[i].vocab_size);
+    ASSERT_EQ(a.components[i].kind(), b.components[i].kind());
+    if (a.components[i].kind() == AttributeKind::kCategorical) {
+      EXPECT_EQ(a.components[i].beta().data(), b.components[i].beta().data());
+    } else {
+      for (size_t k = 0; k < a.num_clusters(); ++k) {
+        const auto& ga = a.components[i].gaussian(static_cast<ClusterId>(k));
+        const auto& gb = b.components[i].gaussian(static_cast<ClusterId>(k));
+        EXPECT_EQ(ga.mean(), gb.mean());
+        EXPECT_EQ(ga.variance(), gb.variance());
+      }
+    }
+  }
+}
+
+TEST(ModelIoTest, RoundTripIsBitExactOnPlantedFixture) {
+  Model model = TrainPlantedModel();
+  ScopedFile file(TempPath("genclus_model_roundtrip.model"));
+  ASSERT_TRUE(SaveModel(model, file.path()).ok());
+  auto loaded = LoadModel(file.path());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectBitExact(model, *loaded);
+}
+
+TEST(ModelIoTest, RoundTripPreservesGaussianComponents) {
+  // Hand-build a model with a numerical attribute to cover the gaussian
+  // records (the planted fixture is categorical-only).
+  Model model;
+  model.theta = Matrix(3, 2);
+  model.theta(0, 0) = 0.25;
+  model.theta(0, 1) = 0.75;
+  model.theta(1, 0) = 1.0 / 3.0;  // not exactly representable in decimal
+  model.theta(1, 1) = 2.0 / 3.0;
+  model.theta(2, 0) = 1e-12;
+  model.theta(2, 1) = 1.0 - 1e-12;
+  model.gamma = {0.1, 14.46};
+  model.link_types = {"tt", "tp"};
+  model.objective = -123.456789012345678;
+  model.attributes.push_back({"temperature", AttributeKind::kNumerical, 0});
+  model.components.push_back(AttributeComponents::Numerical(
+      {GaussianDistribution(-7.25, 0.3333333333333333),
+       GaussianDistribution(31.0, 2.718281828459045)}));
+  ASSERT_TRUE(model.Validate().ok());
+
+  ScopedFile file(TempPath("genclus_model_gaussian.model"));
+  ASSERT_TRUE(SaveModel(model, file.path()).ok());
+  auto loaded = LoadModel(file.path());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectBitExact(model, *loaded);
+}
+
+TEST(ModelIoTest, SaveRejectsInvalidModel) {
+  Model model;  // K = 0: fails Validate
+  ScopedFile file(TempPath("genclus_model_invalid.model"));
+  Status s = SaveModel(model, file.path());
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(ModelIoTest, LoadFailsCleanlyOnMissingFile) {
+  auto loaded = LoadModel(TempPath("genclus_model_does_not_exist.model"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(ModelIoTest, LoadFailsCleanlyOnTruncatedFile) {
+  Model model = TrainPlantedModel();
+  ScopedFile file(TempPath("genclus_model_truncated.model"));
+  ASSERT_TRUE(SaveModel(model, file.path()).ok());
+
+  // Drop the trailing 40% of the file: beta rows (and possibly theta rows)
+  // go missing. Loading must fail with IoError, not crash or return a
+  // partial model.
+  std::ifstream in(file.path());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string contents = buffer.str();
+  in.close();
+  std::ofstream out(file.path(), std::ios::trunc);
+  out << contents.substr(0, contents.size() * 3 / 5);
+  out.close();
+
+  auto loaded = LoadModel(file.path());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(ModelIoTest, LoadFailsCleanlyOnCorruptNumericFields) {
+  const char* kCorruptFiles[] = {
+      // Malformed theta value.
+      "genclus_model 1\nclusters 2\nnodes 1\nobjective 0\n"
+      "theta 0 0.5 banana\n",
+      // Gamma is not a number.
+      "genclus_model 1\nclusters 2\nnodes 0\nobjective 0\n"
+      "link_type tt NaNish\n",
+      // Negative variance.
+      "genclus_model 1\nclusters 2\nnodes 0\nobjective 0\n"
+      "attribute numerical temp\ngaussian 0 1.0 -2.0\n",
+      // Theta row out of range.
+      "genclus_model 1\nclusters 2\nnodes 1\nobjective 0\n"
+      "theta 7 0.5 0.5\n",
+      // Unknown record.
+      "genclus_model 1\nclusters 2\nnodes 0\nobjective 0\nwhatever 1\n",
+      // Beta without a categorical attribute.
+      "genclus_model 1\nclusters 2\nnodes 0\nobjective 0\nbeta 0 1.0\n",
+      // Missing header.
+      "clusters 2\nnodes 0\nobjective 0\n",
+      // Re-declared nodes header after theta was sized (would move the
+      // bounds check past the allocated buffer).
+      "genclus_model 1\nclusters 2\nnodes 1\nobjective 0\n"
+      "theta 0 0.5 0.5\nnodes 5\ntheta 3 0.5 0.5\n",
+      // Re-declared clusters header.
+      "genclus_model 1\nclusters 2\nnodes 1\nobjective 0\nclusters 4\n",
+      // Non-finite theta values parse as doubles but must be rejected.
+      "genclus_model 1\nclusters 2\nnodes 1\nobjective 0\n"
+      "theta 0 nan nan\n",
+      "genclus_model 1\nclusters 2\nnodes 1\nobjective 0\n"
+      "theta 0 inf 0.5\n",
+  };
+  for (const char* contents : kCorruptFiles) {
+    ScopedFile file(TempPath("genclus_model_corrupt.model"));
+    std::ofstream out(file.path(), std::ios::trunc);
+    out << contents;
+    out.close();
+    auto loaded = LoadModel(file.path());
+    ASSERT_FALSE(loaded.ok()) << "accepted corrupt file:\n" << contents;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kIoError) << contents;
+  }
+}
+
+TEST(ModelIoTest, LoadRejectsUnsupportedVersion) {
+  ScopedFile file(TempPath("genclus_model_version.model"));
+  std::ofstream out(file.path(), std::ios::trunc);
+  out << "genclus_model 99\nclusters 2\nnodes 0\nobjective 0\n";
+  out.close();
+  auto loaded = LoadModel(file.path());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace genclus
