@@ -1,0 +1,201 @@
+// Strength-learning (γ-step) scalability bench on fig11-style weather
+// fixtures, the repo's machine-readable perf trajectory: sweeps network
+// size and thread count over the fused StrengthLearner hot path and writes
+// BENCH_strength.json (nodes, threads, ms per phase) so every future PR
+// has numbers to beat.
+//
+// Phases timed per (size, threads) cell, best of --reps runs:
+//   construct_ms  sufficient-statistics arena build (O(|E| K))
+//   eval_all_ms   one fused objective+gradient+Hessian pass
+//   learn_ms      full Newton ascent (γ-step of one outer iteration)
+//
+// Correctness gate: learned γ must match the serial (no-pool) path within
+// 1e-12 at every thread count — the fused reduction is designed to be
+// bitwise thread-count-invariant, so any drift fails the bench (non-zero
+// exit), which CI treats as a broken build.
+//
+// Flags: --out FILE (default BENCH_strength.json), --small (CI fixture),
+//        --reps N (default 3), --newton-iterations N (default 25).
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/strength.h"
+#include "datagen/weather_generator.h"
+
+namespace {
+
+using namespace genclus;
+
+struct Cell {
+  size_t nodes = 0;
+  size_t links = 0;
+  size_t threads = 0;
+  double construct_ms = 0.0;
+  double eval_all_ms = 0.0;
+  double learn_ms = 0.0;
+  double speedup_vs_serial = 0.0;
+  double max_gamma_diff_vs_serial = 0.0;
+};
+
+// Best-of-reps wall time of one γ-step phase set for a fixed thread count.
+Cell MeasureCell(const WeatherData& data, const Matrix& theta,
+                 const GenClusConfig& config, size_t threads, size_t reps,
+                 const std::vector<double>& serial_gamma) {
+  Cell cell;
+  cell.nodes = data.dataset.network.num_nodes();
+  cell.links = data.dataset.network.num_links();
+  cell.threads = threads;
+  cell.construct_ms = 1e300;
+  cell.eval_all_ms = 1e300;
+  cell.learn_ms = 1e300;
+
+  ThreadPool pool(threads);
+  ThreadPool* pool_ptr = threads > 1 ? &pool : nullptr;
+  const std::vector<double> start(
+      data.dataset.network.schema().num_link_types(), 1.0);
+  std::vector<double> learned;
+  for (size_t rep = 0; rep < reps; ++rep) {
+    WallTimer timer;
+    StrengthLearner learner(&data.dataset.network, &theta, &config,
+                            pool_ptr);
+    cell.construct_ms = std::min(cell.construct_ms, timer.Millis());
+
+    timer.Restart();
+    StrengthLearner::Evaluation eval = learner.EvalAll(start);
+    cell.eval_all_ms = std::min(cell.eval_all_ms, timer.Millis());
+    (void)eval;
+
+    timer.Restart();
+    learned = learner.Learn(start, nullptr);
+    cell.learn_ms = std::min(cell.learn_ms, timer.Millis());
+  }
+  for (size_t r = 0; r < learned.size(); ++r) {
+    cell.max_gamma_diff_vs_serial =
+        std::max(cell.max_gamma_diff_vs_serial,
+                 std::fabs(learned[r] - serial_gamma[r]));
+  }
+  return cell;
+}
+
+void WriteJson(const std::string& path, const std::string& fixture,
+               size_t newton_iterations, const std::vector<Cell>& cells) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"benchmark\": \"strength_scalability\",\n");
+  std::fprintf(f, "  \"fixture\": \"%s\",\n", fixture.c_str());
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"newton_iterations\": %zu,\n", newton_iterations);
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    std::fprintf(
+        f,
+        "    {\"nodes\": %zu, \"links\": %zu, \"threads\": %zu, "
+        "\"construct_ms\": %.4f, \"eval_all_ms\": %.4f, "
+        "\"learn_ms\": %.4f, \"speedup_vs_serial\": %.3f, "
+        "\"max_gamma_diff_vs_serial\": %.3e}%s\n",
+        c.nodes, c.links, c.threads, c.construct_ms, c.eval_all_ms,
+        c.learn_ms, c.speedup_vs_serial, c.max_gamma_diff_vs_serial,
+        i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace genclus::bench;
+  Flags flags = Flags::Parse(argc, argv);
+  const bool small = flags.GetBool("small", false);
+  const size_t reps = static_cast<size_t>(flags.GetInt("reps", 3));
+  const size_t newton_iterations =
+      static_cast<size_t>(flags.GetInt("newton-iterations", 25));
+  const std::string out =
+      flags.GetString("out", "BENCH_strength.json");
+
+  // Fig. 11 sweep: temperature sensors fixed, precipitation sensors in
+  // {250, 500, 1000} -> 1250/1500/2000 objects. --small is the CI fixture.
+  std::vector<size_t> precipitation_sizes =
+      small ? std::vector<size_t>{60} : std::vector<size_t>{250, 500, 1000};
+  const size_t num_temperature = small ? 250 : 1000;
+  const std::vector<size_t> thread_counts = {1, 2, 4, 8};
+
+  PrintHeader("γ-step scalability (fused StrengthLearner)");
+  std::printf("host hardware threads: %u\n",
+              std::thread::hardware_concurrency());
+  PrintRow({"nodes", "threads", "construct", "eval_all", "learn",
+            "speedup"});
+
+  std::vector<Cell> cells;
+  bool determinism_ok = true;
+  for (size_t num_p : precipitation_sizes) {
+    WeatherConfig wconfig = WeatherConfig::Setting1();
+    wconfig.num_temperature_sensors = num_temperature;
+    wconfig.num_precipitation_sensors = num_p;
+    wconfig.observations_per_sensor = 5;
+    wconfig.seed = 11;
+    auto data = GenerateWeatherNetwork(wconfig);
+    if (!data.ok()) {
+      std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+      return 1;
+    }
+    // The ground-truth soft membership is a realistic converged Theta.
+    const Matrix& theta = data->true_membership;
+
+    GenClusConfig config;
+    config.num_clusters = theta.cols();
+    config.newton_iterations = newton_iterations;
+    config.gamma_prior_sigma = 0.5;
+
+    // Serial baseline first: its γ is the reference the parallel runs
+    // must reproduce, and its learn_ms anchors the speedup column.
+    StrengthLearner serial(&data->dataset.network, &theta, &config,
+                           nullptr);
+    const std::vector<double> serial_gamma = serial.Learn(
+        std::vector<double>(
+            data->dataset.network.schema().num_link_types(), 1.0),
+        nullptr);
+
+    double serial_learn_ms = 0.0;
+    for (size_t threads : thread_counts) {
+      Cell cell = MeasureCell(*data, theta, config, threads, reps,
+                              serial_gamma);
+      if (threads == 1) serial_learn_ms = cell.learn_ms;
+      cell.speedup_vs_serial =
+          cell.learn_ms > 0.0 ? serial_learn_ms / cell.learn_ms : 0.0;
+      if (cell.max_gamma_diff_vs_serial > 1e-12) determinism_ok = false;
+      PrintRow({StrFormat("%zu", cell.nodes),
+                StrFormat("%zu", cell.threads),
+                StrFormat("%.2fms", cell.construct_ms),
+                StrFormat("%.2fms", cell.eval_all_ms),
+                StrFormat("%.2fms", cell.learn_ms),
+                StrFormat("%.2fx", cell.speedup_vs_serial)});
+      cells.push_back(cell);
+    }
+  }
+
+  WriteJson(out, small ? "weather_s1_small" : "weather_s1_fig11",
+            newton_iterations, cells);
+  std::printf("\nwrote %s\n", out.c_str());
+  if (!determinism_ok) {
+    std::fprintf(stderr,
+                 "FAIL: learned gamma diverged from the serial path by "
+                 "more than 1e-12 at some thread count\n");
+    return 1;
+  }
+  return 0;
+}

@@ -40,9 +40,18 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    // A throwing task must not unwind out of the worker (std::terminate)
+    // or skip the in_flight_ decrement (Wait would hang): capture the
+    // first exception and surface it from Wait.
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !first_error_) first_error_ = std::move(error);
       --in_flight_;
       if (in_flight_ == 0 && tasks_.empty()) all_done_.notify_all();
     }
@@ -62,6 +71,11 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mutex_);
   all_done_.wait(lock, [this] { return in_flight_ == 0 && tasks_.empty(); });
+  if (first_error_) {
+    std::exception_ptr error = std::move(first_error_);
+    first_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::ParallelFor(

@@ -267,12 +267,19 @@ void EmOptimizer::EstimateComponents(
       for (size_t k = 0; k < num_clusters; ++k) {
         double row_total = 0.0;
         for (size_t l = 0; l < vocab; ++l) row_total += counts(k, l);
+        // Same smoothing rule as UpdateComponents, so the initial
+        // component estimate and the EM updates are interchangeable.
         const double smooth =
-            config_->beta_smoothing * (row_total > 0.0 ? row_total : 1.0) +
-            1e-12;
+            config_->beta_smoothing * (row_total > 0.0 ? row_total : 1.0);
         const double denom = row_total + smooth * static_cast<double>(vocab);
-        for (size_t l = 0; l < vocab; ++l) {
-          (*beta)(k, l) = (counts(k, l) + smooth) / denom;
+        if (denom <= 0.0) {
+          // Empty cluster: keep a uniform term distribution.
+          const double u = 1.0 / static_cast<double>(vocab);
+          for (size_t l = 0; l < vocab; ++l) (*beta)(k, l) = u;
+        } else {
+          for (size_t l = 0; l < vocab; ++l) {
+            (*beta)(k, l) = (counts(k, l) + smooth) / denom;
+          }
         }
       }
     } else {

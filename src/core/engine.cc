@@ -56,6 +56,10 @@ Result<FitResult> Engine::Fit(const Dataset& dataset,
   out.report.outer_iterations =
       run.trace.empty() ? 0 : run.trace.size() - 1;
   out.report.trace = std::move(run.trace);
+  for (const OuterIterationRecord& record : out.report.trace) {
+    out.report.em_seconds += record.em_seconds;
+    out.report.strength_seconds += record.strength_seconds;
+  }
   out.report.total_seconds = timer.Seconds();
   return out;
 }

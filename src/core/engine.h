@@ -52,6 +52,12 @@ struct FitReport {
   size_t outer_iterations = 0;
   /// Wall-clock seconds for the whole fit, including initialization.
   double total_seconds = 0.0;
+  /// Wall-clock seconds spent in the EM cluster-optimization steps
+  /// (E-step phase), summed over outer iterations.
+  double em_seconds = 0.0;
+  /// Wall-clock seconds spent learning relation strengths (γ-step phase),
+  /// summed over outer iterations.
+  double strength_seconds = 0.0;
   /// Per-outer-iteration records, including the initial gamma at index 0.
   std::vector<OuterIterationRecord> trace;
 };

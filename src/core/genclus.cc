@@ -95,7 +95,8 @@ Result<GenClusResult> GenClus::Run() {
     double gamma_delta = 0.0;
     WallTimer strength_timer;
     if (config_.learn_strengths) {
-      StrengthLearner learner(network_, &result.theta, &config_);
+      StrengthLearner learner(network_, &result.theta, &config_,
+                              pool_.get());
       StrengthStats strength_stats;
       std::vector<double> new_gamma = learner.Learn(gamma, &strength_stats);
       for (size_t r = 0; r < num_relations; ++r) {

@@ -68,7 +68,15 @@ Result<std::vector<double>> InferMembership(
                                              obs.term);
           total += resp[k];
         }
-        if (total <= 0.0) continue;  // uninformative term
+        if (total <= 0.0) {
+          // All clusters assign zero mass (possible with zero smoothing).
+          // Mirror the training E-step (em.cc): uniform responsibilities,
+          // and the observation's count mass still contributes — skipping
+          // it would make fold-in memberships diverge from what a full
+          // training pass assigns to the same evidence.
+          std::fill(resp.begin(), resp.end(), 1.0 / num_clusters);
+          total = 1.0;
+        }
         for (size_t k = 0; k < num_clusters; ++k) {
           mix[k] += obs.count * resp[k] / total;
         }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/check.h"
 #include "core/feature.h"
@@ -11,59 +12,228 @@
 
 namespace genclus {
 
+namespace {
+
+// Nodes per reduction block. Fixed (independent of the thread count) so
+// block boundaries — and therefore the merged floating-point result — are
+// invariant to how many workers execute them.
+constexpr size_t kReduceGrain = 64;
+
+}  // namespace
+
 StrengthLearner::StrengthLearner(const Network* network, const Matrix* theta,
-                                 const GenClusConfig* config)
-    : network_(network), theta_(theta), config_(config) {
+                                 const GenClusConfig* config,
+                                 ThreadPool* pool)
+    : network_(network), theta_(theta), config_(config), pool_(pool) {
   GENCLUS_CHECK(network_ != nullptr && theta_ != nullptr &&
                 config_ != nullptr);
   GENCLUS_CHECK_EQ(theta_->rows(), network_->num_nodes());
   num_relations_ = network_->schema().num_link_types();
   num_clusters_ = theta_->cols();
 
-  // Precompute per-node sufficient statistics grouped by relation. Out-link
-  // spans are sorted by relation, so each node's groups are contiguous.
-  node_stats_.reserve(network_->num_nodes());
+  // Pass 1 (serial, O(|E|)): find nodes with out-links and count each
+  // one's relation groups. The grouping below assumes the out-link span
+  // is sorted by relation (network.h builds it that way); verify the
+  // invariant in debug builds since a violation would silently split one
+  // relation into several groups.
+  std::vector<NodeId> stat_nodes;
+  node_group_offsets_.push_back(0);
+  size_t total_groups = 0;
   for (NodeId v = 0; v < network_->num_nodes(); ++v) {
     auto links = network_->OutLinks(v);
     if (links.empty()) continue;
-    NodeStats ns;
-    std::span<const double> theta_v(theta_->Row(v), num_clusters_);
-    size_t pos = 0;
-    while (pos < links.size()) {
-      const LinkTypeId r = links[pos].type;
-      std::vector<double> s(num_clusters_, 0.0);
-      double total_weight = 0.0;
-      double f_coeff = 0.0;
-      while (pos < links.size() && links[pos].type == r) {
-        const LinkEntry& e = links[pos];
-        const double* theta_u = theta_->Row(e.neighbor);
-        for (size_t k = 0; k < num_clusters_; ++k) {
-          s[k] += e.weight * theta_u[k];
-        }
-        total_weight += e.weight;
-        f_coeff += e.weight *
-                   CrossEntropyScore(theta_v, {theta_u, num_clusters_});
-        ++pos;
-      }
-      ns.relations.push_back(r);
-      ns.s.push_back(std::move(s));
-      ns.total_weight.push_back(total_weight);
-      ns.f_coeff.push_back(f_coeff);
+    size_t groups = 1;
+    for (size_t i = 1; i < links.size(); ++i) {
+      GENCLUS_DCHECK(links[i - 1].type <= links[i].type);
+      if (links[i].type != links[i - 1].type) ++groups;
     }
-    node_stats_.push_back(std::move(ns));
+    stat_nodes.push_back(v);
+    total_groups += groups;
+    node_group_offsets_.push_back(total_groups);
+  }
+
+  // Pass 2 (parallel, O(|E| K)): fill the flat arenas. Each node writes
+  // only its own group range, so shards never overlap and the result is
+  // independent of the sharding.
+  group_relation_.assign(total_groups, kInvalidLinkType);
+  group_weight_.assign(total_groups, 0.0);
+  group_f_coeff_.assign(total_groups, 0.0);
+  group_s_.assign(total_groups * num_clusters_, 0.0);
+  const auto fill = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const NodeId v = stat_nodes[i];
+      auto links = network_->OutLinks(v);
+      std::span<const double> theta_v(theta_->Row(v), num_clusters_);
+      size_t g = node_group_offsets_[i];
+      size_t pos = 0;
+      while (pos < links.size()) {
+        const LinkTypeId r = links[pos].type;
+        double* s = group_s_.data() + g * num_clusters_;
+        double total_weight = 0.0;
+        double f_coeff = 0.0;
+        while (pos < links.size() && links[pos].type == r) {
+          const LinkEntry& e = links[pos];
+          const double* theta_u = theta_->Row(e.neighbor);
+          for (size_t k = 0; k < num_clusters_; ++k) {
+            s[k] += e.weight * theta_u[k];
+          }
+          total_weight += e.weight;
+          f_coeff += e.weight *
+                     CrossEntropyScore(theta_v, {theta_u, num_clusters_});
+          ++pos;
+        }
+        group_relation_[g] = r;
+        group_weight_[g] = total_weight;
+        group_f_coeff_[g] = f_coeff;
+        ++g;
+      }
+      GENCLUS_DCHECK(g == node_group_offsets_[i + 1]);
+    }
+  };
+  if (pool_ != nullptr && pool_->num_threads() > 1) {
+    pool_->ParallelFor(stat_nodes.size(),
+                       [&](size_t /*shard*/, size_t begin, size_t end) {
+                         fill(begin, end);
+                       });
+  } else {
+    fill(0, stat_nodes.size());
   }
 }
 
-void StrengthLearner::ComputeAlpha(const NodeStats& ns,
+void StrengthLearner::AccumulateRange(size_t begin, size_t end,
+                                      const std::vector<double>& gamma,
+                                      bool derivatives,
+                                      Evaluation* out) const {
+  std::vector<double> alpha(num_clusters_);
+  std::vector<double> psi(num_clusters_);
+  std::vector<double> psi1(num_clusters_);
+  for (size_t i = begin; i < end; ++i) {
+    const size_t gbegin = node_group_offsets_[i];
+    const size_t gend = node_group_offsets_[i + 1];
+
+    // alpha_k = 1 + sum_j gamma(r_j) s_j[k] (Eq. 15); the feature part of
+    // the objective rides along in the same sweep.
+    std::fill(alpha.begin(), alpha.end(), 1.0);
+    for (size_t g = gbegin; g < gend; ++g) {
+      const double gm = gamma[group_relation_[g]];
+      out->objective += gm * group_f_coeff_[g];
+      if (gm == 0.0) continue;
+      const double* s = group_s_.data() + g * num_clusters_;
+      for (size_t k = 0; k < num_clusters_; ++k) alpha[k] += gm * s[k];
+    }
+    double alpha0 = 0.0;
+    double log_gamma_sum = 0.0;
+    for (size_t k = 0; k < num_clusters_; ++k) {
+      alpha0 += alpha[k];
+      log_gamma_sum += LogGamma(alpha[k]);
+    }
+    // - log Z_i = - log B(alpha_i).
+    out->objective -= log_gamma_sum - LogGamma(alpha0);
+
+    if (!derivatives) continue;
+
+    // Each special function exactly once per (node, k): shared between
+    // the gradient's digamma terms and the Hessian's trigamma terms.
+    const double psi_alpha0 = Digamma(alpha0);
+    const double psi1_alpha0 = Trigamma(alpha0);
+    for (size_t k = 0; k < num_clusters_; ++k) {
+      psi[k] = Digamma(alpha[k]);
+      psi1[k] = Trigamma(alpha[k]);
+    }
+    for (size_t j1 = gbegin; j1 < gend; ++j1) {
+      const LinkTypeId r1 = group_relation_[j1];
+      const double* s1 = group_s_.data() + j1 * num_clusters_;
+      // d logB(alpha)/d gamma(r) = sum_k psi(alpha_k) s_k
+      //                            - psi(alpha_0) * W    (Eq. 16).
+      double dlogb = 0.0;
+      for (size_t k = 0; k < num_clusters_; ++k) {
+        dlogb += psi[k] * s1[k];
+      }
+      dlogb -= psi_alpha0 * group_weight_[j1];
+      out->gradient[r1] += group_f_coeff_[j1] - dlogb;
+
+      for (size_t j2 = j1; j2 < gend; ++j2) {
+        // Eq. 17 per node: -sum_k psi'(alpha_k) s1_k s2_k
+        //                  + psi'(alpha_0) W1 W2.
+        const double* s2 = group_s_.data() + j2 * num_clusters_;
+        double val = 0.0;
+        for (size_t k = 0; k < num_clusters_; ++k) {
+          val -= psi1[k] * s1[k] * s2[k];
+        }
+        val += psi1_alpha0 * group_weight_[j1] * group_weight_[j2];
+        const LinkTypeId r2 = group_relation_[j2];
+        out->hessian(r1, r2) += val;
+        if (r1 != r2) out->hessian(r2, r1) += val;
+      }
+    }
+  }
+}
+
+StrengthLearner::Evaluation StrengthLearner::Reduce(
+    const std::vector<double>& gamma, bool derivatives) const {
+  GENCLUS_CHECK_EQ(gamma.size(), num_relations_);
+  const auto make = [this, derivatives] {
+    Evaluation e;
+    if (derivatives) {
+      e.gradient.assign(num_relations_, 0.0);
+      e.hessian = Matrix(num_relations_, num_relations_);
+    }
+    return e;
+  };
+  Evaluation total = ParallelForReduce<Evaluation>(
+      pool_, num_stat_nodes(), kReduceGrain, make,
+      [&](Evaluation& state, size_t begin, size_t end) {
+        AccumulateRange(begin, end, gamma, derivatives, &state);
+      },
+      [this, derivatives](Evaluation& into, Evaluation&& from) {
+        into.objective += from.objective;
+        if (derivatives) {
+          for (size_t r = 0; r < num_relations_; ++r) {
+            into.gradient[r] += from.gradient[r];
+          }
+          into.hessian.AddScaled(from.hessian, 1.0);
+        }
+      });
+
+  const double sigma2 =
+      config_->gamma_prior_sigma * config_->gamma_prior_sigma;
+  for (double g : gamma) total.objective -= g * g / (2.0 * sigma2);
+  if (derivatives) {
+    for (size_t r = 0; r < num_relations_; ++r) {
+      total.gradient[r] -= gamma[r] / sigma2;
+      total.hessian(r, r) -= 1.0 / sigma2;
+    }
+  }
+  return total;
+}
+
+StrengthLearner::Evaluation StrengthLearner::EvalAll(
+    const std::vector<double>& gamma) const {
+  return Reduce(gamma, /*derivatives=*/true);
+}
+
+double StrengthLearner::FusedObjective(
+    const std::vector<double>& gamma) const {
+  return Reduce(gamma, /*derivatives=*/false).objective;
+}
+
+// The reference implementations below are deliberately NOT built on
+// AccumulateRange: each is its own traversal with its own arithmetic
+// (alpha recomputed per pass, digamma evaluated inside the inner loops,
+// LogMultivariateBeta for the partition function), so the tests comparing
+// them against EvalAll genuinely cross-check the fused path.
+
+void StrengthLearner::ComputeAlpha(size_t node,
                                    const std::vector<double>& gamma,
                                    std::vector<double>* alpha) const {
   alpha->assign(num_clusters_, 1.0);
-  for (size_t j = 0; j < ns.relations.size(); ++j) {
-    const double g = gamma[ns.relations[j]];
-    if (g == 0.0) continue;
-    const std::vector<double>& s = ns.s[j];
+  for (size_t g = node_group_offsets_[node];
+       g < node_group_offsets_[node + 1]; ++g) {
+    const double gm = gamma[group_relation_[g]];
+    if (gm == 0.0) continue;
+    const double* s = group_s_.data() + g * num_clusters_;
     for (size_t k = 0; k < num_clusters_; ++k) {
-      (*alpha)[k] += g * s[k];
+      (*alpha)[k] += gm * s[k];
     }
   }
 }
@@ -72,11 +242,12 @@ double StrengthLearner::Objective(const std::vector<double>& gamma) const {
   GENCLUS_CHECK_EQ(gamma.size(), num_relations_);
   double total = 0.0;
   std::vector<double> alpha;
-  for (const NodeStats& ns : node_stats_) {
-    for (size_t j = 0; j < ns.relations.size(); ++j) {
-      total += gamma[ns.relations[j]] * ns.f_coeff[j];
+  for (size_t i = 0; i < num_stat_nodes(); ++i) {
+    for (size_t g = node_group_offsets_[i]; g < node_group_offsets_[i + 1];
+         ++g) {
+      total += gamma[group_relation_[g]] * group_f_coeff_[g];
     }
-    ComputeAlpha(ns, gamma, &alpha);
+    ComputeAlpha(i, gamma, &alpha);
     total -= LogMultivariateBeta(alpha);
   }
   const double sigma2 =
@@ -90,21 +261,20 @@ std::vector<double> StrengthLearner::Gradient(
   GENCLUS_CHECK_EQ(gamma.size(), num_relations_);
   std::vector<double> grad(num_relations_, 0.0);
   std::vector<double> alpha;
-  for (const NodeStats& ns : node_stats_) {
-    ComputeAlpha(ns, gamma, &alpha);
+  for (size_t i = 0; i < num_stat_nodes(); ++i) {
+    ComputeAlpha(i, gamma, &alpha);
     double alpha0 = 0.0;
     for (double a : alpha) alpha0 += a;
     const double psi_alpha0 = Digamma(alpha0);
-    for (size_t j = 0; j < ns.relations.size(); ++j) {
-      const LinkTypeId r = ns.relations[j];
-      // d logB(alpha)/d gamma(r) = sum_k psi(alpha_k) s_k
-      //                            - psi(alpha_0) * W    (Eq. 16).
+    for (size_t j = node_group_offsets_[i]; j < node_group_offsets_[i + 1];
+         ++j) {
+      const double* s = group_s_.data() + j * num_clusters_;
       double dlogb = 0.0;
       for (size_t k = 0; k < num_clusters_; ++k) {
-        dlogb += Digamma(alpha[k]) * ns.s[j][k];
+        dlogb += Digamma(alpha[k]) * s[k];
       }
-      dlogb -= psi_alpha0 * ns.total_weight[j];
-      grad[r] += ns.f_coeff[j] - dlogb;
+      dlogb -= psi_alpha0 * group_weight_[j];
+      grad[group_relation_[j]] += group_f_coeff_[j] - dlogb;
     }
   }
   const double sigma2 =
@@ -119,25 +289,26 @@ Matrix StrengthLearner::Hessian(const std::vector<double>& gamma) const {
   GENCLUS_CHECK_EQ(gamma.size(), num_relations_);
   Matrix h(num_relations_, num_relations_);
   std::vector<double> alpha;
-  for (const NodeStats& ns : node_stats_) {
-    ComputeAlpha(ns, gamma, &alpha);
+  std::vector<double> psi1(num_clusters_);
+  for (size_t i = 0; i < num_stat_nodes(); ++i) {
+    ComputeAlpha(i, gamma, &alpha);
     double alpha0 = 0.0;
     for (double a : alpha) alpha0 += a;
     const double psi1_alpha0 = Trigamma(alpha0);
-    std::vector<double> psi1(num_clusters_);
     for (size_t k = 0; k < num_clusters_; ++k) psi1[k] = Trigamma(alpha[k]);
 
-    for (size_t j1 = 0; j1 < ns.relations.size(); ++j1) {
-      for (size_t j2 = j1; j2 < ns.relations.size(); ++j2) {
-        // Eq. 17 per node: -sum_k psi'(alpha_k) s1_k s2_k
-        //                  + psi'(alpha_0) W1 W2.
+    for (size_t j1 = node_group_offsets_[i];
+         j1 < node_group_offsets_[i + 1]; ++j1) {
+      const double* s1 = group_s_.data() + j1 * num_clusters_;
+      for (size_t j2 = j1; j2 < node_group_offsets_[i + 1]; ++j2) {
+        const double* s2 = group_s_.data() + j2 * num_clusters_;
         double val = 0.0;
         for (size_t k = 0; k < num_clusters_; ++k) {
-          val -= psi1[k] * ns.s[j1][k] * ns.s[j2][k];
+          val -= psi1[k] * s1[k] * s2[k];
         }
-        val += psi1_alpha0 * ns.total_weight[j1] * ns.total_weight[j2];
-        const LinkTypeId r1 = ns.relations[j1];
-        const LinkTypeId r2 = ns.relations[j2];
+        val += psi1_alpha0 * group_weight_[j1] * group_weight_[j2];
+        const LinkTypeId r1 = group_relation_[j1];
+        const LinkTypeId r2 = group_relation_[j2];
         h(r1, r2) += val;
         if (r1 != r2) h(r2, r1) += val;
       }
@@ -158,18 +329,17 @@ std::vector<double> StrengthLearner::Learn(const std::vector<double>& gamma,
   for (double& g : current) g = std::max(0.0, g);
 
   StrengthStats local;
-  double current_obj = Objective(current);
+  double current_obj = FusedObjective(current);
 
   for (size_t iter = 0; iter < config_->newton_iterations; ++iter) {
     local.iterations = iter + 1;
-    const std::vector<double> grad = Gradient(current);
-    const Matrix hess = Hessian(current);
+    const Evaluation eval = EvalAll(current);
 
     // Newton direction: solve H * delta = grad, step gamma - delta.
     // H is negative definite, so -delta is an ascent direction.
     std::vector<double> next;
     bool have_newton = false;
-    auto solve = SolveLinearSystem(hess, grad);
+    auto solve = SolveLinearSystem(eval.hessian, eval.gradient);
     if (solve.ok()) {
       next = current;
       bool finite = true;
@@ -182,25 +352,25 @@ std::vector<double> StrengthLearner::Learn(const std::vector<double>& gamma,
     if (!have_newton) {
       // Fallback: projected gradient ascent with a conservative step.
       local.used_gradient_fallback = true;
-      double gnorm = Norm2(grad);
+      double gnorm = Norm2(eval.gradient);
       const double step = gnorm > 0.0 ? 1.0 / (1.0 + gnorm) : 0.0;
       next = current;
       for (size_t r = 0; r < num_relations_; ++r) {
-        next[r] += step * grad[r];
+        next[r] += step * eval.gradient[r];
       }
     }
     for (double& g : next) g = std::max(0.0, g);  // projection (§4.2 step 2)
 
     // Damping: the projected Newton step is not guaranteed to ascend, so
     // backtrack toward the current iterate until the objective improves.
-    double next_obj = Objective(next);
+    double next_obj = FusedObjective(next);
     double shrink = 0.5;
     size_t backtracks = 0;
     while (next_obj < current_obj - 1e-12 && backtracks < 40) {
       for (size_t r = 0; r < num_relations_; ++r) {
         next[r] = current[r] + shrink * (next[r] - current[r]);
       }
-      next_obj = Objective(next);
+      next_obj = FusedObjective(next);
       ++backtracks;
     }
     if (next_obj < current_obj - 1e-12) {

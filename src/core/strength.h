@@ -9,10 +9,17 @@
 // Hessian (Eq. 17) involve digamma and trigamma. g2' is concave
 // (Appendix B); we run Newton-Raphson with projection onto gamma >= 0,
 // with step damping and a projected-gradient fallback for robustness.
+//
+// Hot path: EvalAll computes objective, gradient and Hessian in ONE fused
+// traversal of the per-node sufficient statistics (sharing the alpha,
+// log-gamma, digamma and trigamma evaluations that separate passes would
+// recompute), blocked over a ThreadPool with a deterministic block-order
+// reduction — the result is bitwise identical for any thread count.
 #pragma once
 
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/config.h"
 #include "hin/network.h"
 #include "linalg/matrix.h"
@@ -30,17 +37,40 @@ struct StrengthStats {
 };
 
 /// Learns gamma for fixed Theta. Construct once per strength step (the
-/// constructor precomputes per-node sufficient statistics in O(|E| K)),
-/// then call Learn.
+/// constructor precomputes per-node sufficient statistics in O(|E| K),
+/// sharded over `pool` when given), then call Learn.
 class StrengthLearner {
  public:
+  /// `pool` may be null for single-threaded execution; results are
+  /// identical either way.
   StrengthLearner(const Network* network, const Matrix* theta,
-                  const GenClusConfig* config);
+                  const GenClusConfig* config, ThreadPool* pool = nullptr);
+
+  /// One fused evaluation of g2' and its derivatives at `gamma`.
+  struct Evaluation {
+    double objective = 0.0;
+    /// Gradient of g2' (Eq. 16); size |R|.
+    std::vector<double> gradient;
+    /// Hessian of g2' (Eq. 17); |R| x |R|, symmetric negative definite.
+    Matrix hessian;
+  };
+
+  /// Computes objective, gradient and Hessian together in one traversal.
+  /// Deterministic: bitwise identical for any thread count (block partials
+  /// are reduced in fixed block order).
+  Evaluation EvalAll(const std::vector<double>& gamma) const;
 
   /// Maximizes g2' starting from `gamma` (paper: the previous outer
-  /// iterate). Returns the new gamma; `stats` may be null.
+  /// iterate). Returns the new gamma; `stats` may be null. Uses the fused
+  /// EvalAll path, so the learned gamma is thread-count-invariant.
   std::vector<double> Learn(const std::vector<double>& gamma,
                             StrengthStats* stats) const;
+
+  // Serial reference implementations: independent single-purpose passes
+  // with their own arithmetic (alpha recomputed per call, digamma inside
+  // the inner loops, LogMultivariateBeta), NOT built on the fused
+  // traversal — the tests comparing them against EvalAll genuinely
+  // cross-check it. Learn does not call them.
 
   /// g2'(gamma): the pseudo-log-likelihood plus the Gaussian prior term.
   double Objective(const std::vector<double>& gamma) const;
@@ -52,29 +82,51 @@ class StrengthLearner {
   Matrix Hessian(const std::vector<double>& gamma) const;
 
  private:
-  // Sufficient statistics of one node's out-link neighborhood, grouped by
-  // relation. Only relations that occur among the node's out-links appear.
-  struct NodeStats {
-    std::vector<LinkTypeId> relations;
-    // s[j] is the K-vector sum_{e of relation j} w(e) * theta_target.
-    std::vector<std::vector<double>> s;
-    // total_weight[j] = sum_{e of relation j} w(e)  (== sum_k s[j][k]).
-    std::vector<double> total_weight;
-    // f_coeff[j] = sum_{e of relation j} w(e) * sum_k theta_jk log theta_ik:
-    // the coefficient of gamma(r_j) in the feature-function sum.
-    std::vector<double> f_coeff;
-  };
-
-  // alpha_ik = 1 + sum_j gamma(r_j) s[j][k] for one node.
-  void ComputeAlpha(const NodeStats& ns, const std::vector<double>& gamma,
+  // alpha_ik = 1 + sum_j gamma(r_j) s_j[k] for stat node `node` (Eq. 15);
+  // reference-path helper.
+  void ComputeAlpha(size_t node, const std::vector<double>& gamma,
                     std::vector<double>* alpha) const;
+
+  // Sufficient statistics live in flat arenas indexed by "group": one
+  // group is (node with out-degree >= 1, relation occurring among its
+  // out-links). Node i owns groups [node_group_offsets_[i],
+  // node_group_offsets_[i + 1]); group g's s-vector is the K doubles at
+  // group_s_[g * K].
+
+  size_t num_stat_nodes() const { return node_group_offsets_.size() - 1; }
+
+  // Accumulates nodes [begin, end)'s contribution to the objective (and,
+  // when `derivatives`, gradient + Hessian) of the data term into *out.
+  // The prior is NOT applied here. The objective arithmetic is identical
+  // whether or not derivatives are requested.
+  void AccumulateRange(size_t begin, size_t end,
+                       const std::vector<double>& gamma, bool derivatives,
+                       Evaluation* out) const;
+
+  // Blocked reduction over all stat nodes (via ParallelForReduce), prior
+  // applied. `derivatives` false leaves gradient/hessian empty.
+  Evaluation Reduce(const std::vector<double>& gamma,
+                    bool derivatives) const;
+
+  // Fused parallel objective-only evaluation (line-search path).
+  double FusedObjective(const std::vector<double>& gamma) const;
 
   const Network* network_;
   const Matrix* theta_;
   const GenClusConfig* config_;
+  ThreadPool* pool_;
   size_t num_relations_;
   size_t num_clusters_;
-  std::vector<NodeStats> node_stats_;  // nodes with out-degree >= 1 only
+
+  std::vector<size_t> node_group_offsets_;  // size num_stat_nodes() + 1
+  std::vector<LinkTypeId> group_relation_;
+  // total weight of the group: sum_{e of relation r} w(e).
+  std::vector<double> group_weight_;
+  // coefficient of gamma(r) in the feature-function sum:
+  // sum_{e of relation r} w(e) * sum_k theta_jk log theta_ik.
+  std::vector<double> group_f_coeff_;
+  // s-vectors, K doubles per group: sum_{e of relation r} w(e) * theta_target.
+  std::vector<double> group_s_;
 };
 
 }  // namespace genclus

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <chrono>
 #include <numeric>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -153,6 +154,119 @@ TEST(ThreadPoolTest, TinyRangeRunsInlineEvenWithManyWorkers) {
     EXPECT_EQ(shard, 0u);
     EXPECT_EQ(std::this_thread::get_id(), caller);
   });
+}
+
+TEST(ThreadPoolTest, TaskExceptionRethrownFromWait) {
+  // A throwing task must neither kill its worker (std::terminate) nor leak
+  // the in-flight count (Wait would hang); the exception surfaces from the
+  // next Wait.
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The pool stays fully usable afterwards.
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 16);
+}
+
+TEST(ThreadPoolTest, FirstOfSeveralTaskExceptionsWins) {
+  ThreadPool pool(1);  // FIFO: the first submitted throw is the first seen
+  pool.Submit([] { throw std::runtime_error("first"); });
+  pool.Submit([] { throw std::logic_error("second"); });
+  try {
+    pool.Wait();
+    FAIL() << "Wait() should have rethrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+  // The second exception was dropped; Wait is clean again.
+  pool.Wait();
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsShardException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(1000,
+                       [](size_t shard, size_t, size_t) {
+                         if (shard == 1) throw std::runtime_error("shard");
+                       }),
+      std::runtime_error);
+  // Other shards completed and the pool is reusable.
+  std::atomic<int> count{0};
+  pool.ParallelFor(100, [&](size_t, size_t begin, size_t end) {
+    count.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolReduceTest, MatchesSerialSum) {
+  ThreadPool pool(4);
+  const size_t n = 10000;
+  const double total = ParallelForReduce<double>(
+      &pool, n, 64, [] { return 0.0; },
+      [](double& acc, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) acc += static_cast<double>(i);
+      },
+      [](double& into, double&& from) { into += from; });
+  EXPECT_DOUBLE_EQ(total, static_cast<double>(n) * (n - 1) / 2.0);
+}
+
+TEST(ThreadPoolReduceTest, BitwiseInvariantToThreadCount) {
+  // Summands of wildly different magnitudes make the result sensitive to
+  // accumulation order; fixed blocks merged in block order must therefore
+  // give bitwise identical results for every pool size (and no pool).
+  const size_t n = 4099;
+  const auto body = [](double& acc, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      acc += 1.0 / (1.0 + static_cast<double>((i * 2654435761u) % 9973));
+    }
+  };
+  const auto merge = [](double& into, double&& from) { into += from; };
+  const double serial = ParallelForReduce<double>(
+      nullptr, n, 64, [] { return 0.0; }, body, merge);
+  for (size_t threads : {1u, 2u, 3u, 8u}) {
+    ThreadPool pool(threads);
+    const double parallel = ParallelForReduce<double>(
+        &pool, n, 64, [] { return 0.0; }, body, merge);
+    EXPECT_EQ(parallel, serial) << threads << " threads";
+  }
+}
+
+TEST(ThreadPoolReduceTest, EmptyRangeReturnsIdentity) {
+  ThreadPool pool(2);
+  const double total = ParallelForReduce<double>(
+      &pool, 0, 16, [] { return 42.0; },
+      [](double&, size_t, size_t) { FAIL() << "body on empty range"; },
+      [](double&, double&&) { FAIL() << "merge on empty range"; });
+  EXPECT_EQ(total, 42.0);
+}
+
+TEST(ThreadPoolReduceTest, GrainLargerThanRangeIsSingleBlock) {
+  ThreadPool pool(4);
+  int body_calls = 0;
+  const int total = ParallelForReduce<int>(
+      &pool, 10, 1000, [] { return 0; },
+      [&](int& acc, size_t begin, size_t end) {
+        ++body_calls;
+        acc += static_cast<int>(end - begin);
+      },
+      [](int& into, int&& from) { into += from; });
+  EXPECT_EQ(total, 10);
+  EXPECT_EQ(body_calls, 1);
+}
+
+TEST(ThreadPoolReduceTest, BodyExceptionPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(ParallelForReduce<int>(
+                   &pool, 1000, 8, [] { return 0; },
+                   [](int&, size_t begin, size_t) {
+                     if (begin >= 500) throw std::runtime_error("boom");
+                   },
+                   [](int& into, int&& from) { into += from; }),
+               std::runtime_error);
 }
 
 TEST(ThreadPoolTest, ReusableAcrossCalls) {

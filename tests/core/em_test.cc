@@ -274,5 +274,52 @@ TEST_F(EmFixture, EstimateComponentsFromLabels) {
   EXPECT_GT(std::fabs(c0_own - c0_other), 0.8);
 }
 
+TEST(EstimateComponentsSmoothing, MatchesEmUpdateRuleExactly) {
+  // EstimateComponents must apply the SAME smoothing as UpdateComponents:
+  // smooth = beta_smoothing * row_total (no stray epsilon), with the
+  // empty-cluster uniform fallback. With zero smoothing the estimate is
+  // the exact ML ratio — unseen terms get exactly zero, and counts of
+  // {term0: 2, term1: 6} in cluster 0 give exactly {0.25, 0.75}.
+  Schema schema;
+  ObjectTypeId doc = schema.AddObjectType("doc").value();
+  (void)schema.AddLinkType("dd", doc, doc).value();
+  NetworkBuilder builder(schema);
+  NodeId a = builder.AddNode(doc).value();
+  NodeId b = builder.AddNode(doc).value();
+  Network net = std::move(builder).Build().value();
+
+  Attribute text = Attribute::Categorical("text", 2, net.num_nodes());
+  ASSERT_TRUE(text.AddTermCount(a, 0, 2.0).ok());
+  ASSERT_TRUE(text.AddTermCount(b, 1, 6.0).ok());
+
+  Matrix theta(net.num_nodes(), 2);
+  theta.SetRow(a, {1.0, 0.0});  // both nodes in cluster 0: cluster 1 empty
+  theta.SetRow(b, {1.0, 0.0});
+
+  GenClusConfig config;
+  config.num_clusters = 2;
+  config.beta_smoothing = 0.0;
+  EmOptimizer opt(&net, {&text}, &config, nullptr);
+  std::vector<AttributeComponents> comps = {
+      AttributeComponents::CategoricalUniform(2, 2)};
+  opt.EstimateComponents(theta, &comps);
+  const Matrix& beta = comps[0].beta();
+  EXPECT_EQ(beta(0, 0), 0.25);
+  EXPECT_EQ(beta(0, 1), 0.75);
+  // Empty cluster keeps a uniform term distribution, as in the EM update.
+  EXPECT_EQ(beta(1, 0), 0.5);
+  EXPECT_EQ(beta(1, 1), 0.5);
+
+  // With smoothing on, the value is exactly the UpdateComponents formula:
+  // (count + s * total) / (total + s * total * vocab), s = beta_smoothing.
+  config.beta_smoothing = 1e-6;
+  std::vector<AttributeComponents> smoothed = {
+      AttributeComponents::CategoricalUniform(2, 2)};
+  opt.EstimateComponents(theta, &smoothed);
+  const double smooth = config.beta_smoothing * 8.0;
+  EXPECT_EQ(smoothed[0].beta()(0, 0), (2.0 + smooth) / (8.0 + 2.0 * smooth));
+  EXPECT_EQ(smoothed[0].beta()(0, 1), (6.0 + smooth) / (8.0 + 2.0 * smooth));
+}
+
 }  // namespace
 }  // namespace genclus

@@ -73,6 +73,30 @@ class EngineFixture : public ::testing::Test {
   Model model_;
 };
 
+TEST_F(EngineFixture, FitReportSplitsTimeByPhase) {
+  FitOptions options;
+  options.attributes = {"text"};
+  options.config = testing::PlantedFixtureConfig(402);
+  options.config.num_threads = 2;  // exercise the pooled γ-step wiring
+  auto fit = Engine::Fit(fixture_.dataset, options);
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+  const FitReport& report = fit->report;
+  // The per-phase totals are the sums over the trace, and the phases are
+  // contained in the total wall-clock.
+  double em = 0.0;
+  double strength = 0.0;
+  for (const OuterIterationRecord& record : report.trace) {
+    em += record.em_seconds;
+    strength += record.strength_seconds;
+  }
+  EXPECT_DOUBLE_EQ(report.em_seconds, em);
+  EXPECT_DOUBLE_EQ(report.strength_seconds, strength);
+  EXPECT_GT(report.em_seconds, 0.0);
+  EXPECT_GT(report.strength_seconds, 0.0);
+  EXPECT_LE(report.em_seconds + report.strength_seconds,
+            report.total_seconds);
+}
+
 TEST_F(EngineFixture, CreateRejectsMismatchedModel) {
   EXPECT_FALSE(Engine::Create(nullptr, model_).ok());
 

@@ -1,0 +1,113 @@
+// Fold-in inference must reproduce the training E-step update for the
+// same evidence. Regression focus: a categorical observation whose term
+// has zero mass in every cluster (possible with zero smoothing) — training
+// falls back to uniform responsibilities and still adds the observation's
+// count mass, and the serve path must do exactly the same.
+#include "core/inference.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/em.h"
+#include "core/engine.h"
+#include "core/model.h"
+#include "hin/network.h"
+
+namespace genclus {
+namespace {
+
+// One doc node (node 0) the evidence points at, one trained node (node 1)
+// carrying exactly the same evidence as the fold-in query: a unit-weight
+// dd-link to node 0 plus 3 counts of term 2, which has zero probability
+// under every cluster.
+class ZeroMassTermFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema schema;
+    doc_ = schema.AddObjectType("doc").value();
+    dd_ = schema.AddLinkType("dd", doc_, doc_).value();
+
+    NetworkBuilder builder(schema);
+    target_ = builder.AddNode(doc_, "target").value();
+    trained_ = builder.AddNode(doc_, "trained").value();
+    ASSERT_TRUE(builder.AddLink(trained_, target_, dd_, 1.0).ok());
+    network_ = std::move(builder).Build().value();
+
+    text_ = Attribute::Categorical("text", 3, network_.num_nodes());
+    ASSERT_TRUE(text_.AddTermCount(trained_, kZeroMassTerm, 3.0).ok());
+
+    theta_ = Matrix(network_.num_nodes(), 2);
+    theta_.SetRow(target_, {0.8, 0.2});
+    theta_.SetRow(trained_, {0.6, 0.4});
+
+    components_.push_back(AttributeComponents::CategoricalUniform(2, 3));
+    Matrix* beta = components_[0].mutable_beta();
+    *beta = Matrix{{0.7, 0.3, 0.0},   // term 2 carries zero mass in
+                   {0.2, 0.8, 0.0}};  // both clusters
+
+    config_.num_clusters = 2;
+    config_.beta_smoothing = 0.0;  // keep the zero column zero
+
+    model_.theta = theta_;
+    model_.gamma = {1.0};
+    model_.components = components_;
+  }
+
+  static constexpr uint32_t kZeroMassTerm = 2;
+
+  ObjectTypeId doc_;
+  LinkTypeId dd_;
+  NodeId target_, trained_;
+  Network network_;
+  Attribute text_ = Attribute::Categorical("empty", 1, 0);
+  Matrix theta_;
+  std::vector<AttributeComponents> components_;
+  GenClusConfig config_;
+  Model model_;
+};
+
+TEST_F(ZeroMassTermFixture, ZeroMassTermStillContributesCountMass) {
+  // Expected mix, as the training E-step computes it: the link part
+  // gamma * w * theta_target plus uniform responsibilities times the
+  // count: {0.8 + 1.5, 0.2 + 1.5} -> normalized {0.575, 0.425}.
+  auto result = InferMembership(
+      network_, model_, {{target_, dd_, 1.0}},
+      {{/*attribute=*/0, kZeroMassTerm, /*count=*/3.0, 0.0}});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 2u);
+  EXPECT_NEAR((*result)[0], 0.575, 1e-12);
+  EXPECT_NEAR((*result)[1], 0.425, 1e-12);
+}
+
+TEST_F(ZeroMassTermFixture, FoldInMatchesTrainingEStep) {
+  // Training side: one EM sweep updates the trained node from the same
+  // old theta/beta the fold-in model holds.
+  EmOptimizer optimizer(&network_, {&text_}, &config_, nullptr);
+  Matrix theta = theta_;
+  std::vector<AttributeComponents> components = components_;
+  optimizer.Step(model_.gamma, &theta, &components);
+
+  // Serve side: fold in a new object with identical evidence.
+  auto folded = InferMembership(
+      network_, model_, {{target_, dd_, 1.0}},
+      {{/*attribute=*/0, kZeroMassTerm, /*count=*/3.0, 0.0}});
+  ASSERT_TRUE(folded.ok());
+  const double* trained_row = theta.Row(trained_);
+  for (size_t k = 0; k < 2; ++k) {
+    EXPECT_NEAR((*folded)[k], trained_row[k], 1e-12) << "cluster " << k;
+  }
+}
+
+TEST_F(ZeroMassTermFixture, PositiveMassTermUnaffected) {
+  // Sanity: ordinary terms still weight clusters by theta * beta.
+  auto result = InferMembership(network_, model_, {{target_, dd_, 1.0}},
+                                {{/*attribute=*/0, /*term=*/0,
+                                  /*count=*/1.0, 0.0}});
+  ASSERT_TRUE(result.ok());
+  // Cluster 0 explains term 0 far better (0.7 vs 0.2), so it must gain.
+  EXPECT_GT((*result)[0], 0.6);
+}
+
+}  // namespace
+}  // namespace genclus

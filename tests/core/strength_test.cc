@@ -177,6 +177,76 @@ TEST_F(StrengthFixture, AllZeroGammaIsValidInput) {
   for (double g : learned) EXPECT_GE(g, 0.0);
 }
 
+TEST_F(StrengthFixture, FusedEvalMatchesSerialReference) {
+  // The fused EvalAll traversal shares alpha/digamma/trigamma evaluations
+  // and reduces blocked partials; it must agree with the serial reference
+  // passes to well below solver tolerance.
+  StrengthLearner learner(&fixture_.dataset.network, &theta_, &config_);
+  const std::vector<double> gamma = {1.1, 0.4, 2.0};
+  const StrengthLearner::Evaluation eval = learner.EvalAll(gamma);
+  EXPECT_NEAR(eval.objective, learner.Objective(gamma),
+              1e-12 * (1.0 + std::fabs(eval.objective)));
+  const std::vector<double> grad = learner.Gradient(gamma);
+  ASSERT_EQ(eval.gradient.size(), grad.size());
+  for (size_t r = 0; r < grad.size(); ++r) {
+    EXPECT_NEAR(eval.gradient[r], grad[r],
+                1e-12 * (1.0 + std::fabs(grad[r])));
+  }
+  const Matrix hess = learner.Hessian(gamma);
+  for (size_t r1 = 0; r1 < grad.size(); ++r1) {
+    for (size_t r2 = 0; r2 < grad.size(); ++r2) {
+      EXPECT_NEAR(eval.hessian(r1, r2), hess(r1, r2),
+                  1e-12 * (1.0 + std::fabs(hess(r1, r2))));
+    }
+  }
+}
+
+TEST_F(StrengthFixture, FusedEvalBitwiseInvariantToThreadCount) {
+  // Shard partials are reduced in fixed block order, so the evaluation is
+  // bitwise identical for any pool size (and without a pool).
+  StrengthLearner serial(&fixture_.dataset.network, &theta_, &config_);
+  const std::vector<double> gamma = {1.0, 0.6, 1.7};
+  const StrengthLearner::Evaluation reference = serial.EvalAll(gamma);
+  for (size_t threads : {1u, 2u, 3u, 8u}) {
+    ThreadPool pool(threads);
+    StrengthLearner learner(&fixture_.dataset.network, &theta_, &config_,
+                            &pool);
+    const StrengthLearner::Evaluation eval = learner.EvalAll(gamma);
+    EXPECT_EQ(eval.objective, reference.objective) << threads << " threads";
+    for (size_t r = 0; r < gamma.size(); ++r) {
+      EXPECT_EQ(eval.gradient[r], reference.gradient[r])
+          << threads << " threads, relation " << r;
+    }
+    for (size_t r1 = 0; r1 < gamma.size(); ++r1) {
+      for (size_t r2 = 0; r2 < gamma.size(); ++r2) {
+        EXPECT_EQ(eval.hessian(r1, r2), reference.hessian(r1, r2))
+            << threads << " threads, entry (" << r1 << "," << r2 << ")";
+      }
+    }
+  }
+}
+
+TEST_F(StrengthFixture, LearnedGammaInvariantToThreadCount) {
+  StrengthLearner serial(&fixture_.dataset.network, &theta_, &config_);
+  StrengthStats serial_stats;
+  const std::vector<double> reference =
+      serial.Learn({1.0, 1.0, 1.0}, &serial_stats);
+  for (size_t threads : {2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    StrengthLearner learner(&fixture_.dataset.network, &theta_, &config_,
+                            &pool);
+    StrengthStats stats;
+    const std::vector<double> learned = learner.Learn({1.0, 1.0, 1.0},
+                                                      &stats);
+    ASSERT_EQ(learned.size(), reference.size());
+    for (size_t r = 0; r < learned.size(); ++r) {
+      EXPECT_EQ(learned[r], reference[r]) << threads << " threads";
+    }
+    EXPECT_EQ(stats.iterations, serial_stats.iterations);
+    EXPECT_EQ(stats.objective, serial_stats.objective);
+  }
+}
+
 TEST_F(StrengthFixture, DeterministicAcrossCalls) {
   StrengthLearner learner(&fixture_.dataset.network, &theta_, &config_);
   auto first = learner.Learn({1.0, 1.0, 1.0}, nullptr);

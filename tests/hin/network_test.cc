@@ -201,5 +201,54 @@ TEST(NetworkBuilderTest, LargeCsrConsistency) {
   }
 }
 
+TEST(NetworkBuilderTest, OutLinksGroupedByTypeRegardlessOfInsertionOrder) {
+  // StrengthLearner's sufficient-statistics grouping assumes each node's
+  // out-link span holds every link of a relation contiguously, in
+  // non-decreasing type order (it DCHECKs this). Pin the invariant with
+  // adversarial insertion order: types interleaved, neighbors descending.
+  Schema schema;
+  ObjectTypeId doc = schema.AddObjectType("doc").value();
+  LinkTypeId r0 = schema.AddLinkType("r0", doc, doc).value();
+  LinkTypeId r1 = schema.AddLinkType("r1", doc, doc).value();
+  LinkTypeId r2 = schema.AddLinkType("r2", doc, doc).value();
+
+  NetworkBuilder builder(schema);
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 6; ++i) nodes.push_back(builder.AddNode(doc).value());
+  const NodeId v = nodes[0];
+  // Interleave relations and feed neighbors high-to-low.
+  const std::vector<LinkTypeId> order = {r2, r0, r1, r0, r2, r1, r0};
+  for (size_t i = 0; i < order.size(); ++i) {
+    ASSERT_TRUE(builder.AddLink(v, nodes[5 - (i % 6)], order[i], 1.0).ok());
+  }
+  Network net = std::move(builder).Build().value();
+
+  auto links = net.OutLinks(v);
+  ASSERT_EQ(links.size(), 7u);
+  std::map<LinkTypeId, size_t> counts;
+  for (size_t i = 0; i < links.size(); ++i) {
+    counts[links[i].type]++;
+    if (i == 0) continue;
+    // Sorted by (type, neighbor): type non-decreasing, neighbor ascending
+    // within a type run — so every relation forms one contiguous group.
+    EXPECT_LE(links[i - 1].type, links[i].type) << "position " << i;
+    if (links[i - 1].type == links[i].type) {
+      EXPECT_LE(links[i - 1].neighbor, links[i].neighbor)
+          << "position " << i;
+    }
+  }
+  EXPECT_EQ(counts[r0], 3u);
+  EXPECT_EQ(counts[r1], 2u);
+  EXPECT_EQ(counts[r2], 2u);
+  // Contiguity directly: a type never reappears after its run ended.
+  std::vector<LinkTypeId> seen;
+  for (const LinkEntry& e : links) {
+    if (seen.empty() || seen.back() != e.type) {
+      for (LinkTypeId earlier : seen) EXPECT_NE(earlier, e.type);
+      seen.push_back(e.type);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace genclus

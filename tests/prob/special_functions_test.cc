@@ -20,6 +20,17 @@ TEST(DigammaTest, KnownValues) {
   EXPECT_NEAR(Digamma(0.5), -kEulerGamma - 2.0 * std::log(2.0), 1e-12);
 }
 
+TEST(DigammaTest, ReferenceValuePins) {
+  // High-precision anchors so the strength learner's fused gradient path
+  // cannot silently drift: psi(n) = -gamma + H_{n-1} (exact harmonic
+  // numbers), and Gauss's theorem for psi(1/4).
+  EXPECT_NEAR(Digamma(3.0), -kEulerGamma + 1.5, 1e-13);
+  EXPECT_NEAR(Digamma(4.0), -kEulerGamma + 11.0 / 6.0, 1e-13);
+  EXPECT_NEAR(Digamma(10.0), -kEulerGamma + 7129.0 / 2520.0, 1e-13);
+  EXPECT_NEAR(Digamma(0.25),
+              -kEulerGamma - 3.0 * std::log(2.0) - M_PI / 2.0, 1e-12);
+}
+
 TEST(DigammaTest, RecurrenceHolds) {
   // psi(x+1) = psi(x) + 1/x across a range of x.
   for (double x : {0.1, 0.7, 1.3, 2.9, 5.5, 10.0, 42.0}) {
@@ -45,6 +56,18 @@ TEST(TrigammaTest, KnownValues) {
   EXPECT_NEAR(Trigamma(1.0), M_PI * M_PI / 6.0, 1e-11);
   // psi'(1/2) = pi^2/2.
   EXPECT_NEAR(Trigamma(0.5), M_PI * M_PI / 2.0, 1e-11);
+}
+
+TEST(TrigammaTest, ReferenceValuePins) {
+  // psi'(n) = pi^2/6 - sum_{k=1}^{n-1} 1/k^2, and psi'(1/4) = pi^2 + 8G
+  // (G = Catalan's constant). Anchors for the fused Hessian path.
+  constexpr double kCatalan = 0.91596559417721901505;
+  EXPECT_NEAR(Trigamma(2.0), M_PI * M_PI / 6.0 - 1.0, 1e-12);
+  EXPECT_NEAR(Trigamma(3.0), M_PI * M_PI / 6.0 - 1.25, 1e-12);
+  double inverse_squares = 0.0;
+  for (int k = 1; k <= 9; ++k) inverse_squares += 1.0 / (k * k);
+  EXPECT_NEAR(Trigamma(10.0), M_PI * M_PI / 6.0 - inverse_squares, 1e-12);
+  EXPECT_NEAR(Trigamma(0.25), M_PI * M_PI + 8.0 * kCatalan, 1e-10);
 }
 
 TEST(TrigammaTest, RecurrenceHolds) {
