@@ -1,0 +1,307 @@
+// EM cluster-optimization (Step 1) scalability bench on fig11-style
+// weather fixtures, companion to strength_bench in the machine-readable
+// perf trajectory: sweeps network size and thread count over the
+// typed-CSR/SpMM kernel sweep and writes BENCH_em.json (nodes, threads,
+// per-phase ms, speedups) so every future PR has numbers to beat.
+//
+// Phases timed per (size, threads) cell, best of --reps runs:
+//   step_ms          one fused E+M sweep (kernel path, warm workspace)
+//   run_ms           --em-iterations fused sweeps (one Step-1 EM phase)
+//   ref_step_ms      one sweep of the pre-kernel per-link AoS reference
+//                    path (EmOptimizer::ReferenceStep), threads == 1 only
+//   fit_em_seconds   FitReport.em_seconds of a short Engine::Fit at this
+//                    thread count (the end-to-end Step-1 cost)
+//
+// Correctness gates (non-zero exit, CI treats as broken build):
+//   * Theta after the kernel-path run must stay within 1e-12 of the
+//     reference path at every thread count;
+//   * the kernel path must be bitwise identical across thread counts
+//     (the deterministic blocked reduction's contract).
+//
+// Flags: --out FILE (default BENCH_em.json), --small (CI fixture),
+//        --reps N (default 3), --em-iterations N (default 10).
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/em.h"
+#include "core/engine.h"
+#include "core/init.h"
+#include "datagen/weather_generator.h"
+
+namespace {
+
+using namespace genclus;
+
+struct Cell {
+  size_t nodes = 0;
+  size_t links = 0;
+  size_t threads = 0;
+  double step_ms = 0.0;
+  double run_ms = 0.0;
+  double ref_step_ms = 0.0;           // threads == 1 only
+  double speedup_vs_reference = 0.0;  // ref_step_ms / step_ms, threads == 1
+  double speedup_vs_serial = 0.0;     // serial run_ms / this run_ms
+  double fit_em_seconds = 0.0;
+  double max_theta_diff_vs_reference = 0.0;
+};
+
+struct SizeFixture {
+  WeatherData data;
+  GenClusConfig config;
+  std::vector<const Attribute*> attrs;
+  Matrix theta0;
+  std::vector<AttributeComponents> comps0;
+  // Steady-state iterate (two sweeps past theta0): the first sweep from
+  // the planted ground truth hits pathological logits (exact zeros in
+  // Theta), so per-step timings are taken from here instead.
+  Matrix theta_warm;
+  std::vector<AttributeComponents> comps_warm;
+  Matrix theta_reference;  // after em-iterations reference sweeps
+};
+
+// Best-of-reps wall times of the EM phases for one thread count.
+Cell MeasureCell(const SizeFixture& fx, size_t threads, size_t reps,
+                 size_t em_iterations, Matrix* final_theta) {
+  Cell cell;
+  cell.nodes = fx.data.dataset.network.num_nodes();
+  cell.links = fx.data.dataset.network.num_links();
+  cell.threads = threads;
+  cell.step_ms = 1e300;
+  cell.run_ms = 1e300;
+  cell.ref_step_ms = 1e300;
+
+  ThreadPool pool(threads);
+  ThreadPool* pool_ptr = threads > 1 ? &pool : nullptr;
+  GenClusConfig config = fx.config;
+  config.em_iterations = em_iterations;
+  config.em_tolerance = 0.0;  // fixed sweep count for comparable timings
+  EmOptimizer optimizer(&fx.data.dataset.network, fx.attrs, &config,
+                        pool_ptr);
+  const std::vector<double> gamma(
+      fx.data.dataset.network.schema().num_link_types(), 1.0);
+
+  EmWorkspace workspace;
+  for (size_t rep = 0; rep < reps; ++rep) {
+    {
+      Matrix theta = fx.theta_warm;
+      auto comps = fx.comps_warm;
+      WallTimer timer;
+      optimizer.Step(gamma, &theta, &comps, &workspace);
+      cell.step_ms = std::min(cell.step_ms, timer.Millis());
+    }
+    {
+      Matrix theta = fx.theta0;
+      auto comps = fx.comps0;
+      WallTimer timer;
+      optimizer.Run(gamma, &theta, &comps);
+      cell.run_ms = std::min(cell.run_ms, timer.Millis());
+      *final_theta = std::move(theta);
+    }
+    if (threads == 1) {
+      Matrix theta = fx.theta_warm;
+      auto comps = fx.comps_warm;
+      WallTimer timer;
+      optimizer.ReferenceStep(gamma, &theta, &comps);
+      cell.ref_step_ms = std::min(cell.ref_step_ms, timer.Millis());
+    }
+  }
+  if (threads == 1 && cell.step_ms > 0.0) {
+    cell.speedup_vs_reference = cell.ref_step_ms / cell.step_ms;
+  } else {
+    cell.ref_step_ms = 0.0;
+  }
+  cell.max_theta_diff_vs_reference =
+      Matrix::MaxAbsDiff(*final_theta, fx.theta_reference);
+
+  // End-to-end Step-1 cost: a short full fit at this thread count.
+  FitOptions options;
+  options.attributes = {"temperature", "precipitation"};
+  options.config = fx.config;
+  options.config.num_threads = threads;
+  options.config.outer_iterations = 2;
+  options.config.em_iterations = em_iterations;
+  auto fit = Engine::Fit(fx.data.dataset, options);
+  if (!fit.ok()) {
+    // A failed fit would silently poison the perf trajectory with zero
+    // timings; surface it as a broken bench instead.
+    std::fprintf(stderr, "Engine::Fit failed: %s\n",
+                 fit.status().ToString().c_str());
+    std::exit(1);
+  }
+  cell.fit_em_seconds = fit->report.em_seconds;
+  return cell;
+}
+
+void WriteJson(const std::string& path, const std::string& fixture,
+               size_t em_iterations, const std::vector<Cell>& cells) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"benchmark\": \"em_scalability\",\n");
+  std::fprintf(f, "  \"fixture\": \"%s\",\n", fixture.c_str());
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"em_iterations\": %zu,\n", em_iterations);
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    std::fprintf(
+        f,
+        "    {\"nodes\": %zu, \"links\": %zu, \"threads\": %zu, "
+        "\"step_ms\": %.4f, \"run_ms\": %.4f, \"ref_step_ms\": %.4f, "
+        "\"speedup_vs_reference\": %.3f, \"speedup_vs_serial\": %.3f, "
+        "\"fit_em_seconds\": %.6f, "
+        "\"max_theta_diff_vs_reference\": %.3e}%s\n",
+        c.nodes, c.links, c.threads, c.step_ms, c.run_ms, c.ref_step_ms,
+        c.speedup_vs_reference, c.speedup_vs_serial, c.fit_em_seconds,
+        c.max_theta_diff_vs_reference,
+        i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace genclus::bench;
+  Flags flags = Flags::Parse(argc, argv);
+  const bool small = flags.GetBool("small", false);
+  const size_t reps = static_cast<size_t>(flags.GetInt("reps", 3));
+  const size_t em_iterations =
+      static_cast<size_t>(flags.GetInt("em-iterations", 10));
+  const std::string out = flags.GetString("out", "BENCH_em.json");
+
+  // Fig. 11 sweep: temperature sensors fixed, precipitation sensors in
+  // {250, 500, 1000} -> 1250/1500/2000 objects. --small is the CI fixture.
+  std::vector<size_t> precipitation_sizes =
+      small ? std::vector<size_t>{60} : std::vector<size_t>{250, 500, 1000};
+  const size_t num_temperature = small ? 250 : 1000;
+  const std::vector<size_t> thread_counts = {1, 2, 4, 8};
+
+  PrintHeader("EM step scalability (typed-CSR/SpMM kernel sweep)");
+  std::printf("host hardware threads: %u\n",
+              std::thread::hardware_concurrency());
+  PrintRow({"nodes", "threads", "step", "run", "ref_step", "vs_ref",
+            "vs_serial"});
+
+  std::vector<Cell> cells;
+  bool gates_ok = true;
+  for (size_t num_p : precipitation_sizes) {
+    WeatherConfig wconfig = WeatherConfig::Setting1();
+    wconfig.num_temperature_sensors = num_temperature;
+    wconfig.num_precipitation_sensors = num_p;
+    wconfig.observations_per_sensor = 5;
+    wconfig.seed = 11;
+    auto data = GenerateWeatherNetwork(wconfig);
+    if (!data.ok()) {
+      std::fprintf(stderr, "%s\n", data.status().ToString().c_str());
+      return 1;
+    }
+
+    SizeFixture fx;
+    fx.data = std::move(data).value();
+    fx.config.num_clusters = fx.data.true_membership.cols();
+    fx.attrs = {
+        &fx.data.dataset.attributes[fx.data.temperature_attr],
+        &fx.data.dataset.attributes[fx.data.precipitation_attr]};
+    // The ground-truth soft membership is a realistic converged Theta;
+    // estimate matching components so the sweep starts from a sane state.
+    fx.theta0 = fx.data.true_membership;
+    {
+      GenClusConfig config = fx.config;
+      EmOptimizer estimator(&fx.data.dataset.network, fx.attrs, &config,
+                            nullptr);
+      Rng rng(13);
+      fx.comps0 = InitialComponents(fx.attrs, fx.config, &rng);
+      estimator.EstimateComponents(fx.theta0, &fx.comps0);
+    }
+
+    // Warm iterate for the per-step timings: two kernel sweeps past the
+    // planted start (deterministic, so every thread count measures from
+    // the identical state).
+    {
+      GenClusConfig config = fx.config;
+      EmOptimizer warmup(&fx.data.dataset.network, fx.attrs, &config,
+                         nullptr);
+      const std::vector<double> gamma(
+          fx.data.dataset.network.schema().num_link_types(), 1.0);
+      fx.theta_warm = fx.theta0;
+      fx.comps_warm = fx.comps0;
+      EmWorkspace workspace;
+      for (int i = 0; i < 2; ++i) {
+        warmup.Step(gamma, &fx.theta_warm, &fx.comps_warm, &workspace);
+      }
+    }
+
+    // Reference final iterate: em-iterations sweeps of the pre-kernel
+    // path; the kernel path at every thread count is gated against it.
+    {
+      GenClusConfig config = fx.config;
+      EmOptimizer reference(&fx.data.dataset.network, fx.attrs, &config,
+                            nullptr);
+      const std::vector<double> gamma(
+          fx.data.dataset.network.schema().num_link_types(), 1.0);
+      fx.theta_reference = fx.theta0;
+      auto comps = fx.comps0;
+      for (size_t i = 0; i < em_iterations; ++i) {
+        reference.ReferenceStep(gamma, &fx.theta_reference, &comps);
+      }
+    }
+
+    double serial_run_ms = 0.0;
+    Matrix serial_theta;
+    for (size_t threads : thread_counts) {
+      Matrix final_theta;
+      Cell cell =
+          MeasureCell(fx, threads, reps, em_iterations, &final_theta);
+      if (threads == 1) {
+        serial_run_ms = cell.run_ms;
+        serial_theta = final_theta;
+      } else if (final_theta.data() != serial_theta.data()) {
+        std::fprintf(stderr,
+                     "FAIL: kernel path not bitwise thread-invariant at "
+                     "%zu threads (nodes=%zu)\n",
+                     threads, cell.nodes);
+        gates_ok = false;
+      }
+      cell.speedup_vs_serial =
+          cell.run_ms > 0.0 ? serial_run_ms / cell.run_ms : 0.0;
+      if (cell.max_theta_diff_vs_reference > 1e-12) {
+        std::fprintf(stderr,
+                     "FAIL: Theta drifted %.3e (> 1e-12) from the "
+                     "reference path at %zu threads (nodes=%zu)\n",
+                     cell.max_theta_diff_vs_reference, threads, cell.nodes);
+        gates_ok = false;
+      }
+      PrintRow({StrFormat("%zu", cell.nodes),
+                StrFormat("%zu", cell.threads),
+                StrFormat("%.2fms", cell.step_ms),
+                StrFormat("%.2fms", cell.run_ms),
+                cell.threads == 1 ? StrFormat("%.2fms", cell.ref_step_ms)
+                                  : std::string("-"),
+                cell.threads == 1
+                    ? StrFormat("%.2fx", cell.speedup_vs_reference)
+                    : std::string("-"),
+                StrFormat("%.2fx", cell.speedup_vs_serial)});
+      cells.push_back(cell);
+    }
+  }
+
+  WriteJson(out, small ? "weather_s1_small" : "weather_s1_fig11",
+            em_iterations, cells);
+  std::printf("\nwrote %s\n", out.c_str());
+  if (!gates_ok) return 1;
+  return 0;
+}

@@ -68,20 +68,48 @@ class ThreadPool {
   std::exception_ptr first_error_;
 };
 
+/// Runs `body(block, begin, end)` over the fixed-size-block partition of
+/// [0, n): block b covers [b * grain, min(n, (b + 1) * grain)). The
+/// partition is a function of n and grain only — never of the thread
+/// count — so callers that keep per-block state (ParallelForReduce's
+/// partials, the EM sweep's workspace accumulators) get thread-invariant
+/// block boundaries for free. Blocks are distributed over `pool`, or run
+/// inline when the pool is null or single-threaded. Exceptions from
+/// `body` propagate via ThreadPool::Wait's rethrow (or directly on the
+/// sequential path).
+template <typename Body>
+void ForEachFixedGrainBlock(ThreadPool* pool, size_t n, size_t grain,
+                            const Body& body) {
+  if (n == 0) return;
+  const size_t g = std::max<size_t>(1, grain);
+  const size_t num_blocks = (n + g - 1) / g;
+  const auto run_blocks = [&](size_t block_begin, size_t block_end) {
+    for (size_t b = block_begin; b < block_end; ++b) {
+      body(b, b * g, std::min(n, (b + 1) * g));
+    }
+  };
+  if (pool != nullptr && pool->num_threads() > 1) {
+    pool->ParallelFor(num_blocks,
+                      [&](size_t /*shard*/, size_t begin, size_t end) {
+                        run_blocks(begin, end);
+                      });
+  } else {
+    run_blocks(0, num_blocks);
+  }
+}
+
 /// Blocked deterministic parallel reduction over [0, n).
 ///
-/// The range is cut into fixed-size blocks of `grain` indices — a function
-/// of n and grain only, never of the thread count. Each block accumulates
-/// into its own partial state (`body(state, begin, end)`), blocks are
-/// distributed over `pool`, and the partials are folded into one result in
-/// increasing block order (`merge(into, from)`). Because both the block
-/// boundaries and the merge order are independent of how blocks were
-/// scheduled, the reduced result is bitwise identical for any thread
-/// count, including `pool == nullptr` (fully sequential).
+/// The range is cut into fixed-size blocks (ForEachFixedGrainBlock). Each
+/// block accumulates into its own partial state (`body(state, begin,
+/// end)`) and the partials are folded into one result in increasing block
+/// order (`merge(into, from)`). Because both the block boundaries and the
+/// merge order are independent of how blocks were scheduled, the reduced
+/// result is bitwise identical for any thread count, including
+/// `pool == nullptr` (fully sequential).
 ///
 /// `make()` must produce an identity partial (merging it first is a
-/// no-op). Exceptions from `body` propagate to the caller via
-/// ThreadPool::Wait's rethrow (or directly on the sequential path).
+/// no-op).
 template <typename State, typename MakeState, typename Body, typename Merge>
 State ParallelForReduce(ThreadPool* pool, size_t n, size_t grain,
                         const MakeState& make, const Body& body,
@@ -94,19 +122,10 @@ State ParallelForReduce(ThreadPool* pool, size_t n, size_t grain,
   partials.reserve(num_blocks);
   for (size_t b = 0; b < num_blocks; ++b) partials.push_back(make());
 
-  const auto run_blocks = [&](size_t block_begin, size_t block_end) {
-    for (size_t b = block_begin; b < block_end; ++b) {
-      body(partials[b], b * g, std::min(n, (b + 1) * g));
-    }
-  };
-  if (pool != nullptr && pool->num_threads() > 1) {
-    pool->ParallelFor(num_blocks,
-                      [&](size_t /*shard*/, size_t begin, size_t end) {
-                        run_blocks(begin, end);
-                      });
-  } else {
-    run_blocks(0, num_blocks);
-  }
+  ForEachFixedGrainBlock(pool, n, grain,
+                         [&](size_t b, size_t begin, size_t end) {
+                           body(partials[b], begin, end);
+                         });
   for (size_t b = 0; b < num_blocks; ++b) {
     merge(result, std::move(partials[b]));
   }

@@ -1,5 +1,7 @@
 #include "core/components.h"
 
+#include <cmath>
+
 #include "common/check.h"
 
 namespace genclus {
@@ -47,6 +49,21 @@ std::vector<GaussianDistribution>* AttributeComponents::mutable_gaussians() {
 
 double AttributeComponents::LogPdf(ClusterId k, double x) const {
   return gaussian(k).LogPdf(x);
+}
+
+void GaussianEvalTable::Rebuild(const AttributeComponents& components) {
+  GENCLUS_CHECK(components.kind() == AttributeKind::kNumerical);
+  const size_t num_clusters = components.num_clusters();
+  mean_.resize(num_clusters);
+  neg_half_inv_var_.resize(num_clusters);
+  log_norm_.resize(num_clusters);
+  for (size_t k = 0; k < num_clusters; ++k) {
+    const GaussianDistribution& g =
+        components.gaussian(static_cast<ClusterId>(k));
+    mean_[k] = g.mean();
+    neg_half_inv_var_[k] = -0.5 / g.variance();
+    log_norm_[k] = -0.5 * (kLogTwoPi + std::log(g.variance()));
+  }
 }
 
 }  // namespace genclus

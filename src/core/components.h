@@ -3,6 +3,7 @@
 // (numerical attributes, Eq. 4).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -50,6 +51,42 @@ class AttributeComponents {
   AttributeKind kind_;
   Matrix beta_;  // categorical only
   std::vector<GaussianDistribution> gaussians_;  // numerical only
+};
+
+/// Per-cluster Gaussian evaluation constants hoisted out of inner loops:
+///   LogPdf(k, x) = log_norm_k + neg_half_inv_var_k * (x - mu_k)^2
+/// with log_norm_k = -0.5 * (log(2*pi) + log(sigma_k^2)) precomputed, so
+/// evaluating an observation against all K clusters costs no logarithms.
+/// Both the training E-step (core/em.cc) and fold-in inference
+/// (core/inference.cc) evaluate Gaussians through this table — one
+/// evaluation rule for train and serve.
+class GaussianEvalTable {
+ public:
+  /// (Re)builds the table from a numerical component set; reuses the
+  /// existing buffers when the cluster count is unchanged.
+  void Rebuild(const AttributeComponents& components);
+
+  size_t num_clusters() const { return mean_.size(); }
+
+  double LogPdf(size_t k, double x) const {
+    GENCLUS_DCHECK(k < mean_.size());
+    const double d = x - mean_[k];
+    return log_norm_[k] + neg_half_inv_var_[k] * d * d;
+  }
+
+  // Raw constant arrays, for callers that hoist further invariants out of
+  // their observation loops (the EM sweep folds log theta_vk + log_norm_k
+  // into one per-node base term).
+  std::span<const double> means() const { return mean_; }
+  std::span<const double> neg_half_inv_vars() const {
+    return neg_half_inv_var_;
+  }
+  std::span<const double> log_norms() const { return log_norm_; }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> neg_half_inv_var_;
+  std::vector<double> log_norm_;
 };
 
 }  // namespace genclus

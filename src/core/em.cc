@@ -2,13 +2,116 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/check.h"
-#include "core/objective.h"
+#include "linalg/spmm.h"
 #include "prob/simplex.h"
 #include "prob/special_functions.h"
 
 namespace genclus {
+
+namespace {
+
+// Nodes per reduction block. Fixed (independent of the thread count) so
+// block boundaries — and therefore the merged floating-point result — are
+// invariant to how many workers execute them (same contract as the
+// strength learner's ParallelForReduce grain).
+constexpr size_t kEmBlockGrain = 128;
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+// Normalizes `mix` onto the simplex into `out` (aliasing allowed), with
+// the uniform fallback for isolated attribute-free nodes and the
+// theta_floor clamp. Shared by the kernel path and the reference path so
+// both apply the identical arithmetic.
+inline void NormalizeOntoSimplex(const double* mix, size_t num_clusters,
+                                 double floor, double* out) {
+  double total = 0.0;
+  for (size_t k = 0; k < num_clusters; ++k) total += mix[k];
+  if (total <= 0.0 || !std::isfinite(total)) {
+    const double u = 1.0 / static_cast<double>(num_clusters);
+    for (size_t k = 0; k < num_clusters; ++k) out[k] = u;
+    return;
+  }
+  double clamped_total = 0.0;
+  for (size_t k = 0; k < num_clusters; ++k) {
+    double val = mix[k] / total;
+    if (val < floor) val = floor;
+    out[k] = val;
+    clamped_total += val;
+  }
+  for (size_t k = 0; k < num_clusters; ++k) out[k] /= clamped_total;
+}
+
+void ZeroAccumulator(EmComponentAccumulator* acc) {
+  std::fill(acc->counts.begin(), acc->counts.end(), 0.0);
+  std::fill(acc->weight_sum.begin(), acc->weight_sum.end(), 0.0);
+  std::fill(acc->value_sum.begin(), acc->value_sum.end(), 0.0);
+  std::fill(acc->square_sum.begin(), acc->square_sum.end(), 0.0);
+}
+
+void MergeAccumulator(EmComponentAccumulator* into,
+                      const EmComponentAccumulator& from) {
+  for (size_t i = 0; i < into->counts.size(); ++i) {
+    into->counts[i] += from.counts[i];
+  }
+  for (size_t i = 0; i < into->weight_sum.size(); ++i) {
+    into->weight_sum[i] += from.weight_sum[i];
+    into->value_sum[i] += from.value_sum[i];
+    into->square_sum[i] += from.square_sum[i];
+  }
+}
+
+}  // namespace
+
+void EmWorkspace::Prepare(size_t num_nodes, size_t num_clusters,
+                          const std::vector<const Attribute*>& attributes,
+                          size_t num_blocks) {
+  bool shape_unchanged =
+      num_nodes_ == num_nodes && num_clusters_ == num_clusters &&
+      num_blocks_ == num_blocks && num_attributes_ == attributes.size();
+  for (size_t t = 0; shape_unchanged && t < attributes.size(); ++t) {
+    if (attributes[t]->kind() == AttributeKind::kCategorical) {
+      shape_unchanged = beta_transpose_[t].rows() == attributes[t]->vocab_size();
+    } else {
+      shape_unchanged = beta_transpose_[t].empty();
+    }
+  }
+  if (shape_unchanged) return;
+  num_nodes_ = num_nodes;
+  num_clusters_ = num_clusters;
+  num_blocks_ = num_blocks;
+  num_attributes_ = attributes.size();
+
+  new_theta_ = Matrix(num_nodes, num_clusters);
+  block_delta_.assign(num_blocks, 0.0);
+  block_objective_.assign(num_blocks, 0.0);
+  scratch_.assign(num_blocks * 4 * num_clusters, 0.0);
+
+  block_acc_.assign(num_blocks, {});
+  for (auto& block : block_acc_) {
+    block.resize(attributes.size());
+    for (size_t t = 0; t < attributes.size(); ++t) {
+      if (attributes[t]->kind() == AttributeKind::kCategorical) {
+        block[t].counts.assign(
+            num_clusters * attributes[t]->vocab_size(), 0.0);
+      } else {
+        block[t].weight_sum.assign(num_clusters, 0.0);
+        block[t].value_sum.assign(num_clusters, 0.0);
+        block[t].square_sum.assign(num_clusters, 0.0);
+      }
+    }
+  }
+
+  beta_transpose_.assign(attributes.size(), Matrix());
+  gaussians_.assign(attributes.size(), GaussianEvalTable());
+  for (size_t t = 0; t < attributes.size(); ++t) {
+    if (attributes[t]->kind() == AttributeKind::kCategorical) {
+      beta_transpose_[t] = Matrix(attributes[t]->vocab_size(), num_clusters);
+    }
+  }
+}
 
 EmOptimizer::EmOptimizer(const Network* network,
                          std::vector<const Attribute*> attributes,
@@ -23,33 +126,339 @@ EmOptimizer::EmOptimizer(const Network* network,
   for (const Attribute* a : attributes_) {
     GENCLUS_CHECK(a != nullptr);
     GENCLUS_CHECK_EQ(a->num_nodes(), network_->num_nodes());
+    if (a->kind() == AttributeKind::kNumerical) has_numerical_ = true;
   }
 }
 
-void EmOptimizer::InitAccumulators(
-    std::vector<std::vector<ComponentAccumulator>>* acc) const {
-  const size_t shards = pool_ != nullptr ? pool_->num_threads() : 1;
-  const size_t num_clusters = config_->num_clusters;
-  acc->assign(shards, {});
-  for (auto& shard : *acc) {
-    shard.resize(attributes_.size());
-    for (size_t t = 0; t < attributes_.size(); ++t) {
-      if (attributes_[t]->kind() == AttributeKind::kCategorical) {
-        shard[t].counts.assign(num_clusters * attributes_[t]->vocab_size(),
-                               0.0);
-      } else {
-        shard[t].weight_sum.assign(num_clusters, 0.0);
-        shard[t].value_sum.assign(num_clusters, 0.0);
-        shard[t].square_sum.assign(num_clusters, 0.0);
+size_t EmOptimizer::NumBlocks() const {
+  const size_t n = network_->num_nodes();
+  // At least one block so the merged accumulators exist even for an empty
+  // node range (UpdateComponents still applies its empty-cluster rules;
+  // ForEachFixedGrainBlock runs nothing for n == 0, so the sweeps zero
+  // that block's slots explicitly in that case).
+  return std::max<size_t>(1, (n + kEmBlockGrain - 1) / kEmBlockGrain);
+}
+
+void EmOptimizer::RebuildDerivedTables(
+    const std::vector<AttributeComponents>& components,
+    EmWorkspace* ws) const {
+  for (size_t t = 0; t < attributes_.size(); ++t) {
+    if (attributes_[t]->kind() == AttributeKind::kCategorical) {
+      const Matrix& beta = components[t].beta();
+      Matrix& beta_t = ws->beta_transpose_[t];
+      for (size_t k = 0; k < beta.rows(); ++k) {
+        const double* row = beta.Row(k);
+        for (size_t l = 0; l < beta.cols(); ++l) beta_t(l, k) = row[l];
       }
+    } else {
+      ws->gaussians_[t].Rebuild(components[t]);
     }
   }
+}
+
+double EmOptimizer::FusedStep(const std::vector<double>& gamma, Matrix* theta,
+                              std::vector<AttributeComponents>* components,
+                              EmWorkspace* ws, double* entry_objective) const {
+  GENCLUS_CHECK(theta != nullptr && components != nullptr && ws != nullptr);
+  GENCLUS_CHECK_EQ(theta->rows(), network_->num_nodes());
+  GENCLUS_CHECK_EQ(theta->cols(), config_->num_clusters);
+  GENCLUS_CHECK_EQ(gamma.size(), network_->schema().num_link_types());
+  GENCLUS_CHECK_EQ(components->size(), attributes_.size());
+
+  const size_t n = network_->num_nodes();
+  const size_t num_clusters = config_->num_clusters;
+  const size_t num_relations = gamma.size();
+  const size_t num_blocks = NumBlocks();
+  const bool track = entry_objective != nullptr;
+  const bool need_logs = has_numerical_ || track;
+  const double log_theta_floor = std::log(kDefaultThetaFloor);
+
+  ws->Prepare(n, num_clusters, attributes_, num_blocks);
+  RebuildDerivedTables(*components, ws);
+
+  const double* theta_data = theta->data().data();
+  double* new_theta_data = ws->new_theta_.data().data();
+  if (n == 0) {
+    // No blocks run below; clear the lone reduction slot by hand so a
+    // reused workspace cannot leak stale statistics into the M-step.
+    for (auto& a : ws->block_acc_[0]) ZeroAccumulator(&a);
+    ws->block_delta_[0] = 0.0;
+    ws->block_objective_[0] = 0.0;
+  }
+
+  ForEachFixedGrainBlock(pool_, n, kEmBlockGrain, [&](size_t b, size_t begin,
+                                                      size_t end) {
+    std::vector<EmComponentAccumulator>& acc = ws->block_acc_[b];
+    for (auto& a : acc) ZeroAccumulator(&a);
+    double* resp = ws->scratch_.data() + b * 4 * num_clusters;
+    double* log_e = resp + num_clusters;  // E-step clamp (1e-300)
+    double* log_s = log_e + num_clusters;  // structural clamp (theta floor)
+    double* base = log_s + num_clusters;  // log theta_vk + log_norm_k
+
+    // Link part of Eq. 10/11/12 as a typed-CSR SpMM: per relation r,
+    // new_theta rows of this block += gamma_r * (W_r Theta).
+    std::fill(new_theta_data + begin * num_clusters,
+              new_theta_data + end * num_clusters, 0.0);
+    for (LinkTypeId r = 0; r < num_relations; ++r) {
+      if (gamma[r] == 0.0) continue;
+      const RelationCsr adj = network_->OutCsr(r);
+      const CsrMatrixView view{adj.row_offsets, adj.neighbors, adj.weights};
+      SpmmAccumulate(view, gamma[r], theta_data, num_clusters, begin, end,
+                     new_theta_data);
+    }
+
+    double local_delta = 0.0;
+    double local_obj = 0.0;
+    for (size_t vi = begin; vi < end; ++vi) {
+      const NodeId v = static_cast<NodeId>(vi);
+      const double* theta_v = theta_data + vi * num_clusters;
+      double* out = new_theta_data + vi * num_clusters;
+
+      if (need_logs) {
+        for (size_t k = 0; k < num_clusters; ++k) {
+          const double tk = theta_v[k] > 0.0 ? theta_v[k] : 1e-300;
+          log_e[k] = std::log(tk);
+          if (track) {
+            log_s[k] = theta_v[k] < kDefaultThetaFloor ? log_theta_floor
+                                                       : log_e[k];
+          }
+        }
+      }
+      if (track) {
+        // Feature part of g1 at the entry iterate, factored through the
+        // link mix: sum_e gamma w CE(theta_v, theta_u)
+        //         = sum_k log(clamped theta_vk) * [sum_e gamma w theta_uk],
+        // and `out` holds exactly that bracket before the attribute part
+        // lands on it.
+        double structural = 0.0;
+        for (size_t k = 0; k < num_clusters; ++k) {
+          structural += log_s[k] * out[k];
+        }
+        local_obj += structural;
+      }
+
+      // Attribute part: responsibilities of v's own observations, with
+      // the per-observation likelihood riding along for the fused trace.
+      for (size_t t = 0; t < attributes_.size(); ++t) {
+        const Attribute& attr = *attributes_[t];
+        if (attr.kind() == AttributeKind::kCategorical) {
+          const Matrix& beta_t = ws->beta_transpose_[t];
+          const size_t vocab = attr.vocab_size();
+          double* counts = acc[t].counts.data();
+          for (const TermCount& tc : attr.TermCounts(v)) {
+            const double* beta_term = beta_t.Row(tc.term);
+            double total = 0.0;
+            for (size_t k = 0; k < num_clusters; ++k) {
+              resp[k] = theta_v[k] * beta_term[k];
+              total += resp[k];
+            }
+            if (track) {
+              local_obj +=
+                  tc.count * std::log(total > 0.0 ? total : 1e-300);
+            }
+            if (total <= 0.0) {
+              // All clusters assign zero mass (possible with zero
+              // smoothing): treat the observation as uninformative.
+              const double u = 1.0 / static_cast<double>(num_clusters);
+              for (size_t k = 0; k < num_clusters; ++k) resp[k] = u;
+              total = 1.0;
+            }
+            const double scale = tc.count / total;  // one division per obs
+            for (size_t k = 0; k < num_clusters; ++k) {
+              const double r = resp[k] * scale;
+              out[k] += r;
+              counts[k * vocab + tc.term] += r;
+            }
+          }
+        } else {
+          const std::vector<double>& values = attr.Values(v);
+          if (values.empty()) continue;
+          const GaussianEvalTable& table = ws->gaussians_[t];
+          const double* mean = table.means().data();
+          const double* neg_half_inv_var = table.neg_half_inv_vars().data();
+          const double* log_norm = table.log_norms().data();
+          EmComponentAccumulator& a = acc[t];
+          // log theta_vk + log_norm_k is observation-invariant: hoist it so
+          // the per-observation logit is two fused ops per cluster.
+          for (size_t k = 0; k < num_clusters; ++k) {
+            base[k] = log_e[k] + log_norm[k];
+          }
+          for (double x : values) {
+            // Log-space for numerical stability of the Gaussian E-step;
+            // log theta_v and the Gaussian constants are hoisted, so the
+            // inner loop is pure arithmetic.
+            double max_log = kNegInf;
+            size_t arg_max = 0;
+            for (size_t k = 0; k < num_clusters; ++k) {
+              const double d = x - mean[k];
+              resp[k] = base[k] + neg_half_inv_var[k] * d * d;
+              if (resp[k] > max_log) {
+                max_log = resp[k];
+                arg_max = k;
+              }
+            }
+            // exp(0) is exactly 1, so the max cluster's exponential is
+            // free — one std::exp saved per observation.
+            double total = 0.0;
+            for (size_t k = 0; k < num_clusters; ++k) {
+              resp[k] =
+                  k == arg_max ? 1.0 : std::exp(resp[k] - max_log);
+              total += resp[k];
+            }
+            if (track) local_obj += max_log + std::log(total);
+            const double inv_total = 1.0 / total;
+            for (size_t k = 0; k < num_clusters; ++k) {
+              const double r = resp[k] * inv_total;
+              out[k] += r;
+              a.weight_sum[k] += r;
+              a.value_sum[k] += r * x;
+              a.square_sum[k] += r * x * x;
+            }
+          }
+        }
+      }
+
+      NormalizeOntoSimplex(out, num_clusters, config_->theta_floor, out);
+      for (size_t k = 0; k < num_clusters; ++k) {
+        local_delta = std::max(local_delta, std::fabs(out[k] - theta_v[k]));
+      }
+    }
+    ws->block_delta_[b] = local_delta;
+    ws->block_objective_[b] = local_obj;
+  });
+
+  // Deterministic reduction: fold block partials in block order, so the
+  // merged statistics (and hence beta and the Gaussians) never depend on
+  // how blocks were scheduled across threads.
+  double delta = 0.0;
+  for (size_t b = 0; b < num_blocks; ++b) {
+    delta = std::max(delta, ws->block_delta_[b]);
+  }
+  if (track) {
+    double obj = 0.0;
+    for (size_t b = 0; b < num_blocks; ++b) obj += ws->block_objective_[b];
+    *entry_objective = obj;
+  }
+  for (size_t b = 1; b < num_blocks; ++b) {
+    for (size_t t = 0; t < attributes_.size(); ++t) {
+      MergeAccumulator(&ws->block_acc_[0][t], ws->block_acc_[b][t]);
+    }
+  }
+  UpdateComponents(ws->block_acc_[0], components);
+  std::swap(*theta, ws->new_theta_);
+  return delta;
+}
+
+double EmOptimizer::FusedObjective(
+    const std::vector<double>& gamma, const Matrix& theta,
+    const std::vector<AttributeComponents>& components,
+    EmWorkspace* ws) const {
+  // This sweep deliberately mirrors the `track` arithmetic of FusedStep
+  // (same SpMM link mix, log hoists, arg-max exp skip) minus the state
+  // updates — keep the two in sync. The FusedTraceMatchesG1Objective test
+  // pins both against objective.h's independent G1Objective, so drift in
+  // either copy fails the suite.
+  GENCLUS_CHECK(ws != nullptr);
+  GENCLUS_CHECK_EQ(theta.rows(), network_->num_nodes());
+  GENCLUS_CHECK_EQ(theta.cols(), config_->num_clusters);
+  GENCLUS_CHECK_EQ(gamma.size(), network_->schema().num_link_types());
+  GENCLUS_CHECK_EQ(components.size(), attributes_.size());
+
+  const size_t num_clusters = config_->num_clusters;
+  const size_t num_relations = gamma.size();
+  const size_t num_blocks = NumBlocks();
+  const double log_theta_floor = std::log(kDefaultThetaFloor);
+
+  const size_t n = network_->num_nodes();
+  ws->Prepare(n, num_clusters, attributes_, num_blocks);
+  RebuildDerivedTables(components, ws);
+  const double* theta_data = theta.data().data();
+  double* mix_data = ws->new_theta_.data().data();  // scratch rows only
+  if (n == 0) ws->block_objective_[0] = 0.0;
+
+  ForEachFixedGrainBlock(pool_, n, kEmBlockGrain, [&](size_t b, size_t begin,
+                                                      size_t end) {
+    double* resp = ws->scratch_.data() + b * 4 * num_clusters;
+    double* log_e = resp + num_clusters;
+    double* log_s = log_e + num_clusters;
+    double* base = log_s + num_clusters;
+
+    std::fill(mix_data + begin * num_clusters, mix_data + end * num_clusters,
+              0.0);
+    for (LinkTypeId r = 0; r < num_relations; ++r) {
+      if (gamma[r] == 0.0) continue;
+      const RelationCsr adj = network_->OutCsr(r);
+      const CsrMatrixView view{adj.row_offsets, adj.neighbors, adj.weights};
+      SpmmAccumulate(view, gamma[r], theta_data, num_clusters, begin, end,
+                     mix_data);
+    }
+
+    double local_obj = 0.0;
+    for (size_t vi = begin; vi < end; ++vi) {
+      const NodeId v = static_cast<NodeId>(vi);
+      const double* theta_v = theta_data + vi * num_clusters;
+      const double* mix = mix_data + vi * num_clusters;
+      for (size_t k = 0; k < num_clusters; ++k) {
+        const double tk = theta_v[k] > 0.0 ? theta_v[k] : 1e-300;
+        log_e[k] = std::log(tk);
+        log_s[k] = theta_v[k] < kDefaultThetaFloor ? log_theta_floor
+                                                   : log_e[k];
+        local_obj += log_s[k] * mix[k];
+      }
+      for (size_t t = 0; t < attributes_.size(); ++t) {
+        const Attribute& attr = *attributes_[t];
+        if (attr.kind() == AttributeKind::kCategorical) {
+          const Matrix& beta_t = ws->beta_transpose_[t];
+          for (const TermCount& tc : attr.TermCounts(v)) {
+            const double* beta_term = beta_t.Row(tc.term);
+            double total = 0.0;
+            for (size_t k = 0; k < num_clusters; ++k) {
+              total += theta_v[k] * beta_term[k];
+            }
+            local_obj += tc.count * std::log(total > 0.0 ? total : 1e-300);
+          }
+        } else {
+          const std::vector<double>& values = attr.Values(v);
+          if (values.empty()) continue;
+          const GaussianEvalTable& table = ws->gaussians_[t];
+          const double* mean = table.means().data();
+          const double* neg_half_inv_var = table.neg_half_inv_vars().data();
+          const double* log_norm = table.log_norms().data();
+          for (size_t k = 0; k < num_clusters; ++k) {
+            base[k] = log_e[k] + log_norm[k];
+          }
+          for (double x : values) {
+            double max_log = kNegInf;
+            size_t arg_max = 0;
+            for (size_t k = 0; k < num_clusters; ++k) {
+              const double d = x - mean[k];
+              resp[k] = base[k] + neg_half_inv_var[k] * d * d;
+              if (resp[k] > max_log) {
+                max_log = resp[k];
+                arg_max = k;
+              }
+            }
+            double total = 0.0;
+            for (size_t k = 0; k < num_clusters; ++k) {
+              total += k == arg_max ? 1.0 : std::exp(resp[k] - max_log);
+            }
+            local_obj += max_log + std::log(total);
+          }
+        }
+      }
+    }
+    ws->block_objective_[b] = local_obj;
+  });
+
+  double obj = 0.0;
+  for (size_t b = 0; b < num_blocks; ++b) obj += ws->block_objective_[b];
+  return obj;
 }
 
 void EmOptimizer::ProcessNodes(
     size_t begin, size_t end, const std::vector<double>& gamma,
     const Matrix& theta, const std::vector<AttributeComponents>& components,
-    Matrix* new_theta, std::vector<ComponentAccumulator>* acc) const {
+    Matrix* new_theta, std::vector<EmComponentAccumulator>* acc) const {
   const size_t num_clusters = config_->num_clusters;
   std::vector<double> mix(num_clusters);   // theta_v contributions
   std::vector<double> resp(num_clusters);  // per-observation responsibilities
@@ -99,7 +508,7 @@ void EmOptimizer::ProcessNodes(
       } else {
         for (double x : attr.Values(v)) {
           // Log-space for numerical stability of the Gaussian E-step.
-          double max_log = -1e308;
+          double max_log = kNegInf;
           for (size_t k = 0; k < num_clusters; ++k) {
             const double tk = theta_v[k] > 0.0 ? theta_v[k] : 1e-300;
             resp[k] = std::log(tk) + comp.LogPdf(k, x);
@@ -123,29 +532,14 @@ void EmOptimizer::ProcessNodes(
     }
 
     // Normalize onto the simplex; isolated attribute-free nodes fall back
-    // to uniform inside NormalizeToSimplex.
-    double total = 0.0;
-    for (size_t k = 0; k < num_clusters; ++k) total += mix[k];
-    double* out = new_theta->Row(v);
-    if (total <= 0.0 || !std::isfinite(total)) {
-      const double u = 1.0 / static_cast<double>(num_clusters);
-      for (size_t k = 0; k < num_clusters; ++k) out[k] = u;
-    } else {
-      const double floor = config_->theta_floor;
-      double clamped_total = 0.0;
-      for (size_t k = 0; k < num_clusters; ++k) {
-        double val = mix[k] / total;
-        if (val < floor) val = floor;
-        out[k] = val;
-        clamped_total += val;
-      }
-      for (size_t k = 0; k < num_clusters; ++k) out[k] /= clamped_total;
-    }
+    // to uniform inside NormalizeOntoSimplex.
+    NormalizeOntoSimplex(mix.data(), num_clusters, config_->theta_floor,
+                         new_theta->Row(v));
   }
 }
 
 void EmOptimizer::UpdateComponents(
-    const std::vector<std::vector<ComponentAccumulator>>& acc,
+    const std::vector<EmComponentAccumulator>& acc,
     std::vector<AttributeComponents>* components) const {
   const size_t num_clusters = config_->num_clusters;
   for (size_t t = 0; t < attributes_.size(); ++t) {
@@ -155,10 +549,7 @@ void EmOptimizer::UpdateComponents(
       for (size_t k = 0; k < num_clusters; ++k) {
         double row_total = 0.0;
         for (size_t l = 0; l < vocab; ++l) {
-          double c = 0.0;
-          for (const auto& shard : acc) c += shard[t].counts[k * vocab + l];
-          (*beta)(k, l) = c;
-          row_total += c;
+          row_total += acc[t].counts[k * vocab + l];
         }
         // Additive smoothing scaled by the cluster's count mass keeps the
         // relative flattening comparable across clusters of any size.
@@ -171,24 +562,17 @@ void EmOptimizer::UpdateComponents(
           for (size_t l = 0; l < vocab; ++l) (*beta)(k, l) = u;
         } else {
           for (size_t l = 0; l < vocab; ++l) {
-            (*beta)(k, l) = ((*beta)(k, l) + smooth) / denom;
+            (*beta)(k, l) = (acc[t].counts[k * vocab + l] + smooth) / denom;
           }
         }
       }
     } else {
       auto* gaussians = (*components)[t].mutable_gaussians();
       for (size_t k = 0; k < num_clusters; ++k) {
-        double w = 0.0;
-        double wx = 0.0;
-        double wx2 = 0.0;
-        for (const auto& shard : acc) {
-          w += shard[t].weight_sum[k];
-          wx += shard[t].value_sum[k];
-          wx2 += shard[t].square_sum[k];
-        }
+        const double w = acc[t].weight_sum[k];
         if (w <= 1e-12) continue;  // empty cluster: keep previous parameters
-        const double mean = wx / w;
-        double var = wx2 / w - mean * mean;
+        const double mean = acc[t].value_sum[k] / w;
+        double var = acc[t].square_sum[k] / w - mean * mean;
         if (var < config_->variance_floor) var = config_->variance_floor;
         (*gaussians)[k] = GaussianDistribution(mean, var);
       }
@@ -198,6 +582,19 @@ void EmOptimizer::UpdateComponents(
 
 double EmOptimizer::Step(const std::vector<double>& gamma, Matrix* theta,
                          std::vector<AttributeComponents>* components) const {
+  EmWorkspace workspace;
+  return FusedStep(gamma, theta, components, &workspace, nullptr);
+}
+
+double EmOptimizer::Step(const std::vector<double>& gamma, Matrix* theta,
+                         std::vector<AttributeComponents>* components,
+                         EmWorkspace* workspace) const {
+  return FusedStep(gamma, theta, components, workspace, nullptr);
+}
+
+double EmOptimizer::ReferenceStep(
+    const std::vector<double>& gamma, Matrix* theta,
+    std::vector<AttributeComponents>* components) const {
   GENCLUS_CHECK(theta != nullptr && components != nullptr);
   GENCLUS_CHECK_EQ(theta->rows(), network_->num_nodes());
   GENCLUS_CHECK_EQ(theta->cols(), config_->num_clusters);
@@ -205,19 +602,19 @@ double EmOptimizer::Step(const std::vector<double>& gamma, Matrix* theta,
   GENCLUS_CHECK_EQ(components->size(), attributes_.size());
 
   const size_t n = network_->num_nodes();
-  Matrix new_theta(n, config_->num_clusters);
-  std::vector<std::vector<ComponentAccumulator>> acc;
-  InitAccumulators(&acc);
-
-  if (pool_ != nullptr && pool_->num_threads() > 1) {
-    pool_->ParallelFor(n, [&](size_t shard, size_t begin, size_t end) {
-      ProcessNodes(begin, end, gamma, *theta, *components, &new_theta,
-                   &acc[shard]);
-    });
-  } else {
-    ProcessNodes(0, n, gamma, *theta, *components, &new_theta, &acc[0]);
+  const size_t num_clusters = config_->num_clusters;
+  Matrix new_theta(n, num_clusters);
+  std::vector<EmComponentAccumulator> acc(attributes_.size());
+  for (size_t t = 0; t < attributes_.size(); ++t) {
+    if (attributes_[t]->kind() == AttributeKind::kCategorical) {
+      acc[t].counts.assign(num_clusters * attributes_[t]->vocab_size(), 0.0);
+    } else {
+      acc[t].weight_sum.assign(num_clusters, 0.0);
+      acc[t].value_sum.assign(num_clusters, 0.0);
+      acc[t].square_sum.assign(num_clusters, 0.0);
+    }
   }
-
+  ProcessNodes(0, n, gamma, *theta, *components, &new_theta, &acc);
   UpdateComponents(acc, components);
   const double delta = Matrix::MaxAbsDiff(*theta, new_theta);
   *theta = std::move(new_theta);
@@ -227,19 +624,36 @@ double EmOptimizer::Step(const std::vector<double>& gamma, Matrix* theta,
 EmStats EmOptimizer::Run(const std::vector<double>& gamma, Matrix* theta,
                          std::vector<AttributeComponents>* components,
                          bool track_objective) const {
+  EmWorkspace workspace;
+  return Run(gamma, theta, components, &workspace, track_objective);
+}
+
+EmStats EmOptimizer::Run(const std::vector<double>& gamma, Matrix* theta,
+                         std::vector<AttributeComponents>* components,
+                         EmWorkspace* workspace, bool track_objective) const {
+  GENCLUS_CHECK(workspace != nullptr);
   EmStats stats;
   for (size_t iter = 0; iter < config_->em_iterations; ++iter) {
-    const double delta = Step(gamma, theta, components);
+    // The sweep of iteration t evaluates g1 at its entry iterate for free,
+    // which is exactly the post-iteration value of iteration t-1 (useless
+    // on the first sweep); only the final iterate needs a dedicated
+    // objective pass below.
+    double entry_objective = 0.0;
+    const bool want_entry = track_objective && iter > 0;
+    const double delta =
+        FusedStep(gamma, theta, components, workspace,
+                  want_entry ? &entry_objective : nullptr);
+    if (want_entry) stats.objective_trace.push_back(entry_objective);
     stats.iterations = iter + 1;
     stats.final_delta = delta;
-    if (track_objective) {
-      stats.objective_trace.push_back(
-          G1Objective(*network_, attributes_, *components, *theta, gamma));
-    }
     if (delta < config_->em_tolerance) {
       stats.converged = true;
       break;
     }
+  }
+  if (track_objective && stats.iterations > 0) {
+    stats.objective_trace.push_back(
+        FusedObjective(gamma, *theta, *components, workspace));
   }
   return stats;
 }

@@ -12,8 +12,24 @@
 //     mu_k, sigma_k^2 = responsibility-weighted moments  (numerical)
 //
 // Objects without observations are clustered purely from their out-link
-// neighborhood — the incomplete-attribute case. The node sweep is
-// parallelized across a ThreadPool with per-shard component accumulators.
+// neighborhood — the incomplete-attribute case.
+//
+// The sweep is organized as a typed-CSR kernel pass: the link term is
+// computed per relation as gamma_r * (W_r Theta) through the SpMM kernel
+// (linalg/spmm.h) over Network::OutCsr views, and the attribute E-step
+// reads a term-major transpose of beta plus hoisted per-cluster Gaussian
+// constants (GaussianEvalTable) instead of calling LogPdf per
+// (observation, cluster). All scratch state lives in an EmWorkspace that
+// Run allocates once and every Step reuses.
+//
+// Determinism: the node range is cut into fixed-size blocks (a function of
+// n only, never of the thread count); each block accumulates its component
+// statistics into its own slot and the slots are merged in block order.
+// Theta, beta and the Gaussians are therefore bitwise identical for any
+// thread count, including pool == nullptr.
+//
+// ReferenceStep preserves the original per-link AoS traversal as a serial
+// reference implementation; tests cross-check the kernel path against it.
 #pragma once
 
 #include <vector>
@@ -31,11 +47,64 @@ namespace genclus {
 struct EmStats {
   size_t iterations = 0;
   bool converged = false;
-  /// g1 objective after each EM iteration (monitoring only; computing it
-  /// costs an extra pass, so it is filled only when track_objective).
+  /// g1 objective after each EM iteration, filled only when
+  /// track_objective. Entries up to the second-to-last are computed for
+  /// free inside the next iteration's fused sweep; only the last iterate
+  /// pays a dedicated (blocked, parallel) objective pass.
   std::vector<double> objective_trace;
   /// Max |Theta_t - Theta_{t-1}| at the last iteration.
   double final_delta = 0.0;
+};
+
+// Per-attribute M-step statistics of one reduction block.
+struct EmComponentAccumulator {
+  // categorical: counts[k * vocab + l]
+  std::vector<double> counts;
+  // numerical: per-cluster moment sums
+  std::vector<double> weight_sum;
+  std::vector<double> value_sum;
+  std::vector<double> square_sum;
+};
+
+/// Reusable scratch state for the EM sweep: the new-Theta buffer,
+/// per-block component accumulators and reduction partials, per-block
+/// responsibility/log-theta scratch, the term-major beta transposes and
+/// the Gaussian constant tables. Allocated on first use and reused across
+/// Steps (and across Runs, if the caller keeps it); the pre-kernel code
+/// reallocated all of this on every Step.
+class EmWorkspace {
+ public:
+  EmWorkspace() = default;
+
+ private:
+  friend class EmOptimizer;
+
+  // (Re)sizes everything for the given problem shape; no-op when the
+  // shape is unchanged.
+  void Prepare(size_t num_nodes, size_t num_clusters,
+               const std::vector<const Attribute*>& attributes,
+               size_t num_blocks);
+
+  size_t num_nodes_ = 0;
+  size_t num_clusters_ = 0;
+  size_t num_blocks_ = 0;
+  size_t num_attributes_ = 0;
+
+  Matrix new_theta_;
+  // block_acc_[block][attribute]
+  std::vector<std::vector<EmComponentAccumulator>> block_acc_;
+  std::vector<double> block_delta_;
+  std::vector<double> block_objective_;
+  // Per-block scratch: 4 * K doubles each (responsibilities, log theta_v
+  // clamped for the E-step, log theta_v clamped for the structural score,
+  // and the hoisted log theta_vk + log_norm_k base of the Gaussian
+  // E-step).
+  std::vector<double> scratch_;
+  // Term-major transpose of each categorical attribute's beta (vocab x K),
+  // so the per-term E-step reads K contiguous doubles.
+  std::vector<Matrix> beta_transpose_;
+  // Hoisted Gaussian constants of each numerical attribute.
+  std::vector<GaussianEvalTable> gaussians_;
 };
 
 /// Runs the EM loop of Algorithm 1's Step 1 for fixed gamma.
@@ -48,14 +117,38 @@ class EmOptimizer {
               const GenClusConfig* config, ThreadPool* pool);
 
   /// Runs EM until convergence or config->em_iterations, updating `theta`
-  /// (num_nodes x K, rows on the simplex) and `components` in place.
+  /// (num_nodes x K, rows on the simplex) and `components` in place. The
+  /// overload without a workspace allocates one for the whole run; pass a
+  /// workspace to reuse scratch across runs (e.g. outer iterations).
   EmStats Run(const std::vector<double>& gamma, Matrix* theta,
               std::vector<AttributeComponents>* components,
               bool track_objective = false) const;
+  EmStats Run(const std::vector<double>& gamma, Matrix* theta,
+              std::vector<AttributeComponents>* components,
+              EmWorkspace* workspace, bool track_objective = false) const;
 
-  /// One EM iteration; returns max |Theta_new - Theta_old|.
+  /// One EM iteration; returns max |Theta_new - Theta_old|. The overload
+  /// without a workspace allocates a fresh one per call — prefer passing
+  /// a workspace when stepping in a loop.
   double Step(const std::vector<double>& gamma, Matrix* theta,
               std::vector<AttributeComponents>* components) const;
+  double Step(const std::vector<double>& gamma, Matrix* theta,
+              std::vector<AttributeComponents>* components,
+              EmWorkspace* workspace) const;
+
+  /// One EM iteration through the original per-link AoS traversal, kept
+  /// as the serial reference implementation the kernel path is tested
+  /// against (and the baseline em_bench measures speedups from).
+  double ReferenceStep(const std::vector<double>& gamma, Matrix* theta,
+                       std::vector<AttributeComponents>* components) const;
+
+  /// g1 objective (feature part + attribute log-likelihood) at the given
+  /// iterate, computed with the same blocked sweep and hoisted constants
+  /// as Step — equal to objective.h's G1Objective up to floating-point
+  /// reassociation, and bitwise invariant to the thread count.
+  double FusedObjective(const std::vector<double>& gamma, const Matrix& theta,
+                        const std::vector<AttributeComponents>& components,
+                        EmWorkspace* workspace) const;
 
   /// Re-estimates components from scratch treating `theta` rows as
   /// observation responsibilities (used for initialization).
@@ -63,36 +156,39 @@ class EmOptimizer {
                           std::vector<AttributeComponents>* components) const;
 
  private:
-  // Accumulators for one attribute's M-step statistics within one shard.
-  struct ComponentAccumulator {
-    // categorical: counts[k * vocab + l]
-    std::vector<double> counts;
-    // numerical: per-cluster moment sums
-    std::vector<double> weight_sum;
-    std::vector<double> value_sum;
-    std::vector<double> square_sum;
-  };
+  // Kernel-path sweep: one EM iteration reusing `workspace`. When
+  // `entry_objective` is non-null, also computes g1 at the *input* iterate
+  // (theta, components) fused into the same traversal.
+  double FusedStep(const std::vector<double>& gamma, Matrix* theta,
+                   std::vector<AttributeComponents>* components,
+                   EmWorkspace* workspace, double* entry_objective) const;
 
-  void InitAccumulators(
-      std::vector<std::vector<ComponentAccumulator>>* acc) const;
+  // Rebuilds the per-step derived tables (beta transposes, Gaussian
+  // constants) in the workspace from the current components.
+  void RebuildDerivedTables(
+      const std::vector<AttributeComponents>& components,
+      EmWorkspace* workspace) const;
 
-  // Processes nodes [begin, end): fills new_theta rows and adds this
-  // shard's component statistics into acc.
+  size_t NumBlocks() const;
+
+  // Processes nodes [begin, end) with the original AoS traversal: fills
+  // new_theta rows and adds component statistics into acc. Serial
+  // reference implementation backing ReferenceStep.
   void ProcessNodes(size_t begin, size_t end,
                     const std::vector<double>& gamma, const Matrix& theta,
                     const std::vector<AttributeComponents>& components,
                     Matrix* new_theta,
-                    std::vector<ComponentAccumulator>* acc) const;
+                    std::vector<EmComponentAccumulator>* acc) const;
 
-  // Merges shard accumulators and writes the new beta values.
-  void UpdateComponents(
-      const std::vector<std::vector<ComponentAccumulator>>& acc,
-      std::vector<AttributeComponents>* components) const;
+  // Writes the new component parameters from merged accumulators.
+  void UpdateComponents(const std::vector<EmComponentAccumulator>& acc,
+                        std::vector<AttributeComponents>* components) const;
 
   const Network* network_;
   std::vector<const Attribute*> attributes_;
   const GenClusConfig* config_;
   ThreadPool* pool_;
+  bool has_numerical_ = false;
 };
 
 }  // namespace genclus

@@ -51,6 +51,9 @@ Result<GenClusResult> GenClus::Run() {
 
   Rng rng(config_.seed);
   EmOptimizer optimizer(network_, attributes_, &config_, pool_.get());
+  // One workspace for every EM phase of the outer loop: the problem shape
+  // never changes, so all EM scratch is allocated exactly once per fit.
+  EmWorkspace em_workspace;
 
   // gamma^0: all link types equally important unless overridden (§4.3).
   std::vector<double> gamma = config_.initial_gamma.empty()
@@ -85,7 +88,7 @@ Result<GenClusResult> GenClus::Run() {
                       &rng, &result.theta, &result.components);
     }
     EmStats em_stats = optimizer.Run(gamma, &result.theta,
-                                     &result.components);
+                                     &result.components, &em_workspace);
     record.em_seconds = em_timer.Seconds();
     record.em_iterations = em_stats.iterations;
     record.em_objective = G1Objective(*network_, attributes_,

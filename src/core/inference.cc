@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/string_util.h"
 #include "prob/simplex.h"
@@ -55,9 +56,24 @@ Result<std::vector<double>> InferMembership(
     }
   }
 
+  // Gaussian constants are sweep- and observation-invariant; hoisting them
+  // here applies the same evaluation rule the training E-step uses
+  // (core/em.cc), so fold-in stays consistent with a full training pass.
+  // Only attributes this query actually observes pay the build (an empty
+  // table marks "not built").
+  std::vector<GaussianEvalTable> gaussians(model.components.size());
+  for (const NewObjectObservation& obs : observations) {
+    const AttributeComponents& comp = model.components[obs.attribute];
+    if (comp.kind() == AttributeKind::kNumerical &&
+        gaussians[obs.attribute].num_clusters() == 0) {
+      gaussians[obs.attribute].Rebuild(comp);
+    }
+  }
+
   std::vector<double> theta(num_clusters, 1.0 / num_clusters);
   std::vector<double> resp(num_clusters);
-  for (size_t iter = 0; iter < std::max<size_t>(1, iterations); ++iter) {
+  const size_t sweeps = std::max<size_t>(1, iterations);
+  for (size_t iter = 0; iter < sweeps; ++iter) {
     std::vector<double> mix = link_part;
     for (const NewObjectObservation& obs : observations) {
       const AttributeComponents& comp = model.components[obs.attribute];
@@ -81,11 +97,11 @@ Result<std::vector<double>> InferMembership(
           mix[k] += obs.count * resp[k] / total;
         }
       } else {
-        double max_log = -1e308;
+        const GaussianEvalTable& table = gaussians[obs.attribute];
+        double max_log = -std::numeric_limits<double>::infinity();
         for (size_t k = 0; k < num_clusters; ++k) {
           const double t = theta[k] > 0.0 ? theta[k] : 1e-300;
-          resp[k] = std::log(t) +
-                    comp.LogPdf(static_cast<ClusterId>(k), obs.value);
+          resp[k] = std::log(t) + table.LogPdf(k, obs.value);
           max_log = std::max(max_log, resp[k]);
         }
         double total = 0.0;

@@ -147,10 +147,13 @@ void BestOfSeedsInit(const EmOptimizer& optimizer, const Network& network,
   const size_t seeds = std::max<size_t>(1, config.num_init_seeds);
   double best_objective = -std::numeric_limits<double>::infinity();
 
+  // One workspace shared across every candidate's scoring steps: the
+  // problem shape never changes, so all scratch is allocated exactly once.
+  EmWorkspace workspace;
   auto consider = [&](Matrix cand_theta,
                       std::vector<AttributeComponents> cand_components) {
     for (size_t step = 0; step < config.init_em_steps; ++step) {
-      optimizer.Step(gamma, &cand_theta, &cand_components);
+      optimizer.Step(gamma, &cand_theta, &cand_components, &workspace);
     }
     const double obj = G1Objective(network, attributes, cand_components,
                                    cand_theta, gamma);

@@ -107,6 +107,28 @@ Result<Network> NetworkBuilder::Build() && {
               net.in_entries_.begin() + net.in_offsets_[v + 1],
               by_type_then_neighbor);
   }
+
+  // Per-relation SoA adjacency: split the sorted out-link ranges into one
+  // CSR matrix per link type, neighbors ascending within each row.
+  const size_t num_relations = net.schema_.num_link_types();
+  net.typed_out_offsets_.assign(num_relations,
+                                std::vector<size_t>(n + 1, 0));
+  net.typed_out_neighbors_.assign(num_relations, {});
+  net.typed_out_weights_.assign(num_relations, {});
+  for (LinkTypeId r = 0; r < num_relations; ++r) {
+    net.typed_out_neighbors_[r].reserve(net.link_counts_by_type_[r]);
+    net.typed_out_weights_[r].reserve(net.link_counts_by_type_[r]);
+  }
+  for (size_t v = 0; v < n; ++v) {
+    for (size_t i = net.out_offsets_[v]; i < net.out_offsets_[v + 1]; ++i) {
+      const LinkEntry& e = net.out_entries_[i];
+      net.typed_out_neighbors_[e.type].push_back(e.neighbor);
+      net.typed_out_weights_[e.type].push_back(e.weight);
+    }
+    for (LinkTypeId r = 0; r < num_relations; ++r) {
+      net.typed_out_offsets_[r][v + 1] = net.typed_out_neighbors_[r].size();
+    }
+  }
   return net;
 }
 

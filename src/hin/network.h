@@ -23,6 +23,19 @@ struct LinkEntry {
   double weight;
 };
 
+/// SoA view of one relation's out-adjacency: the CSR matrix W_r over all
+/// nodes, with neighbor ids and weights in contiguous arrays. Row v spans
+/// [row_offsets[v], row_offsets[v + 1]); neighbors are ascending within a
+/// row. This is the shape the EM E-step's SpMM kernel consumes (the link
+/// term of Eq. 10 is sum_r gamma_r * W_r Theta).
+struct RelationCsr {
+  std::span<const size_t> row_offsets;  // num_nodes + 1
+  std::span<const NodeId> neighbors;
+  std::span<const double> weights;
+
+  size_t nnz() const { return neighbors.size(); }
+};
+
 class Network;
 
 /// Accumulates nodes and links, validates them against the schema, and
@@ -94,6 +107,15 @@ class Network {
   size_t OutDegree(NodeId v) const { return OutLinks(v).size(); }
   size_t InDegree(NodeId v) const { return InLinks(v).size(); }
 
+  /// Out-adjacency of one relation as a CSR matrix over all nodes. The
+  /// arrays are materialized at Build time, so the view is valid for the
+  /// network's lifetime and costs nothing to obtain.
+  RelationCsr OutCsr(LinkTypeId r) const {
+    GENCLUS_DCHECK(r < typed_out_offsets_.size());
+    return {typed_out_offsets_[r], typed_out_neighbors_[r],
+            typed_out_weights_[r]};
+  }
+
   /// Number of links of each relation across the whole network.
   const std::vector<size_t>& LinkCountsByType() const {
     return link_counts_by_type_;
@@ -119,6 +141,12 @@ class Network {
   std::vector<LinkEntry> out_entries_;
   std::vector<size_t> in_offsets_;
   std::vector<LinkEntry> in_entries_;
+
+  // Per-relation SoA out-adjacency (indexed by link type), mirroring
+  // out_entries_ grouped by relation; see OutCsr.
+  std::vector<std::vector<size_t>> typed_out_offsets_;
+  std::vector<std::vector<NodeId>> typed_out_neighbors_;
+  std::vector<std::vector<double>> typed_out_weights_;
 
   std::vector<size_t> link_counts_by_type_;
   std::vector<double> link_weights_by_type_;

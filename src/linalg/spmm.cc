@@ -1,0 +1,73 @@
+#include "linalg/spmm.h"
+
+#include "common/check.h"
+
+namespace genclus {
+
+namespace {
+
+// K-specialized row kernels: with the column count a compile-time
+// constant the inner loop fully unrolls and keeps the output row in
+// registers across the whole neighbor scan.
+template <size_t K>
+void SpmmRowsFixedK(const CsrMatrixView& a, double coeff, const double* dense,
+                    size_t row_begin, size_t row_end, double* out) {
+  for (size_t v = row_begin; v < row_end; ++v) {
+    const size_t begin = a.row_offsets[v];
+    const size_t end = a.row_offsets[v + 1];
+    if (begin == end) continue;
+    double acc[K];
+    for (size_t kk = 0; kk < K; ++kk) acc[kk] = 0.0;
+    for (size_t j = begin; j < end; ++j) {
+      const double w = coeff * a.values[j];
+      const double* in = dense + static_cast<size_t>(a.cols[j]) * K;
+      for (size_t kk = 0; kk < K; ++kk) acc[kk] += w * in[kk];
+    }
+    double* out_row = out + v * K;
+    for (size_t kk = 0; kk < K; ++kk) out_row[kk] += acc[kk];
+  }
+}
+
+void SpmmRowsGenericK(const CsrMatrixView& a, double coeff,
+                      const double* dense, size_t k, size_t row_begin,
+                      size_t row_end, double* out) {
+  for (size_t v = row_begin; v < row_end; ++v) {
+    const size_t begin = a.row_offsets[v];
+    const size_t end = a.row_offsets[v + 1];
+    double* out_row = out + v * k;
+    for (size_t j = begin; j < end; ++j) {
+      const double w = coeff * a.values[j];
+      const double* in = dense + static_cast<size_t>(a.cols[j]) * k;
+      for (size_t kk = 0; kk < k; ++kk) out_row[kk] += w * in[kk];
+    }
+  }
+}
+
+}  // namespace
+
+void SpmmAccumulate(const CsrMatrixView& a, double coeff, const double* dense,
+                    size_t k, size_t row_begin, size_t row_end, double* out) {
+  GENCLUS_DCHECK(row_end <= a.rows());
+  GENCLUS_DCHECK(row_begin <= row_end);
+  GENCLUS_DCHECK(a.cols.size() == a.values.size());
+  if (coeff == 0.0 || k == 0) return;
+  switch (k) {
+    case 2:
+      SpmmRowsFixedK<2>(a, coeff, dense, row_begin, row_end, out);
+      break;
+    case 3:
+      SpmmRowsFixedK<3>(a, coeff, dense, row_begin, row_end, out);
+      break;
+    case 4:
+      SpmmRowsFixedK<4>(a, coeff, dense, row_begin, row_end, out);
+      break;
+    case 8:
+      SpmmRowsFixedK<8>(a, coeff, dense, row_begin, row_end, out);
+      break;
+    default:
+      SpmmRowsGenericK(a, coeff, dense, k, row_begin, row_end, out);
+      break;
+  }
+}
+
+}  // namespace genclus

@@ -11,7 +11,6 @@ namespace genclus {
 
 namespace {
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
-constexpr double kLogTwoPi = 1.8378770664093454836;  // log(2*pi)
 }  // namespace
 
 CategoricalDistribution::CategoricalDistribution(size_t vocab_size)

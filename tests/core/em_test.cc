@@ -274,6 +274,202 @@ TEST_F(EmFixture, EstimateComponentsFromLabels) {
   EXPECT_GT(std::fabs(c0_own - c0_other), 0.8);
 }
 
+TEST_F(EmFixture, KernelStepMatchesReferenceOnTextFixture) {
+  // The typed-CSR/SpMM kernel path must reproduce the original per-link
+  // AoS traversal within 1e-12 on every iterate of a multi-step run.
+  Matrix theta_kernel;
+  std::vector<AttributeComponents> comps_kernel;
+  InitState(&theta_kernel, &comps_kernel, 23);
+  Matrix theta_ref = theta_kernel;
+  std::vector<AttributeComponents> comps_ref = comps_kernel;
+
+  EmOptimizer opt(&fixture_.dataset.network, attrs_, &config_, nullptr);
+  EmWorkspace workspace;
+  for (int step = 0; step < 5; ++step) {
+    const double delta_kernel =
+        opt.Step(gamma_, &theta_kernel, &comps_kernel, &workspace);
+    const double delta_ref = opt.ReferenceStep(gamma_, &theta_ref, &comps_ref);
+    EXPECT_NEAR(delta_kernel, delta_ref, 1e-12) << "step " << step;
+    EXPECT_LT(Matrix::MaxAbsDiff(theta_kernel, theta_ref), 1e-12)
+        << "step " << step;
+    EXPECT_LT(Matrix::MaxAbsDiff(comps_kernel[0].beta(), comps_ref[0].beta()),
+              1e-12)
+        << "step " << step;
+  }
+}
+
+TEST_F(EmFixture, KernelStepMatchesReferenceWithNumericalAttributes) {
+  // Same cross-check with a numerical attribute carried by half the docs
+  // (incomplete), so the Gaussian-constant path and the incomplete-
+  // attribute path both run.
+  auto net_fixture = MakeTwoCommunityNetwork(6, 0.0, 77);
+  const size_t n = net_fixture.dataset.network.num_nodes();
+  Attribute values = Attribute::Numerical("x", n);
+  Rng value_rng(29);
+  for (size_t i = 0; i < 6; i += 2) {
+    (void)values.AddValue(net_fixture.docs[i], value_rng.Gaussian(0.0, 0.5));
+    (void)values.AddValue(net_fixture.docs[6 + i],
+                          value_rng.Gaussian(8.0, 0.5));
+  }
+  std::vector<const Attribute*> attrs = {&values};
+  EmOptimizer opt(&net_fixture.dataset.network, attrs, &config_, nullptr);
+  Rng rng(31);
+  Matrix theta_kernel = RandomTheta(n, 2, &rng);
+  auto comps_kernel = InitialComponents(attrs, config_, &rng);
+  Matrix theta_ref = theta_kernel;
+  auto comps_ref = comps_kernel;
+
+  EmWorkspace workspace;
+  for (int step = 0; step < 5; ++step) {
+    opt.Step(gamma_, &theta_kernel, &comps_kernel, &workspace);
+    opt.ReferenceStep(gamma_, &theta_ref, &comps_ref);
+    EXPECT_LT(Matrix::MaxAbsDiff(theta_kernel, theta_ref), 1e-12)
+        << "step " << step;
+    for (size_t k = 0; k < 2; ++k) {
+      EXPECT_NEAR(comps_kernel[0].gaussian(k).mean(),
+                  comps_ref[0].gaussian(k).mean(), 1e-12);
+      EXPECT_NEAR(comps_kernel[0].gaussian(k).variance(),
+                  comps_ref[0].gaussian(k).variance(), 1e-12);
+    }
+  }
+}
+
+TEST_F(EmFixture, StepIsBitwiseInvariantToThreadCount) {
+  // The fixed-grain block partition and block-ordered merge make one Step
+  // bit-identical for any pool size, including no pool at all.
+  Matrix theta_serial;
+  std::vector<AttributeComponents> comps_serial;
+  InitState(&theta_serial, &comps_serial, 47);
+
+  EmOptimizer serial(&fixture_.dataset.network, attrs_, &config_, nullptr);
+  for (int step = 0; step < 3; ++step) {
+    serial.Step(gamma_, &theta_serial, &comps_serial);
+  }
+  for (size_t threads : {2u, 3u, 8u}) {
+    Matrix theta;
+    std::vector<AttributeComponents> comps;
+    InitState(&theta, &comps, 47);
+    ThreadPool pool(threads);
+    EmOptimizer parallel(&fixture_.dataset.network, attrs_, &config_, &pool);
+    for (int step = 0; step < 3; ++step) {
+      parallel.Step(gamma_, &theta, &comps);
+    }
+    EXPECT_EQ(theta.data(), theta_serial.data()) << threads << " threads";
+    EXPECT_EQ(comps[0].beta().data(), comps_serial[0].beta().data())
+        << threads << " threads";
+  }
+}
+
+TEST_F(EmFixture, FusedTraceMatchesG1Objective) {
+  // Run(track_objective) computes the trace inside the fused sweep; it
+  // must match an explicit G1Objective evaluation at every iterate. The
+  // factored structural term reassociates floating-point sums, so compare
+  // at 1e-12 relative to the objective's magnitude.
+  config_.em_iterations = 8;
+  config_.em_tolerance = 0.0;  // fixed iteration count for the replay
+  EmOptimizer opt(&fixture_.dataset.network, attrs_, &config_, nullptr);
+  Matrix theta;
+  std::vector<AttributeComponents> comps;
+  InitState(&theta, &comps, 61);
+  Matrix theta_replay = theta;
+  std::vector<AttributeComponents> comps_replay = comps;
+
+  EmStats stats = opt.Run(gamma_, &theta, &comps, /*track_objective=*/true);
+  ASSERT_EQ(stats.objective_trace.size(), stats.iterations);
+
+  EmWorkspace workspace;
+  for (size_t iter = 0; iter < stats.iterations; ++iter) {
+    opt.Step(gamma_, &theta_replay, &comps_replay, &workspace);
+    const double want = G1Objective(fixture_.dataset.network, attrs_,
+                                    comps_replay, theta_replay, gamma_);
+    const double tol = 1e-12 * (1.0 + std::fabs(want));
+    EXPECT_NEAR(stats.objective_trace[iter], want, tol) << "iter " << iter;
+  }
+  // The replayed final iterate equals Run's (same kernel path throughout).
+  EXPECT_EQ(theta.data(), theta_replay.data());
+}
+
+TEST(EmMultiBlockTest, KernelPathDeterministicAndCorrectAcrossBlocks) {
+  // The small fixtures above fit in a single 128-node reduction block, so
+  // they cannot catch a broken block-order merge. 300 docs per side gives
+  // 602 nodes = 5 blocks: cross-check the kernel path against the
+  // reference AND pin bitwise thread invariance where the multi-block
+  // merge actually runs.
+  auto fixture = MakeTwoCommunityNetwork(300, 0.5, 57);
+  std::vector<const Attribute*> attrs = {&fixture.dataset.attributes[0]};
+  GenClusConfig config;
+  config.num_clusters = 2;
+  const std::vector<double> gamma(3, 1.0);
+  Rng rng(58);
+  const Matrix theta0 =
+      RandomTheta(fixture.dataset.network.num_nodes(), 2, &rng);
+  const auto comps0 = InitialComponents(attrs, config, &rng);
+
+  // Reference iterate (original AoS traversal, straight-line accumulate).
+  EmOptimizer serial(&fixture.dataset.network, attrs, &config, nullptr);
+  Matrix theta_ref = theta0;
+  auto comps_ref = comps0;
+  for (int step = 0; step < 3; ++step) {
+    serial.ReferenceStep(gamma, &theta_ref, &comps_ref);
+  }
+
+  // Serial kernel path: blocked merge must match the reference to 1e-12.
+  Matrix theta_serial = theta0;
+  auto comps_serial = comps0;
+  EmWorkspace workspace;
+  for (int step = 0; step < 3; ++step) {
+    serial.Step(gamma, &theta_serial, &comps_serial, &workspace);
+  }
+  EXPECT_LT(Matrix::MaxAbsDiff(theta_serial, theta_ref), 1e-12);
+  EXPECT_LT(Matrix::MaxAbsDiff(comps_serial[0].beta(), comps_ref[0].beta()),
+            1e-12);
+
+  // Pooled kernel path: bitwise equal to the serial kernel path.
+  for (size_t threads : {2u, 8u}) {
+    ThreadPool pool(threads);
+    EmOptimizer parallel(&fixture.dataset.network, attrs, &config, &pool);
+    Matrix theta = theta0;
+    auto comps = comps0;
+    for (int step = 0; step < 3; ++step) {
+      parallel.Step(gamma, &theta, &comps);
+    }
+    EXPECT_EQ(theta.data(), theta_serial.data()) << threads << " threads";
+    EXPECT_EQ(comps[0].beta().data(), comps_serial[0].beta().data())
+        << threads << " threads";
+  }
+}
+
+TEST_F(EmFixture, WorkspaceReuseDoesNotChangeResults) {
+  // A workspace carried across steps (and sized for a different problem
+  // first) must be arithmetically invisible.
+  auto other = MakeTwoCommunityNetwork(3, 1.0, 13);
+  std::vector<const Attribute*> other_attrs = {&other.dataset.attributes[0]};
+  EmOptimizer other_opt(&other.dataset.network, other_attrs, &config_,
+                        nullptr);
+  EmWorkspace workspace;
+  Matrix other_theta;
+  std::vector<AttributeComponents> other_comps;
+  {
+    Rng rng(5);
+    other_theta = RandomTheta(other.dataset.network.num_nodes(), 2, &rng);
+    other_comps = InitialComponents(other_attrs, config_, &rng);
+  }
+  other_opt.Step(gamma_, &other_theta, &other_comps, &workspace);
+
+  Matrix theta_shared, theta_fresh;
+  std::vector<AttributeComponents> comps_shared, comps_fresh;
+  InitState(&theta_shared, &comps_shared, 83);
+  theta_fresh = theta_shared;
+  comps_fresh = comps_shared;
+  EmOptimizer opt(&fixture_.dataset.network, attrs_, &config_, nullptr);
+  for (int step = 0; step < 3; ++step) {
+    opt.Step(gamma_, &theta_shared, &comps_shared, &workspace);  // reused
+    opt.Step(gamma_, &theta_fresh, &comps_fresh);  // fresh workspace each
+  }
+  EXPECT_EQ(theta_shared.data(), theta_fresh.data());
+  EXPECT_EQ(comps_shared[0].beta().data(), comps_fresh[0].beta().data());
+}
+
 TEST(EstimateComponentsSmoothing, MatchesEmUpdateRuleExactly) {
   // EstimateComponents must apply the SAME smoothing as UpdateComponents:
   // smooth = beta_smoothing * row_total (no stray epsilon), with the

@@ -250,5 +250,69 @@ TEST(NetworkBuilderTest, OutLinksGroupedByTypeRegardlessOfInsertionOrder) {
   }
 }
 
+TEST(NetworkBuilderTest, OutCsrMatchesOutLinks) {
+  // The per-relation SoA views must hold exactly the out-links of each
+  // relation, row by row, neighbors ascending — the contract the EM SpMM
+  // kernel consumes.
+  Schema schema;
+  ObjectTypeId doc = schema.AddObjectType("doc").value();
+  LinkTypeId r0 = schema.AddLinkType("r0", doc, doc).value();
+  LinkTypeId r1 = schema.AddLinkType("r1", doc, doc).value();
+
+  NetworkBuilder builder(schema);
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 5; ++i) nodes.push_back(builder.AddNode(doc).value());
+  ASSERT_TRUE(builder.AddLink(nodes[0], nodes[3], r1, 2.0).ok());
+  ASSERT_TRUE(builder.AddLink(nodes[0], nodes[1], r0, 0.5).ok());
+  ASSERT_TRUE(builder.AddLink(nodes[0], nodes[4], r0, 1.5).ok());
+  ASSERT_TRUE(builder.AddLink(nodes[2], nodes[0], r1, 3.0).ok());
+  ASSERT_TRUE(builder.AddLink(nodes[4], nodes[2], r0, 4.0).ok());
+  Network net = std::move(builder).Build().value();
+
+  for (LinkTypeId r : {r0, r1}) {
+    RelationCsr csr = net.OutCsr(r);
+    ASSERT_EQ(csr.row_offsets.size(), net.num_nodes() + 1);
+    ASSERT_EQ(csr.neighbors.size(), csr.weights.size());
+    EXPECT_EQ(csr.nnz(), net.LinkCountsByType()[r]);
+    size_t total = 0;
+    for (NodeId v = 0; v < net.num_nodes(); ++v) {
+      // Collect the reference grouping from the AoS span.
+      std::vector<std::pair<NodeId, double>> want;
+      for (const LinkEntry& e : net.OutLinks(v)) {
+        if (e.type == r) want.emplace_back(e.neighbor, e.weight);
+      }
+      const size_t begin = csr.row_offsets[v];
+      const size_t end = csr.row_offsets[v + 1];
+      ASSERT_EQ(end - begin, want.size()) << "row " << v;
+      for (size_t i = begin; i < end; ++i) {
+        EXPECT_EQ(csr.neighbors[i], want[i - begin].first);
+        EXPECT_EQ(csr.weights[i], want[i - begin].second);
+        if (i > begin) {
+          EXPECT_LE(csr.neighbors[i - 1], csr.neighbors[i]);  // ascending
+        }
+      }
+      total += want.size();
+    }
+    EXPECT_EQ(total, csr.nnz());
+  }
+}
+
+TEST(NetworkBuilderTest, OutCsrOfEmptyRelation) {
+  Schema schema;
+  ObjectTypeId doc = schema.AddObjectType("doc").value();
+  LinkTypeId used = schema.AddLinkType("used", doc, doc).value();
+  LinkTypeId unused = schema.AddLinkType("unused", doc, doc).value();
+  NetworkBuilder builder(schema);
+  NodeId a = builder.AddNode(doc).value();
+  NodeId b = builder.AddNode(doc).value();
+  ASSERT_TRUE(builder.AddLink(a, b, used, 1.0).ok());
+  Network net = std::move(builder).Build().value();
+
+  RelationCsr csr = net.OutCsr(unused);
+  EXPECT_EQ(csr.nnz(), 0u);
+  ASSERT_EQ(csr.row_offsets.size(), 3u);
+  for (size_t offset : csr.row_offsets) EXPECT_EQ(offset, 0u);
+}
+
 }  // namespace
 }  // namespace genclus

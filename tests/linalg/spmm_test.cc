@@ -1,0 +1,161 @@
+// Typed-CSR SpMM kernel: dense equivalence, accumulate semantics, row
+// blocking invariance, and the K-specialized fast paths.
+#include "linalg/spmm.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "linalg/matrix.h"
+
+namespace genclus {
+namespace {
+
+// A small owning CSR builder for tests.
+struct TestCsr {
+  std::vector<size_t> offsets;
+  std::vector<uint32_t> cols;
+  std::vector<double> values;
+
+  CsrMatrixView View() const { return {offsets, cols, values}; }
+};
+
+// Random sparse rows x cols matrix with ~density fraction of non-zeros.
+TestCsr RandomCsr(size_t rows, size_t cols, double density, Rng* rng) {
+  TestCsr csr;
+  csr.offsets.push_back(0);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      if (rng->Uniform() < density) {
+        csr.cols.push_back(static_cast<uint32_t>(c));
+        csr.values.push_back(rng->Uniform() * 2.0 - 0.5);
+      }
+    }
+    csr.offsets.push_back(csr.cols.size());
+  }
+  return csr;
+}
+
+Matrix RandomDense(size_t rows, size_t cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) m(r, c) = rng->Uniform() - 0.5;
+  }
+  return m;
+}
+
+// Dense reference: out += coeff * A * dense over the full row range.
+Matrix DenseReference(const TestCsr& a, double coeff, const Matrix& dense,
+                      const Matrix& init) {
+  Matrix out = init;
+  for (size_t r = 0; r + 1 < a.offsets.size(); ++r) {
+    for (size_t j = a.offsets[r]; j < a.offsets[r + 1]; ++j) {
+      for (size_t k = 0; k < dense.cols(); ++k) {
+        out(r, k) += coeff * a.values[j] * dense(a.cols[j], k);
+      }
+    }
+  }
+  return out;
+}
+
+// Sweep K over the specialized widths {2,3,4,8} and a generic one.
+class SpmmKSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SpmmKSweep, MatchesDenseReference) {
+  const size_t k = GetParam();
+  Rng rng(19 + k);
+  const size_t n = 37;
+  TestCsr a = RandomCsr(n, n, 0.15, &rng);
+  Matrix dense = RandomDense(n, k, &rng);
+  Matrix out(n, k);
+  SpmmAccumulate(a.View(), 0.7, dense.data().data(), k, 0, n,
+                 out.data().data());
+  Matrix want = DenseReference(a, 0.7, dense, Matrix(n, k));
+  EXPECT_LT(Matrix::MaxAbsDiff(out, want), 1e-14);
+}
+
+TEST_P(SpmmKSweep, AccumulatesOntoExistingValues) {
+  const size_t k = GetParam();
+  Rng rng(91 + k);
+  const size_t n = 20;
+  TestCsr a = RandomCsr(n, n, 0.3, &rng);
+  Matrix dense = RandomDense(n, k, &rng);
+  Matrix init = RandomDense(n, k, &rng);
+  Matrix out = init;
+  SpmmAccumulate(a.View(), -1.25, dense.data().data(), k, 0, n,
+                 out.data().data());
+  Matrix want = DenseReference(a, -1.25, dense, init);
+  EXPECT_LT(Matrix::MaxAbsDiff(out, want), 1e-14);
+}
+
+TEST_P(SpmmKSweep, RowRangeTouchesOnlyItsRows) {
+  const size_t k = GetParam();
+  Rng rng(7 + k);
+  const size_t n = 24;
+  TestCsr a = RandomCsr(n, n, 0.4, &rng);
+  Matrix dense = RandomDense(n, k, &rng);
+  Matrix out(n, k, 5.0);
+  SpmmAccumulate(a.View(), 1.0, dense.data().data(), k, 8, 16,
+                 out.data().data());
+  for (size_t r = 0; r < n; ++r) {
+    if (r >= 8 && r < 16) continue;
+    for (size_t c = 0; c < k; ++c) {
+      EXPECT_EQ(out(r, c), 5.0) << "row " << r << " modified outside range";
+    }
+  }
+}
+
+TEST_P(SpmmKSweep, BlockedSweepIsBitwiseEqualToOneShot) {
+  const size_t k = GetParam();
+  Rng rng(53 + k);
+  const size_t n = 41;
+  TestCsr a = RandomCsr(n, n, 0.25, &rng);
+  Matrix dense = RandomDense(n, k, &rng);
+  Matrix one_shot(n, k);
+  SpmmAccumulate(a.View(), 0.3, dense.data().data(), k, 0, n,
+                 one_shot.data().data());
+  Matrix blocked(n, k);
+  for (size_t begin = 0; begin < n; begin += 7) {
+    SpmmAccumulate(a.View(), 0.3, dense.data().data(), k, begin,
+                   std::min(n, begin + 7), blocked.data().data());
+  }
+  // Per-row accumulation never crosses a block boundary, so any blocking
+  // produces bit-identical output — the property the deterministic EM
+  // sweep relies on.
+  EXPECT_EQ(one_shot.data(), blocked.data());
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SpmmKSweep,
+                         ::testing::Values(2u, 3u, 4u, 5u, 8u, 11u));
+
+TEST(SpmmTest, ZeroCoeffIsANoOp) {
+  Rng rng(3);
+  TestCsr a = RandomCsr(10, 10, 0.5, &rng);
+  Matrix dense = RandomDense(10, 4, &rng);
+  Matrix out(10, 4, 1.5);
+  SpmmAccumulate(a.View(), 0.0, dense.data().data(), 4, 0, 10,
+                 out.data().data());
+  for (size_t r = 0; r < 10; ++r) {
+    for (size_t c = 0; c < 4; ++c) EXPECT_EQ(out(r, c), 1.5);
+  }
+}
+
+TEST(SpmmTest, EmptyRowsLeaveOutputUntouched) {
+  TestCsr a;
+  a.offsets = {0, 0, 0, 0};  // 3 rows, no non-zeros
+  Matrix dense(3, 2, 1.0);
+  Matrix out(3, 2, 2.0);
+  SpmmAccumulate(a.View(), 3.0, dense.data().data(), 2, 0, 3,
+                 out.data().data());
+  for (size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(out(r, 0), 2.0);
+    EXPECT_EQ(out(r, 1), 2.0);
+  }
+  EXPECT_EQ(a.View().rows(), 3u);
+  EXPECT_EQ(a.View().nnz(), 0u);
+}
+
+}  // namespace
+}  // namespace genclus
