@@ -1,8 +1,10 @@
 // Quickstart: build the paper's Fig. 2/Fig. 4 style toy bibliographic
 // network by hand, train a clustering Model with Engine::Fit, print the
 // soft clustering and the learned relation strengths — then persist the
-// model, reload it, and serve a fold-in query for a brand-new paper
-// through Engine::InferBatch (train once, serve many).
+// model, reload it, and serve fold-in queries for brand-new papers
+// through the batch-planned pipeline: Engine::Submit hands back a future
+// whose InferenceResult carries per-query status, membership and hard
+// label (train once, serve many).
 //
 //   papers carry text; authors and venues carry nothing — their membership
 //   comes purely from links, and the strength of each relation is learned.
@@ -10,6 +12,8 @@
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
 #include <filesystem>
+#include <future>
+#include <vector>
 
 #include "core/engine.h"
 #include "core/model_io.h"
@@ -126,25 +130,46 @@ int main() {
     return 1;
   }
 
-  // A new paper written by alice, published at VLDB, using database words.
-  NewObjectQuery query;
-  query.links.push_back({authors[0], written_by, 1.0});
-  query.links.push_back({venues[0], published_by, 1.0});
-  query.observations.push_back({/*attribute=*/0, /*term=*/0,
-                                /*count=*/2.0, /*value=*/0.0});
-  auto batch = engine->InferBatch(std::span(&query, 1));
-  if (!batch[0].ok()) {
-    std::fprintf(stderr, "InferBatch failed: %s\n",
-                 batch[0].status().ToString().c_str());
-    return 1;
+  // Two new papers: one by alice at VLDB using database words, one by bob
+  // at ICML using learning words. Engine::Submit plans the whole batch
+  // (per-query validation, one query x node sparse matrix), executes it
+  // through the SpMM kernel on a background thread, and the future's
+  // InferenceResult carries membership + hard label + status per query.
+  std::vector<NewObjectQuery> queries(2);
+  queries[0].links.push_back({authors[0], written_by, 1.0});
+  queries[0].links.push_back({venues[0], published_by, 1.0});
+  queries[0].observations.push_back(
+      NewObjectObservation::Categorical(/*attribute=*/0, /*term=*/0,
+                                        /*count=*/2.0));
+  queries[1].links.push_back({authors[1], written_by, 1.0});
+  queries[1].links.push_back({venues[1], published_by, 1.0});
+  queries[1].observations.push_back(
+      NewObjectObservation::Categorical(/*attribute=*/0, /*term=*/3,
+                                        /*count=*/2.0));
+
+  std::future<InferenceResult> pending = engine->Submit(queries);
+  const InferenceResult served = pending.get();
+  std::printf("\nnew papers served from the reloaded model "
+              "(planned %zu/%zu valid, %.0fus plan + %.0fus exec):\n",
+              served.report.valid_queries, served.report.batch_size,
+              served.report.plan_seconds * 1e6,
+              served.report.exec_seconds * 1e6);
+  const char* blurb[2] = {"alice + VLDB + database words",
+                          "bob + ICML + learning words"};
+  for (size_t i = 0; i < served.size(); ++i) {
+    if (!served.ok(i)) {
+      std::fprintf(stderr, "query %zu failed: %s\n", i,
+                   served.statuses[i].ToString().c_str());
+      return 1;
+    }
+    std::printf("  %-32s [%.3f, %.3f] -> cluster %u\n", blurb[i],
+                served.membership(i)[0], served.membership(i)[1],
+                served.hard_labels[i]);
   }
-  std::printf("\nnew paper (alice + VLDB + database words), served from\n"
-              "the reloaded model: [%.3f, %.3f]\n", (*batch[0])[0],
-              (*batch[0])[1]);
   std::printf("\nExpected: papers/authors/venues of the two areas fall in\n"
               "opposite clusters; all objects get memberships even though\n"
               "only papers carry text — and new objects are served without\n"
-              "retraining.\n");
+              "retraining, one SpMM batch at a time.\n");
   std::filesystem::remove(model_path);
   return 0;
 }

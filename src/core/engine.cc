@@ -1,5 +1,6 @@
 #include "core/engine.h"
 
+#include <mutex>
 #include <utility>
 
 #include "common/string_util.h"
@@ -64,11 +65,35 @@ Result<FitResult> Engine::Fit(const Dataset& dataset,
   return out;
 }
 
-Engine::Engine(const Network* network, Model model, EngineOptions options)
+// Batch planner plus the serialized execution state. The session's
+// ServeWorkspace is reused across batches (model-side tables are built
+// once); the mutex serializes Execute calls because ThreadPool::Wait
+// tracks all in-flight tasks globally — interleaving two ParallelFor
+// batches on one pool would cross their completion (and error) tracking.
+struct Engine::ServeState {
+  ServeState(const Network* network, const Model* model, ThreadPool* pool,
+             const EngineOptions& options)
+      : planner(network, model),
+        session(model, pool, options.inference_iterations,
+                options.theta_floor) {}
+
+  BatchPlanner planner;
+  std::mutex exec_mutex;
+  InferSession session;
+};
+
+Engine::Engine(Engine&&) noexcept = default;
+Engine& Engine::operator=(Engine&&) noexcept = default;
+Engine::~Engine() = default;
+
+Engine::Engine(const Network* network, std::unique_ptr<Model> model,
+               EngineOptions options)
     : network_(network),
       model_(std::move(model)),
       options_(options),
-      pool_(std::make_unique<ThreadPool>(options.num_threads)) {}
+      pool_(std::make_unique<ThreadPool>(options.num_threads)),
+      serve_(std::make_unique<ServeState>(network_, model_.get(),
+                                          pool_.get(), options_)) {}
 
 Result<Engine> Engine::Create(const Network* network, Model model,
                               EngineOptions options) {
@@ -82,28 +107,53 @@ Result<Engine> Engine::Create(const Network* network, Model model,
   if (!(options.theta_floor > 0.0)) {
     return Status::InvalidArgument("theta_floor must be > 0");
   }
-  return Engine(network, std::move(model), options);
+  return Engine(network, std::make_unique<Model>(std::move(model)),
+                options);
+}
+
+InferPlan Engine::Plan(std::span<const NewObjectQuery> queries) const {
+  return serve_->planner.Plan(queries);
+}
+
+InferenceResult Engine::Execute(const InferPlan& plan) const {
+  std::lock_guard<std::mutex> lock(serve_->exec_mutex);
+  return serve_->session.Execute(plan);
+}
+
+std::future<InferenceResult> Engine::Submit(
+    std::vector<NewObjectQuery> queries) const {
+  // One background thread per batch: execution itself fans out over the
+  // engine's pool, so running Plan + Execute inside a pool worker would
+  // deadlock the pool's global Wait. Capture the heap-held ServeState
+  // rather than `this`, so a pending future survives an Engine move (the
+  // engine — wherever it was moved to — must still outlive completion).
+  ServeState* serve = serve_.get();
+  return std::async(std::launch::async,
+                    [serve, queries = std::move(queries)]() {
+                      InferPlan plan = serve->planner.Plan(queries);
+                      std::lock_guard<std::mutex> lock(serve->exec_mutex);
+                      return serve->session.Execute(plan);
+                    });
 }
 
 Result<std::vector<double>> Engine::Infer(const NewObjectQuery& query) const {
-  return InferMembership(*network_, model_, query.links, query.observations,
-                         options_.inference_iterations,
-                         options_.theta_floor);
+  InferenceResult result = Execute(Plan(std::span(&query, 1)));
+  if (!result.statuses[0].ok()) return result.statuses[0];
+  return result.memberships.RowVector(0);
 }
 
 std::vector<Result<std::vector<double>>> Engine::InferBatch(
     std::span<const NewObjectQuery> queries) const {
-  std::vector<Result<std::vector<double>>> out(
-      queries.size(),
-      Result<std::vector<double>>(Status::Internal("query not executed")));
-  // Each slot depends only on its own query, so any sharding yields the
-  // same results — determinism across thread counts for free.
-  pool_->ParallelFor(queries.size(),
-                     [&](size_t /*shard*/, size_t begin, size_t end) {
-                       for (size_t i = begin; i < end; ++i) {
-                         out[i] = Infer(queries[i]);
-                       }
-                     });
+  InferenceResult result = Execute(Plan(queries));
+  std::vector<Result<std::vector<double>>> out;
+  out.reserve(result.size());
+  for (size_t i = 0; i < result.size(); ++i) {
+    if (result.statuses[i].ok()) {
+      out.push_back(result.memberships.RowVector(i));
+    } else {
+      out.push_back(std::move(result.statuses[i]));
+    }
+  }
   return out;
 }
 

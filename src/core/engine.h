@@ -8,11 +8,23 @@
 //
 // Serving: Engine::Create(network, model) builds a reusable serving object
 // that owns a ThreadPool and answers membership queries for new objects
-// via the Eq. 10/11 fold-in update (core/inference.h). InferBatch fans a
-// batch out across the pool; results are deterministic regardless of
-// thread count, and each query fails or succeeds on its own.
+// via the Eq. 10/11 fold-in update, batch-planned (core/inference.h):
+//
+//   InferPlan plan = engine.Plan(queries);     // validate + assemble CSR
+//   InferenceResult result = engine.Execute(plan);
+//
+// Plan validates every query up front (per-query Status — one bad query
+// never poisons the rest) and assembles the valid queries' links into one
+// query x node CSR. Execute routes the whole batch's link term through
+// the SpMM kernel and runs the attribute sweeps over fixed-grain query
+// blocks on the engine's pool, reusing one ServeWorkspace across batches;
+// results are bitwise identical to the per-query InferMembership
+// reference and to any thread count. Submit runs Plan + Execute
+// asynchronously and hands back a future. Infer/InferBatch remain as thin
+// wrappers over a one-query / one-shot plan.
 #pragma once
 
+#include <future>
 #include <memory>
 #include <span>
 #include <string>
@@ -68,25 +80,20 @@ struct FitResult {
   FitReport report;
 };
 
-/// A new object's evidence for one fold-in membership query: its would-be
-/// out-links into the serving network and its own attribute observations.
-struct NewObjectQuery {
-  std::vector<NewObjectLink> links;
-  std::vector<NewObjectObservation> observations;
-};
-
-/// Serving-side knobs.
+/// Serving-side knobs. Defaults come from ServeDefaults
+/// (core/inference.h) — the single source the reference path uses too.
 struct EngineOptions {
-  /// Worker threads for InferBatch. 0 = hardware concurrency.
+  /// Worker threads for batch execution. 0 = hardware concurrency.
   size_t num_threads = 0;
   /// Fixed-point sweeps per query (see InferMembership).
-  size_t inference_iterations = 10;
+  size_t inference_iterations = ServeDefaults::kInferenceIterations;
   /// Floor applied to inferred membership probabilities.
-  double theta_floor = kDefaultInferenceThetaFloor;
+  double theta_floor = ServeDefaults::kThetaFloor;
 };
 
-/// Reusable serving object: a Network + trained Model + thread pool.
-/// The network must outlive the engine; the model is owned.
+/// Reusable serving object: a Network + trained Model + thread pool +
+/// batch planner/session. The network must outlive the engine; the model
+/// is owned.
 class Engine {
  public:
   /// Trains a model on `dataset`. Validates the dataset, the attribute
@@ -100,31 +107,56 @@ class Engine {
   static Result<Engine> Create(const Network* network, Model model,
                                EngineOptions options = {});
 
-  Engine(Engine&&) = default;
-  Engine& operator=(Engine&&) = default;
+  // Out-of-line (ServeState is incomplete here).
+  Engine(Engine&&) noexcept;
+  Engine& operator=(Engine&&) noexcept;
+  ~Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  const Model& model() const { return model_; }
+  const Model& model() const { return *model_; }
   size_t num_threads() const { return pool_->num_threads(); }
 
-  /// Answers one fold-in query.
+  /// Validates a batch and assembles its executable plan. Per-query
+  /// failures land in InferPlan::statuses; valid queries form the batch
+  /// CSR. Pure function of the queries — never blocks on the pool.
+  InferPlan Plan(std::span<const NewObjectQuery> queries) const;
+
+  /// Executes a plan this engine produced: one SpMM pass for the batch
+  /// link term plus blocked attribute sweeps over the pool. Concurrent
+  /// calls are serialized on the engine's execution state; results are
+  /// bitwise identical to per-query InferMembership for any thread count.
+  InferenceResult Execute(const InferPlan& plan) const;
+
+  /// Plan + Execute on a background thread; the returned future carries
+  /// the full typed result. The engine must outlive the future's
+  /// completion (the future's destructor blocks until it has run).
+  std::future<InferenceResult> Submit(
+      std::vector<NewObjectQuery> queries) const;
+
+  /// Answers one fold-in query — a thin wrapper over a one-query plan.
   Result<std::vector<double>> Infer(const NewObjectQuery& query) const;
 
-  /// Answers a batch of queries in parallel over the engine's pool.
-  /// Slot i holds query i's membership vector or its own error status;
-  /// one bad query never poisons the rest, and results are identical for
-  /// any thread count.
+  /// Answers a batch of queries — a thin wrapper over a one-shot plan.
+  /// Slot i holds query i's membership vector or its own error status.
   std::vector<Result<std::vector<double>>> InferBatch(
       std::span<const NewObjectQuery> queries) const;
 
  private:
-  Engine(const Network* network, Model model, EngineOptions options);
+  struct ServeState;
+
+  Engine(const Network* network, std::unique_ptr<Model> model,
+         EngineOptions options);
 
   const Network* network_;
-  Model model_;
+  // Heap-held so the planner/session pointers into the model survive
+  // Engine moves.
+  std::unique_ptr<Model> model_;
   EngineOptions options_;
   std::unique_ptr<ThreadPool> pool_;
+  // Planner plus the serialized execution state (mutex + session with its
+  // reusable ServeWorkspace); defined in engine.cc.
+  std::unique_ptr<ServeState> serve_;
 };
 
 }  // namespace genclus

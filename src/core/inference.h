@@ -1,24 +1,71 @@
-// Fold-in inference: compute the membership vector of a NEW object from
-// its links into an already-clustered network plus its own attribute
+// Fold-in serving: compute membership vectors for NEW objects from their
+// links into an already-clustered network plus their own attribute
 // observations, holding the trained Model (Theta, beta, gamma) fixed.
-// This is exactly one Eq. 10/11-style update for the new object — the
-// update GenClus applies to attribute-free objects every sweep — so the
-// result is consistent with what a full re-run would assign. For serving
-// many queries, prefer Engine::InferBatch (core/engine.h), which runs this
-// path in parallel over a thread pool.
+// Each answer is exactly one Eq. 10/11-style update for the new object —
+// the update GenClus applies to attribute-free objects every sweep — so
+// the result is consistent with what a full re-run would assign.
+//
+// Two paths compute that update:
+//
+//   * InferMembership — the per-query reference path: validates one
+//     query, gathers its link term over Model::theta and runs the
+//     attribute fixed-point sweeps. Kept as the ground truth the batch
+//     path is tested (and benched) against.
+//
+//   * BatchPlanner + InferSession — the batch-planned serving pipeline.
+//     A batch of queries *is* a sparse matrix (rows = queries, cols =
+//     link targets), so Plan() validates every query up front (per-query
+//     Status preserved), assembles the valid queries' links into one
+//     query x node CSR, and Execute() computes the whole batch's link
+//     term Σ_r γ_r (Q_r Θ) through the SpMM kernel (linalg/spmm.h) — γ_r
+//     is folded into the CSR values at plan time so each row accumulates
+//     in the query's original link order and the result stays bitwise
+//     identical to the reference path. Model-side constants (one
+//     GaussianEvalTable per numerical attribute, a term-major transpose
+//     of each categorical beta) are built once in a reusable
+//     ServeWorkspace and shared by every query of every batch. The
+//     attribute sweeps run over fixed-grain query blocks, so results are
+//     bitwise invariant to the thread count.
+//
+// Engine (core/engine.h) wraps the pipeline behind Plan/Execute/Submit
+// and keeps Infer/InferBatch as thin wrappers over a one-shot plan.
 #pragma once
 
 #include <cstdint>
+#include <limits>
+#include <span>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/components.h"
 #include "core/config.h"
 #include "core/model.h"
 #include "hin/network.h"
 #include "linalg/matrix.h"
+#include "linalg/spmm.h"
+#include "prob/simplex.h"
 
 namespace genclus {
+
+/// Serving defaults, single-sourced: engine options, InferMembership's
+/// defaults and the tests all read these instead of restating literals.
+struct ServeDefaults {
+  /// Fixed-point sweeps per query (the responsibilities depend on the
+  /// object's own theta, so a few iterations refine the attribute part;
+  /// the link part is constant).
+  static constexpr size_t kInferenceIterations = 10;
+  /// Floor applied to inferred membership probabilities — the same floor
+  /// training clamps Theta rows with (prob/simplex.h), not a restatement.
+  static constexpr double kThetaFloor = kDefaultThetaFloor;
+  /// Early-exit tolerance of the fixed-point sweep: stop once
+  /// max_k |theta_k - theta_k'| falls below this.
+  static constexpr double kSweepTolerance = 1e-10;
+  /// Queries per fixed-grain execution block. The block partition is a
+  /// function of the batch size only — never of the thread count — which
+  /// is what makes batch execution bitwise thread-invariant.
+  static constexpr size_t kBatchBlockGrain = 16;
+};
 
 /// A would-be out-link of the new object into the existing network.
 struct NewObjectLink {
@@ -27,27 +74,238 @@ struct NewObjectLink {
   double weight = 1.0;
 };
 
+/// Which union member of NewObjectObservation the caller filled. Legacy
+/// aggregate-initialized observations are kUnspecified and keep being
+/// interpreted by the model attribute's kind; factory-built observations
+/// declare their kind and are rejected at plan time when it mismatches.
+enum class ObservationKind : uint8_t {
+  kUnspecified,
+  kCategorical,
+  kNumerical,
+};
+
 /// A categorical observation of the new object (term + count) for one of
-/// the model's attributes, or a numerical value.
+/// the model's attributes, or a numerical value. Prefer the Categorical /
+/// Numerical factories, which record which union member is meant so
+/// Validate can reject kind mismatches with a precise message.
 struct NewObjectObservation {
   AttributeId attribute = kInvalidAttribute;
   uint32_t term = 0;      // categorical
   double count = 1.0;     // categorical
   double value = 0.0;     // numerical
+  ObservationKind kind = ObservationKind::kUnspecified;
+
+  /// `count` occurrences of `term` for a categorical attribute.
+  static NewObjectObservation Categorical(AttributeId attribute,
+                                          uint32_t term, double count = 1.0);
+  /// One real-valued observation of a numerical attribute.
+  static NewObjectObservation Numerical(AttributeId attribute, double value);
+
+  /// Checks this observation against a trained model: the attribute must
+  /// exist, a declared kind must match the attribute's kind, a
+  /// categorical term must lie inside the trained vocabulary, and the
+  /// count/value must be finite (count non-negative).
+  Status Validate(const Model& model) const;
 };
 
-inline constexpr double kDefaultInferenceThetaFloor = 1e-12;
+/// A new object's evidence for one fold-in membership query: its would-be
+/// out-links into the serving network and its own attribute observations.
+struct NewObjectQuery {
+  std::vector<NewObjectLink> links;
+  std::vector<NewObjectObservation> observations;
+};
 
-/// Infers theta for a new object given its out-links and observations.
-/// `iterations` fixed-point sweeps (the responsibilities depend on the
-/// object's own theta, so a few iterations refine the attribute part;
-/// the link part is constant). Fails if a link/observation references
-/// unknown ids or mismatched attribute kinds.
+/// Hard label reported for queries that failed validation.
+inline constexpr uint32_t kNoHardLabel =
+    std::numeric_limits<uint32_t>::max();
+
+/// Validated, executable form of one serve batch, produced by
+/// BatchPlanner::Plan (or Engine::Plan). Invalid queries keep their
+/// per-query Status and are excluded from the CSR; valid queries occupy
+/// CSR rows in input order.
+struct InferPlan {
+  /// Per-input-query validation outcome, slot i for query i.
+  std::vector<Status> statuses;
+  /// CSR row -> input query index (valid queries only, in input order).
+  std::vector<size_t> row_to_query;
+  /// Query x node link matrix in CSR form. Values are gamma(type) *
+  /// weight — folding gamma in at plan time keeps each row's
+  /// accumulation order equal to the reference path's per-link loop, so
+  /// SpMM output is bitwise identical to InferMembership's link term.
+  /// Duplicate links to the same target stay separate non-zeros; their
+  /// contributions sum exactly as the reference loop sums them.
+  std::vector<size_t> row_offsets;  // num_rows() + 1
+  std::vector<uint32_t> link_cols;
+  std::vector<double> link_values;
+  /// Observations of the valid queries, flattened; row i's observations
+  /// live at [observation_offsets[i], observation_offsets[i + 1]).
+  /// `observation_categorical[j]` resolves observation j's kind against
+  /// the model once at plan time (1 = categorical), so execution never
+  /// chases model components.
+  std::vector<NewObjectObservation> observations;
+  std::vector<uint8_t> observation_categorical;
+  std::vector<size_t> observation_offsets;  // num_rows() + 1
+  /// Batch stats over the valid queries.
+  size_t total_links = 0;
+  size_t total_observations = 0;
+  /// Wall-clock seconds spent planning (validation + CSR assembly).
+  double plan_seconds = 0.0;
+
+  size_t num_queries() const { return statuses.size(); }
+  size_t num_rows() const { return row_to_query.size(); }
+  CsrMatrixView links() const {
+    return CsrMatrixView{row_offsets, link_cols, link_values};
+  }
+};
+
+/// Plan/exec timings and batch stats of one executed batch.
+struct ServeReport {
+  size_t batch_size = 0;
+  size_t valid_queries = 0;
+  size_t total_links = 0;
+  size_t total_observations = 0;
+  /// Fixed-grain execution blocks the batch was cut into.
+  size_t exec_blocks = 0;
+  double plan_seconds = 0.0;
+  double exec_seconds = 0.0;
+};
+
+/// Typed result of executing an InferPlan: per-query status, membership
+/// and hard label (slot i for input query i), plus the batch report.
+/// Memberships are one dense batch x K matrix — a single allocation per
+/// batch instead of one vector per query, and the natural shape for
+/// callers that post-process whole batches. Failed queries keep a zero
+/// membership row and kNoHardLabel.
+struct InferenceResult {
+  std::vector<Status> statuses;
+  Matrix memberships;
+  std::vector<uint32_t> hard_labels;
+  ServeReport report;
+
+  size_t size() const { return statuses.size(); }
+  bool ok(size_t i) const { return statuses[i].ok(); }
+  /// Query i's membership row (all-zero when the query failed).
+  std::span<const double> membership(size_t i) const {
+    return {memberships.Row(i), memberships.cols()};
+  }
+};
+
+/// Validates serve batches against a (network, model) pair and assembles
+/// InferPlans. Stateless apart from the model-level precondition, which
+/// is checked once at construction; both pointers must outlive the
+/// planner.
+class BatchPlanner {
+ public:
+  BatchPlanner(const Network* network, const Model* model);
+
+  /// Validates every query (per-query Status — one bad query never
+  /// poisons the rest) and assembles the valid ones into the batch CSR.
+  InferPlan Plan(std::span<const NewObjectQuery> queries) const;
+
+ private:
+  const Network* network_;
+  const Model* model_;
+  /// Model-vs-network precondition; a failure marks every query.
+  Status model_status_;
+};
+
+/// Reusable per-session scratch of the batch execution path: the
+/// model-side constants shared by every batch (one GaussianEvalTable per
+/// numerical attribute, a term-major transpose of each categorical beta)
+/// and the per-batch buffers (the batch link-term matrix, per-block sweep
+/// scratch). Analogous to the EM path's EmWorkspace.
+class ServeWorkspace {
+ public:
+  ServeWorkspace() = default;
+
+ private:
+  friend class InferSession;
+
+  // Builds the model-side tables; no-op when already built for `model`.
+  // The model must not be mutated while a workspace is prepared for it.
+  void PrepareModel(const Model& model);
+  // (Re)sizes the per-batch buffers; reuses capacity across batches.
+  void PrepareBatch(size_t num_rows, size_t num_clusters,
+                    size_t num_blocks);
+
+  // One resolved observation of the executing query: the sweep loop
+  // reads `data` (term-major beta row, or the query's cached Gaussian
+  // log-density row) instead of chasing model components per sweep.
+  struct ObsRef {
+    const double* data = nullptr;
+    double count = 0.0;
+    bool categorical = false;
+  };
+
+  // Per-block sweep scratch: theta/mix/responsibilities/log-theta (4 x K
+  // doubles in `kbuf`), the per-query cache of sweep-invariant Gaussian
+  // log-densities (one K-row per numerical observation) and the resolved
+  // observation descriptors.
+  struct BlockScratch {
+    std::vector<double> kbuf;
+    std::vector<double> log_pdf;
+    std::vector<ObsRef> obs;
+  };
+
+  const Model* prepared_for_ = nullptr;
+  // Term-major transpose (vocab x K) of each categorical attribute's
+  // beta, so the per-term E-step reads K contiguous doubles.
+  std::vector<Matrix> beta_transpose_;
+  // Hoisted Gaussian constants of each numerical attribute — built once
+  // per model instead of once per query.
+  std::vector<GaussianEvalTable> gaussians_;
+  // Batch link term Σ_r γ_r (Q_r Θ): num_rows x K.
+  Matrix link_part_;
+  std::vector<BlockScratch> block_scratch_;
+};
+
+/// Executes InferPlans over a thread pool, reusing one ServeWorkspace
+/// across batches. `model` must outlive the session and must not change
+/// while the session exists; `pool` may be null for serial execution.
+/// Not thread-safe: callers running batches concurrently must serialize
+/// Execute (Engine does) or use one session per thread.
+class InferSession {
+ public:
+  InferSession(const Model* model, ThreadPool* pool,
+               size_t iterations = ServeDefaults::kInferenceIterations,
+               double theta_floor = ServeDefaults::kThetaFloor);
+
+  /// Runs the batch: one SpMM pass for the link term, then the attribute
+  /// fixed-point sweeps, both over fixed-grain query blocks. Results are
+  /// bitwise identical to per-query InferMembership and to any other
+  /// thread count. The plan must have been built against this session's
+  /// model.
+  InferenceResult Execute(const InferPlan& plan);
+
+ private:
+  // Runs query rows [row_begin, row_end) of one block: SpMM for the
+  // block's link-term rows, then the per-query sweeps (dispatched to a
+  // K-specialized instantiation for common cluster counts, like the SpMM
+  // kernel — unrolling never reorders a floating-point op, so every
+  // instantiation yields bitwise identical results).
+  void ExecuteBlock(const InferPlan& plan, size_t block, size_t row_begin,
+                    size_t row_end, InferenceResult* out);
+  // kFixedK > 0: compile-time cluster count; kFixedK == -1: runtime K.
+  template <int kFixedK>
+  void SweepRows(const InferPlan& plan, size_t block, size_t row_begin,
+                 size_t row_end, InferenceResult* out);
+
+  const Model* model_;
+  ThreadPool* pool_;
+  size_t iterations_;
+  double theta_floor_;
+  ServeWorkspace workspace_;
+};
+
+/// Infers theta for a new object given its out-links and observations —
+/// the per-query reference path the batch pipeline is tested against.
+/// `iterations` fixed-point sweeps. Fails if a link/observation
+/// references unknown ids or mismatched attribute kinds.
 Result<std::vector<double>> InferMembership(
     const Network& network, const Model& model,
     const std::vector<NewObjectLink>& links,
     const std::vector<NewObjectObservation>& observations,
-    size_t iterations = 10,
-    double theta_floor = kDefaultInferenceThetaFloor);
+    size_t iterations = ServeDefaults::kInferenceIterations,
+    double theta_floor = ServeDefaults::kThetaFloor);
 
 }  // namespace genclus

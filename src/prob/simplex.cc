@@ -8,38 +8,12 @@ namespace genclus {
 
 void NormalizeToSimplex(std::vector<double>* v) {
   GENCLUS_CHECK(v != nullptr && !v->empty());
-  double total = 0.0;
-  bool bad = false;
-  for (double x : *v) {
-    if (!(x >= 0.0) || !std::isfinite(x)) {
-      bad = true;
-      break;
-    }
-    total += x;
-  }
-  if (bad || total <= 0.0 || !std::isfinite(total)) {
-    const double u = 1.0 / static_cast<double>(v->size());
-    for (double& x : *v) x = u;
-    return;
-  }
-  for (double& x : *v) x /= total;
+  NormalizeToSimplex(v->data(), v->size());
 }
 
 void ClampToSimplex(std::vector<double>* v, double floor) {
   GENCLUS_CHECK(v != nullptr && !v->empty());
-  NormalizeToSimplex(v);
-  bool needs_clamp = false;
-  for (double x : *v) {
-    if (x < floor) {
-      needs_clamp = true;
-      break;
-    }
-  }
-  if (!needs_clamp) return;
-  for (double& x : *v) {
-    if (x < floor) x = floor;
-  }
-  NormalizeToSimplex(v);
+  ClampToSimplex(v->data(), v->size(), floor);
 }
 
 bool IsOnSimplex(const std::vector<double>& v, double tol) {

@@ -3,6 +3,7 @@
 // their components, so components are clamped away from exact zero.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <vector>
 
@@ -12,10 +13,48 @@ namespace genclus {
 inline constexpr double kDefaultThetaFloor = 1e-12;
 
 /// Normalizes v in place so it sums to 1. If the total mass is <= 0 or
-/// non-finite the vector is reset to uniform.
+/// non-finite the vector is reset to uniform. The raw-buffer overload is
+/// the implementation; the vector form forwards to it, so both produce
+/// bitwise identical results on the same values. Inline so hot callers
+/// with a compile-time length (the serve sweep's K-specialized
+/// instantiations) unroll it — inlining never reorders the arithmetic.
+inline void NormalizeToSimplex(double* v, size_t n) {
+  double total = 0.0;
+  bool bad = false;
+  for (size_t i = 0; i < n; ++i) {
+    const double x = v[i];
+    if (!(x >= 0.0) || !std::isfinite(x)) {
+      bad = true;
+      break;
+    }
+    total += x;
+  }
+  if (bad || total <= 0.0 || !std::isfinite(total)) {
+    const double u = 1.0 / static_cast<double>(n);
+    for (size_t i = 0; i < n; ++i) v[i] = u;
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) v[i] /= total;
+}
 void NormalizeToSimplex(std::vector<double>* v);
 
 /// Clamps every component to at least `floor` and renormalizes.
+inline void ClampToSimplex(double* v, size_t n,
+                           double floor = kDefaultThetaFloor) {
+  NormalizeToSimplex(v, n);
+  bool needs_clamp = false;
+  for (size_t i = 0; i < n; ++i) {
+    if (v[i] < floor) {
+      needs_clamp = true;
+      break;
+    }
+  }
+  if (!needs_clamp) return;
+  for (size_t i = 0; i < n; ++i) {
+    if (v[i] < floor) v[i] = floor;
+  }
+  NormalizeToSimplex(v, n);
+}
 void ClampToSimplex(std::vector<double>* v, double floor = kDefaultThetaFloor);
 
 /// True if v sums to 1 within `tol` and every component is in [0, 1].

@@ -52,14 +52,17 @@ class EngineFixture : public ::testing::Test {
     }
     {
       NewObjectQuery q;  // community-1 text only
-      q.observations.push_back({0, 2, 3.0, 0.0});
-      q.observations.push_back({0, 3, 1.0, 0.0});
+      q.observations.push_back(
+          NewObjectObservation::Categorical(0, /*term=*/2, /*count=*/3.0));
+      q.observations.push_back(
+          NewObjectObservation::Categorical(0, /*term=*/3));
       queries.push_back(std::move(q));
     }
     {
       NewObjectQuery q;  // combined evidence
       q.links.push_back({fixture_.docs[0], fixture_.doc_doc, 2.0});
-      q.observations.push_back({0, 0, 2.0, 0.0});
+      q.observations.push_back(
+          NewObjectObservation::Categorical(0, /*term=*/0, /*count=*/2.0));
       queries.push_back(std::move(q));
     }
     {
@@ -180,7 +183,7 @@ TEST_F(EngineFixture, InvalidQueriesFailAloneWithoutPoisoningTheBatch) {
   }
   {
     NewObjectQuery q;  // unknown attribute id
-    q.observations.push_back({42, 0, 1.0, 0.0});
+    q.observations.push_back(NewObjectObservation::Categorical(42, 0));
     queries.push_back(std::move(q));
   }
   {
@@ -190,7 +193,7 @@ TEST_F(EngineFixture, InvalidQueriesFailAloneWithoutPoisoningTheBatch) {
   }
   {
     NewObjectQuery q;  // term outside the trained vocabulary
-    q.observations.push_back({0, 77, 1.0, 0.0});
+    q.observations.push_back(NewObjectObservation::Categorical(0, 77));
     queries.push_back(std::move(q));
   }
 

@@ -124,13 +124,10 @@ TEST_F(InferenceFixture, LinksAloneAssignCorrectCluster) {
 TEST_F(InferenceFixture, TextAloneAssignsCorrectCluster) {
   // Terms {2,3} belong to community 1.
   std::vector<NewObjectObservation> obs;
-  NewObjectObservation o;
-  o.attribute = 0;
-  o.term = 2;
-  o.count = 3.0;
-  obs.push_back(o);
-  o.term = 3;
-  obs.push_back(o);
+  obs.push_back(
+      NewObjectObservation::Categorical(0, /*term=*/2, /*count=*/3.0));
+  obs.push_back(
+      NewObjectObservation::Categorical(0, /*term=*/3, /*count=*/3.0));
   auto theta = InferMembership(fixture_.dataset.network, model_, {}, obs);
   ASSERT_TRUE(theta.ok());
   EXPECT_NE(ArgMax(*theta), community0_cluster_);
@@ -139,10 +136,8 @@ TEST_F(InferenceFixture, TextAloneAssignsCorrectCluster) {
 TEST_F(InferenceFixture, LinksAndTextCombine) {
   std::vector<NewObjectLink> links = {
       {fixture_.docs[0], fixture_.doc_doc, 2.0}};
-  NewObjectObservation o;
-  o.attribute = 0;
-  o.term = 0;  // community-0 term
-  o.count = 2.0;
+  const NewObjectObservation o = NewObjectObservation::Categorical(
+      0, /*term=*/0 /* community-0 term */, /*count=*/2.0);
   auto theta = InferMembership(fixture_.dataset.network, model_, links, {o});
   ASSERT_TRUE(theta.ok());
   EXPECT_EQ(ArgMax(*theta), community0_cluster_);
@@ -172,8 +167,7 @@ TEST_F(InferenceFixture, RejectsBadReferences) {
                                {{fixture_.docs[0], fixture_.doc_doc, -1.0}},
                                {})
                    .ok());
-  NewObjectObservation bad;
-  bad.attribute = 42;
+  const NewObjectObservation bad = NewObjectObservation::Categorical(42, 0);
   EXPECT_FALSE(
       InferMembership(fixture_.dataset.network, model_, {}, {bad}).ok());
 }

@@ -73,7 +73,7 @@ TEST_F(ZeroMassTermFixture, ZeroMassTermStillContributesCountMass) {
   // count: {0.8 + 1.5, 0.2 + 1.5} -> normalized {0.575, 0.425}.
   auto result = InferMembership(
       network_, model_, {{target_, dd_, 1.0}},
-      {{/*attribute=*/0, kZeroMassTerm, /*count=*/3.0, 0.0}});
+      {NewObjectObservation::Categorical(0, kZeroMassTerm, /*count=*/3.0)});
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result->size(), 2u);
   EXPECT_NEAR((*result)[0], 0.575, 1e-12);
@@ -91,7 +91,7 @@ TEST_F(ZeroMassTermFixture, FoldInMatchesTrainingEStep) {
   // Serve side: fold in a new object with identical evidence.
   auto folded = InferMembership(
       network_, model_, {{target_, dd_, 1.0}},
-      {{/*attribute=*/0, kZeroMassTerm, /*count=*/3.0, 0.0}});
+      {NewObjectObservation::Categorical(0, kZeroMassTerm, /*count=*/3.0)});
   ASSERT_TRUE(folded.ok());
   const double* trained_row = theta.Row(trained_);
   for (size_t k = 0; k < 2; ++k) {
@@ -102,8 +102,8 @@ TEST_F(ZeroMassTermFixture, FoldInMatchesTrainingEStep) {
 TEST_F(ZeroMassTermFixture, PositiveMassTermUnaffected) {
   // Sanity: ordinary terms still weight clusters by theta * beta.
   auto result = InferMembership(network_, model_, {{target_, dd_, 1.0}},
-                                {{/*attribute=*/0, /*term=*/0,
-                                  /*count=*/1.0, 0.0}});
+                                {NewObjectObservation::Categorical(
+                                    0, /*term=*/0, /*count=*/1.0)});
   ASSERT_TRUE(result.ok());
   // Cluster 0 explains term 0 far better (0.7 vs 0.2), so it must gain.
   EXPECT_GT((*result)[0], 0.6);

@@ -1,6 +1,8 @@
 // One-file downstream consumer: trains a tiny model through Engine::Fit,
-// persists and reloads it, and serves one fold-in query. Exercises the
-// installed headers and every exported library layer end to end.
+// persists and reloads it, and serves fold-in queries through both the
+// legacy wrapper (Infer) and the batch-planned pipeline (Plan/Execute).
+// Exercises the installed headers and every exported library layer end to
+// end.
 #include <cstdio>
 #include <filesystem>
 
@@ -60,7 +62,15 @@ int main() {
   auto theta = engine->Infer(query);
   if (!theta.ok() || theta->size() != 2) return 1;
 
-  std::printf("consumer check OK: new doc membership [%.3f, %.3f]\n",
-              (*theta)[0], (*theta)[1]);
+  // The batch-planned pipeline must agree with the wrapper exactly.
+  InferenceResult planned = engine->Execute(engine->Plan({&query, 1}));
+  if (planned.size() != 1 || !planned.ok(0) ||
+      planned.memberships.RowVector(0) != *theta) {
+    return 1;
+  }
+
+  std::printf("consumer check OK: new doc membership [%.3f, %.3f] "
+              "(hard label %u)\n",
+              (*theta)[0], (*theta)[1], planned.hard_labels[0]);
   return 0;
 }
