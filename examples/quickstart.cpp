@@ -2,9 +2,10 @@
 // network by hand, train a clustering Model with Engine::Fit, print the
 // soft clustering and the learned relation strengths — then persist the
 // model, reload it, and serve fold-in queries for brand-new papers
-// through the batch-planned pipeline: Engine::Submit hands back a future
-// whose InferenceResult carries per-query status, membership and hard
-// label (train once, serve many).
+// through the serving tier: a Server coalesces singly-submitted queries
+// into micro-batches behind a bounded queue, and each future's
+// QueryResult carries status, membership and latency (train once,
+// serve many).
 //
 //   papers carry text; authors and venues carry nothing — their membership
 //   comes purely from links, and the strength of each relation is learned.
@@ -17,6 +18,7 @@
 
 #include "core/engine.h"
 #include "core/model_io.h"
+#include "core/server.h"
 #include "hin/dataset.h"
 
 using namespace genclus;
@@ -122,19 +124,28 @@ int main() {
                  reloaded.status().ToString().c_str());
     return 1;
   }
-  auto engine =
-      Engine::Create(&dataset.network, std::move(reloaded).value());
-  if (!engine.ok()) {
-    std::fprintf(stderr, "Engine::Create failed: %s\n",
-                 engine.status().ToString().c_str());
+  // The serving tier: a bounded request queue in front of the batch
+  // planner. Producers submit one query at a time; workers coalesce
+  // whatever is queued into a micro-batch and run it through the SpMM
+  // batch path, so single-query traffic executes at batch throughput.
+  // A full queue rejects immediately with kResourceExhausted instead of
+  // blocking the producer.
+  ServerOptions serve_options;
+  serve_options.num_workers = 2;
+  serve_options.queue_capacity = 256;
+  serve_options.max_batch = 64;
+  auto server = Server::Create(&dataset.network,
+                               std::move(reloaded).value(), serve_options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "Server::Create failed: %s\n",
+                 server.status().ToString().c_str());
     return 1;
   }
 
   // Two new papers: one by alice at VLDB using database words, one by bob
-  // at ICML using learning words. Engine::Submit plans the whole batch
-  // (per-query validation, one query x node sparse matrix), executes it
-  // through the SpMM kernel on a background thread, and the future's
-  // InferenceResult carries membership + hard label + status per query.
+  // at ICML using learning words. Each Submit returns a future whose
+  // QueryResult carries status, membership, hard label and the query's
+  // queue/total latency.
   std::vector<NewObjectQuery> queries(2);
   queries[0].links.push_back({authors[0], written_by, 1.0});
   queries[0].links.push_back({venues[0], published_by, 1.0});
@@ -147,25 +158,34 @@ int main() {
       NewObjectObservation::Categorical(/*attribute=*/0, /*term=*/3,
                                         /*count=*/2.0));
 
-  std::future<InferenceResult> pending = engine->Submit(queries);
-  const InferenceResult served = pending.get();
-  std::printf("\nnew papers served from the reloaded model "
-              "(planned %zu/%zu valid, %.0fus plan + %.0fus exec):\n",
-              served.report.valid_queries, served.report.batch_size,
-              served.report.plan_seconds * 1e6,
-              served.report.exec_seconds * 1e6);
-  const char* blurb[2] = {"alice + VLDB + database words",
-                          "bob + ICML + learning words"};
-  for (size_t i = 0; i < served.size(); ++i) {
-    if (!served.ok(i)) {
-      std::fprintf(stderr, "query %zu failed: %s\n", i,
-                   served.statuses[i].ToString().c_str());
+  std::vector<std::future<QueryResult>> pending;
+  for (const NewObjectQuery& query : queries) {
+    auto submitted = (*server)->Submit(query);
+    if (!submitted.ok()) {  // kResourceExhausted = queue full, back off
+      std::fprintf(stderr, "Submit rejected: %s\n",
+                   submitted.status().ToString().c_str());
       return 1;
     }
-    std::printf("  %-32s [%.3f, %.3f] -> cluster %u\n", blurb[i],
-                served.membership(i)[0], served.membership(i)[1],
-                served.hard_labels[i]);
+    pending.push_back(std::move(submitted).value());
   }
+  std::printf("\nnew papers served from the reloaded model:\n");
+  const char* blurb[2] = {"alice + VLDB + database words",
+                          "bob + ICML + learning words"};
+  for (size_t i = 0; i < pending.size(); ++i) {
+    const QueryResult answer = pending[i].get();
+    if (!answer.ok()) {
+      std::fprintf(stderr, "query %zu failed: %s\n", i,
+                   answer.status.ToString().c_str());
+      return 1;
+    }
+    std::printf("  %-32s [%.3f, %.3f] -> cluster %u (%.0fus end to end)\n",
+                blurb[i], answer.membership[0], answer.membership[1],
+                answer.hard_label, answer.total_seconds * 1e6);
+  }
+  const ServerStats stats = (*server)->Stats();
+  std::printf("server: %zu accepted, %zu micro-batches, "
+              "p99 end-to-end %.0fus\n",
+              stats.accepted, stats.batches, stats.end_to_end.p99_us);
   std::printf("\nExpected: papers/authors/venues of the two areas fall in\n"
               "opposite clusters; all objects get memberships even though\n"
               "only papers carry text — and new objects are served without\n"

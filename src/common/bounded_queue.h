@@ -1,0 +1,131 @@
+// Bounded MPMC queue with non-blocking admission — the backpressure
+// primitive of the serving tier (core/server.h). Producers never block:
+// TryPush fails immediately when the queue is at capacity or closed, so
+// an overloaded server can answer kResourceExhausted instead of queueing
+// unboundedly. Consumers block in PopBatch, which coalesces whatever is
+// queued into one batch: it waits for the first item, then lingers up to
+// `max_wait` gathering more until `max_items` — the micro-batching
+// admission policy, expressed once as a queue operation so it can be
+// tested without a server around it.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace genclus {
+
+/// Bounded multi-producer multi-consumer FIFO. All operations are
+/// thread-safe; closing wakes every blocked consumer and lets them drain
+/// the remaining items.
+template <typename T>
+class BoundedQueue {
+ public:
+  /// A queue holding at most `capacity` items (at least 1).
+  explicit BoundedQueue(size_t capacity)
+      : capacity_(capacity > 0 ? capacity : 1) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Non-blocking push: false when the queue is full or closed (the item
+  /// is dropped — callers surface backpressure to their own callers
+  /// instead of waiting).
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+      if (items_.size() > high_water_) high_water_ = items_.size();
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until at least one item is available (or the queue is closed
+  /// and drained — returns 0, the consumer's exit signal). Then moves up
+  /// to `max_items` into `*out` (cleared first), lingering up to
+  /// `max_wait` past the first pop for more arrivals so consumers see
+  /// micro-batches instead of single items. Never waits once `max_items`
+  /// is reached, the queue is closed, or `max_wait` is zero.
+  size_t PopBatch(std::vector<T>* out, size_t max_items,
+                  std::chrono::microseconds max_wait) {
+    out->clear();
+    if (max_items == 0) return 0;
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return 0;
+    const auto deadline = std::chrono::steady_clock::now() + max_wait;
+    for (;;) {
+      while (!items_.empty() && out->size() < max_items) {
+        out->push_back(std::move(items_.front()));
+        items_.pop_front();
+      }
+      if (out->size() >= max_items || closed_ ||
+          max_wait <= std::chrono::microseconds::zero()) {
+        break;
+      }
+      if (not_empty_.wait_until(lock, deadline, [this] {
+            return closed_ || !items_.empty();
+          })) {
+        continue;  // new arrivals (or close) before the linger expired
+      }
+      break;  // linger expired with nothing new
+    }
+    return out->size();
+  }
+
+  /// Pops one item, blocking. False when the queue is closed and drained.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Rejects all future pushes and wakes every blocked consumer. Items
+  /// already queued remain poppable (consumers drain, then see 0/false).
+  /// Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  /// Largest depth the queue ever reached — the admission-loop tuning
+  /// signal ServerStats reports.
+  size_t high_water() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return high_water_;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  size_t high_water_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace genclus

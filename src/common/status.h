@@ -22,6 +22,9 @@ enum class StatusCode {
   kNotConverged,
   kInternal,
   kCancelled,
+  /// A bounded resource (e.g. the serving tier's request queue) is at
+  /// capacity; the caller should back off and retry.
+  kResourceExhausted,
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -67,6 +70,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -87,14 +87,44 @@ void ThreadPool::ParallelFor(
     fn(0, 0, n);
     return;
   }
+  // Per-call completion state, so concurrent ParallelFor batches on one
+  // pool never cross their completion or error tracking (each caller
+  // waits for exactly its own shards). Shard tasks catch internally and
+  // report here, not into the pool-level first_error_.
+  struct BatchState {
+    std::mutex mutex;
+    std::condition_variable done;
+    size_t remaining = 0;
+    std::exception_ptr first_error;
+  } state;
   const size_t chunk = (n + shards - 1) / shards;
+  size_t submitted = 0;
   for (size_t s = 0; s < shards; ++s) {
+    if (s * chunk >= n) break;
+    ++submitted;
+  }
+  state.remaining = submitted;
+  for (size_t s = 0; s < submitted; ++s) {
     const size_t begin = s * chunk;
     const size_t end = std::min(n, begin + chunk);
-    if (begin >= end) break;
-    Submit([&fn, s, begin, end] { fn(s, begin, end); });
+    Submit([&fn, &state, s, begin, end] {
+      std::exception_ptr error;
+      try {
+        fn(s, begin, end);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      // Notify under the lock: `state` lives on the caller's stack, and
+      // the caller may return (destroying it) the moment it observes
+      // remaining == 0 — which it cannot do before this lock is released.
+      std::lock_guard<std::mutex> lock(state.mutex);
+      if (error && !state.first_error) state.first_error = std::move(error);
+      if (--state.remaining == 0) state.done.notify_all();
+    });
   }
-  Wait();
+  std::unique_lock<std::mutex> lock(state.mutex);
+  state.done.wait(lock, [&state] { return state.remaining == 0; });
+  if (state.first_error) std::rethrow_exception(state.first_error);
 }
 
 }  // namespace genclus

@@ -25,10 +25,16 @@ namespace genclus {
 /// without atomics.
 ///
 /// Exception safety: a task that throws does not kill its worker thread or
-/// leak the in-flight count. The first exception of a batch is captured
-/// and rethrown from the next Wait() (and therefore from ParallelFor);
-/// later exceptions of the same batch are dropped. The pool stays usable
-/// after a rethrow.
+/// leak the in-flight count. A Submit()ted task's first exception is
+/// captured and rethrown from the next Wait(); a ParallelFor shard's first
+/// exception is rethrown from that ParallelFor call itself. The pool stays
+/// usable after a rethrow.
+///
+/// Concurrency: ParallelFor tracks completion per call, so multiple
+/// threads may run ParallelFor batches on one pool concurrently (the
+/// serving tier's worker sessions do) — each call blocks on exactly its
+/// own shards and sees exactly its own errors. Calling ParallelFor from
+/// inside a pool task still deadlocks; fan out from external threads only.
 class ThreadPool {
  public:
   /// Creates `num_threads` workers. `num_threads == 0` means "hardware
@@ -44,7 +50,8 @@ class ThreadPool {
   /// Runs fn(shard, begin, end) over a partition of [0, n) into
   /// min(num_threads, n) contiguous shards. Blocks until done. Runs inline
   /// when n is small or the pool has a single thread. Rethrows the first
-  /// exception thrown by any shard once every shard has finished.
+  /// exception thrown by any shard once every shard has finished. Safe to
+  /// call from multiple threads concurrently (per-call completion state).
   void ParallelFor(size_t n,
                    const std::function<void(size_t, size_t, size_t)>& fn);
 

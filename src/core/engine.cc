@@ -2,9 +2,12 @@
 
 #include <mutex>
 #include <utility>
+#include <vector>
 
+#include "common/check.h"
 #include "common/string_util.h"
 #include "common/timer.h"
+#include "core/server.h"
 
 namespace genclus {
 
@@ -65,21 +68,52 @@ Result<FitResult> Engine::Fit(const Dataset& dataset,
   return out;
 }
 
-// Batch planner plus the serialized execution state. The session's
-// ServeWorkspace is reused across batches (model-side tables are built
-// once); the mutex serializes Execute calls because ThreadPool::Wait
-// tracks all in-flight tasks globally — interleaving two ParallelFor
-// batches on one pool would cross their completion (and error) tracking.
+// Batch planner plus a pool of InferSessions. Sessions are created
+// lazily, one per concurrent Execute caller, and recycled through the
+// free list — each owns its own ServeWorkspace, so concurrent batches
+// execute in parallel with no global execution mutex (ParallelFor tracks
+// completion per call, so sessions may share the engine's thread pool).
+// The Submit wrapper's micro-batching Server is also created lazily here,
+// so engines that never Submit pay for no worker threads.
 struct Engine::ServeState {
   ServeState(const Network* network, const Model* model, ThreadPool* pool,
              const EngineOptions& options)
-      : planner(network, model),
-        session(model, pool, options.inference_iterations,
-                options.theta_floor) {}
+      : network(network),
+        model(model),
+        pool(pool),
+        options(options),
+        planner(network, model) {}
 
+  const Network* network;
+  const Model* model;
+  ThreadPool* pool;
+  EngineOptions options;
   BatchPlanner planner;
-  std::mutex exec_mutex;
-  InferSession session;
+
+  std::mutex session_mutex;
+  std::vector<std::unique_ptr<InferSession>> free_sessions;
+
+  std::mutex submit_mutex;
+  std::unique_ptr<Server> submit_server;
+
+  std::unique_ptr<InferSession> AcquireSession() {
+    {
+      std::lock_guard<std::mutex> lock(session_mutex);
+      if (!free_sessions.empty()) {
+        std::unique_ptr<InferSession> session =
+            std::move(free_sessions.back());
+        free_sessions.pop_back();
+        return session;
+      }
+    }
+    return std::make_unique<InferSession>(
+        model, pool, options.inference_iterations, options.theta_floor);
+  }
+
+  void ReleaseSession(std::unique_ptr<InferSession> session) {
+    std::lock_guard<std::mutex> lock(session_mutex);
+    free_sessions.push_back(std::move(session));
+  }
 };
 
 Engine::Engine(Engine&&) noexcept = default;
@@ -116,24 +150,49 @@ InferPlan Engine::Plan(std::span<const NewObjectQuery> queries) const {
 }
 
 InferenceResult Engine::Execute(const InferPlan& plan) const {
-  std::lock_guard<std::mutex> lock(serve_->exec_mutex);
-  return serve_->session.Execute(plan);
+  // Check a session out of the pool (or build one for a new concurrency
+  // level) and return it afterwards; an exception drops the session
+  // instead of recycling it, which is safe — just slower next time.
+  std::unique_ptr<InferSession> session = serve_->AcquireSession();
+  InferenceResult result = session->Execute(plan);
+  serve_->ReleaseSession(std::move(session));
+  return result;
 }
 
 std::future<InferenceResult> Engine::Submit(
     std::vector<NewObjectQuery> queries) const {
-  // One background thread per batch: execution itself fans out over the
-  // engine's pool, so running Plan + Execute inside a pool worker would
-  // deadlock the pool's global Wait. Capture the heap-held ServeState
-  // rather than `this`, so a pending future survives an Engine move (the
-  // engine — wherever it was moved to — must still outlive completion).
+  // Deprecated wrapper over the serving tier (core/server.h): the batch
+  // rides the same bounded queue + micro-batching workers as Server
+  // submissions, and per-query answers stay bitwise identical to
+  // Execute(Plan(queries)). Unlike the old per-batch std::async path,
+  // nothing here can outlive the engine: the lazily created server is
+  // owned by ServeState and its destructor drains every outstanding
+  // submission before the workers join, so destroying an Engine with a
+  // pending future is safe (the future still completes).
   ServeState* serve = serve_.get();
-  return std::async(std::launch::async,
-                    [serve, queries = std::move(queries)]() {
-                      InferPlan plan = serve->planner.Plan(queries);
-                      std::lock_guard<std::mutex> lock(serve->exec_mutex);
-                      return serve->session.Execute(plan);
-                    });
+  Server* server;
+  {
+    std::lock_guard<std::mutex> lock(serve->submit_mutex);
+    if (serve->submit_server == nullptr) {
+      ServerOptions options;
+      options.num_workers = pool_->num_threads();
+      // Roomy bound: the deprecated path should only reject under truly
+      // pathological in-flight volume (per-query statuses then carry
+      // kResourceExhausted; Server::Submit is the API with real
+      // backpressure control).
+      options.queue_capacity = 1 << 16;
+      options.max_batch = 256;
+      options.max_wait_us = 50;
+      options.inference_iterations = options_.inference_iterations;
+      options.theta_floor = options_.theta_floor;
+      auto server_or = Server::Create(network_, model_.get(), options);
+      GENCLUS_CHECK_MSG(server_or.ok(),
+                        "internal Submit server must construct");
+      serve->submit_server = std::move(server_or).value();
+    }
+    server = serve->submit_server.get();
+  }
+  return server->SubmitBatch(std::move(queries));
 }
 
 Result<std::vector<double>> Engine::Infer(const NewObjectQuery& query) const {

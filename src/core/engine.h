@@ -17,11 +17,14 @@
 // never poisons the rest) and assembles the valid queries' links into one
 // query x node CSR. Execute routes the whole batch's link term through
 // the SpMM kernel and runs the attribute sweeps over fixed-grain query
-// blocks on the engine's pool, reusing one ServeWorkspace across batches;
-// results are bitwise identical to the per-query InferMembership
-// reference and to any thread count. Submit runs Plan + Execute
-// asynchronously and hands back a future. Infer/InferBatch remain as thin
-// wrappers over a one-query / one-shot plan.
+// blocks on the engine's pool; results are bitwise identical to the
+// per-query InferMembership reference and to any thread count. Concurrent
+// Execute calls run in parallel, each on its own pooled InferSession
+// (own ServeWorkspace) — there is no global execution mutex. Submit is a
+// deprecated thin wrapper over the micro-batching serving tier
+// (core/server.h); high-traffic callers should run a Server directly.
+// Infer/InferBatch remain as thin wrappers over a one-query / one-shot
+// plan.
 #pragma once
 
 #include <future>
@@ -124,13 +127,19 @@ class Engine {
 
   /// Executes a plan this engine produced: one SpMM pass for the batch
   /// link term plus blocked attribute sweeps over the pool. Concurrent
-  /// calls are serialized on the engine's execution state; results are
-  /// bitwise identical to per-query InferMembership for any thread count.
+  /// calls execute in parallel, each on its own pooled InferSession;
+  /// results are bitwise identical to per-query InferMembership for any
+  /// thread count.
   InferenceResult Execute(const InferPlan& plan) const;
 
-  /// Plan + Execute on a background thread; the returned future carries
-  /// the full typed result. The engine must outlive the future's
-  /// completion (the future's destructor blocks until it has run).
+  /// DEPRECATED: thin wrapper over the micro-batching serving tier
+  /// (core/server.h) — new callers should create a Server and Submit
+  /// per-query for bounded-queue backpressure and stats. The batch is
+  /// admitted to an engine-owned Server and the future carries the
+  /// assembled typed result, bitwise identical to Execute(Plan(queries)).
+  /// Destroying the engine with pending futures is safe: the internal
+  /// server drains every outstanding submission first, so the futures
+  /// still complete.
   std::future<InferenceResult> Submit(
       std::vector<NewObjectQuery> queries) const;
 
@@ -154,8 +163,11 @@ class Engine {
   std::unique_ptr<Model> model_;
   EngineOptions options_;
   std::unique_ptr<ThreadPool> pool_;
-  // Planner plus the serialized execution state (mutex + session with its
-  // reusable ServeWorkspace); defined in engine.cc.
+  // Planner, the recycled InferSession pool (one session per concurrent
+  // Execute caller) and the lazily built Submit server; defined in
+  // engine.cc. Declared last so it is destroyed first: the Submit
+  // server's destructor drains outstanding submissions while model_ and
+  // pool_ are still alive.
   std::unique_ptr<ServeState> serve_;
 };
 

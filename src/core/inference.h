@@ -27,8 +27,9 @@
 //     attribute sweeps run over fixed-grain query blocks, so results are
 //     bitwise invariant to the thread count.
 //
-// Engine (core/engine.h) wraps the pipeline behind Plan/Execute/Submit
-// and keeps Infer/InferBatch as thin wrappers over a one-shot plan.
+// Engine (core/engine.h) wraps the pipeline behind Plan/Execute and keeps
+// Infer/InferBatch as thin wrappers over a one-shot plan; Server
+// (core/server.h) runs it behind a bounded micro-batching request queue.
 #pragma once
 
 #include <cstdint>
@@ -262,8 +263,9 @@ class ServeWorkspace {
 /// Executes InferPlans over a thread pool, reusing one ServeWorkspace
 /// across batches. `model` must outlive the session and must not change
 /// while the session exists; `pool` may be null for serial execution.
-/// Not thread-safe: callers running batches concurrently must serialize
-/// Execute (Engine does) or use one session per thread.
+/// Not thread-safe: callers running batches concurrently use one session
+/// per concurrent batch (Engine recycles a session pool; Server gives
+/// each worker thread its own session).
 class InferSession {
  public:
   InferSession(const Model* model, ThreadPool* pool,

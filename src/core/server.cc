@@ -1,0 +1,354 @@
+#include "core/server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace genclus {
+
+namespace {
+
+// Latency rings keep the most recent samples only: percentiles reflect
+// current behavior, memory stays bounded under sustained traffic.
+constexpr size_t kMaxLatencySamples = 8192;
+
+// Nearest-rank percentile over a scratch copy of the ring.
+double Percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  const size_t rank = std::min(
+      samples.size() - 1,
+      static_cast<size_t>(q * static_cast<double>(samples.size())));
+  std::nth_element(samples.begin(), samples.begin() + rank, samples.end());
+  return samples[rank];
+}
+
+LatencySummary Summarize(const std::vector<double>& samples) {
+  LatencySummary out;
+  out.count = samples.size();
+  if (samples.empty()) return out;
+  out.p50_us = Percentile(samples, 0.50);
+  out.p90_us = Percentile(samples, 0.90);
+  out.p99_us = Percentile(samples, 0.99);
+  out.max_us = *std::max_element(samples.begin(), samples.end());
+  return out;
+}
+
+double SecondsBetween(std::chrono::steady_clock::time_point from,
+                      std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+Status ServerOptions::Validate() const {
+  if (queue_capacity < 1) {
+    return Status::InvalidArgument("queue_capacity must be >= 1");
+  }
+  if (max_batch < 1) {
+    return Status::InvalidArgument("max_batch must be >= 1");
+  }
+  if (inference_iterations < 1) {
+    return Status::InvalidArgument("inference_iterations must be >= 1");
+  }
+  if (!(theta_floor > 0.0)) {
+    return Status::InvalidArgument("theta_floor must be > 0");
+  }
+  return Status::OK();
+}
+
+// Whole-batch reassembly state. The result is preallocated at submit time
+// (zero membership rows, kNoHardLabel) and each completion fills its slot;
+// `remaining` counts down under `mutex` and the thread that takes it to
+// zero fulfills the promise. Rejected slots count down too, so the batch
+// future always completes.
+struct Server::BatchCollector {
+  std::mutex mutex;
+  size_t remaining = 0;
+  InferenceResult result;
+  std::promise<InferenceResult> promise;
+};
+
+void Server::SampleRing::Add(double us) {
+  if (samples.size() < kMaxLatencySamples) {
+    samples.push_back(us);
+    return;
+  }
+  samples[next] = us;
+  next = (next + 1) % kMaxLatencySamples;
+}
+
+Result<std::unique_ptr<Server>> Server::Create(const Network* network,
+                                               Model model,
+                                               ServerOptions options) {
+  if (network == nullptr) {
+    return Status::InvalidArgument("network must not be null");
+  }
+  GENCLUS_RETURN_IF_ERROR(options.Validate());
+  GENCLUS_RETURN_IF_ERROR(model.ValidateAgainst(*network));
+  auto owned = std::make_unique<Model>(std::move(model));
+  const Model* raw = owned.get();
+  return std::unique_ptr<Server>(
+      new Server(network, std::move(owned), raw, options));
+}
+
+Result<std::unique_ptr<Server>> Server::Create(const Network* network,
+                                               const Model* model,
+                                               ServerOptions options) {
+  if (network == nullptr) {
+    return Status::InvalidArgument("network must not be null");
+  }
+  if (model == nullptr) {
+    return Status::InvalidArgument("model must not be null");
+  }
+  GENCLUS_RETURN_IF_ERROR(options.Validate());
+  GENCLUS_RETURN_IF_ERROR(model->ValidateAgainst(*network));
+  return std::unique_ptr<Server>(new Server(network, nullptr, model, options));
+}
+
+Server::Server(const Network* network, std::unique_ptr<Model> owned_model,
+               const Model* model, ServerOptions options)
+    : options_(options),
+      owned_model_(std::move(owned_model)),
+      model_(model),
+      planner_(network, model),
+      queue_(options.queue_capacity),
+      batch_size_histogram_(options.max_batch + 1, 0) {
+  size_t num_workers = options_.num_workers;
+  if (num_workers == 0) {
+    num_workers = std::max<unsigned>(1, std::thread::hardware_concurrency());
+  }
+  options_.num_workers = num_workers;
+  workers_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Server::~Server() { Stop(); }
+
+void Server::Stop() {
+  std::lock_guard<std::mutex> lock(stop_mutex_);
+  if (stopped_) return;
+  stopped_ = true;
+  if (!options_.drain_on_stop) cancel_pending_.store(true);
+  // Close first: admissions stop, workers drain what is left (executing
+  // or cancelling it), then their PopBatch returns 0 and they exit.
+  queue_.Close();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+bool Server::Enqueue(Request request, Status* rejection) {
+  if (queue_.TryPush(std::move(request))) {
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  rejected_.fetch_add(1, std::memory_order_relaxed);
+  *rejection = queue_.closed()
+                   ? Status::FailedPrecondition("server is stopped")
+                   : Status::ResourceExhausted(StrFormat(
+                         "request queue full (capacity %zu)",
+                         queue_.capacity()));
+  return false;
+}
+
+Result<std::future<QueryResult>> Server::Submit(NewObjectQuery query) {
+  Request request;
+  request.query = std::move(query);
+  request.enqueued_at = std::chrono::steady_clock::now();
+  std::future<QueryResult> future = request.promise.get_future();
+  Status rejection;
+  if (!Enqueue(std::move(request), &rejection)) return rejection;
+  return future;
+}
+
+std::future<InferenceResult> Server::SubmitBatch(
+    std::vector<NewObjectQuery> queries) {
+  auto collector = std::make_shared<BatchCollector>();
+  const size_t n = queries.size();
+  const size_t num_clusters = model_->num_clusters();
+  collector->remaining = n;
+  collector->result.statuses.assign(n, Status::OK());
+  collector->result.memberships = Matrix(n, num_clusters);
+  collector->result.hard_labels.assign(n, kNoHardLabel);
+  collector->result.report.batch_size = n;
+  std::future<InferenceResult> future = collector->promise.get_future();
+  if (n == 0) {
+    collector->promise.set_value(std::move(collector->result));
+    return future;
+  }
+  const auto now = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < n; ++i) {
+    Request request;
+    request.query = std::move(queries[i]);
+    request.collector = collector;
+    request.slot = i;
+    request.num_links = request.query.links.size();
+    request.num_observations = request.query.observations.size();
+    request.enqueued_at = now;
+    Status rejection;
+    if (!Enqueue(std::move(request), &rejection)) {
+      // The request (and its collector reference) was dropped by the
+      // queue; complete the slot right here so the batch future still
+      // resolves.
+      CompleteCollectorSlot(*collector, i, std::move(rejection),
+                            /*membership=*/nullptr, num_clusters,
+                            kNoHardLabel, 0, 0, 0.0, 0.0);
+    }
+  }
+  return future;
+}
+
+void Server::CompleteCollectorSlot(BatchCollector& collector, size_t slot,
+                                   Status status, const double* membership,
+                                   size_t num_clusters, uint32_t hard_label,
+                                   size_t num_links, size_t num_observations,
+                                   double plan_share_seconds,
+                                   double exec_share_seconds) {
+  bool last = false;
+  {
+    std::lock_guard<std::mutex> lock(collector.mutex);
+    const bool ok = status.ok();
+    collector.result.statuses[slot] = std::move(status);
+    if (membership != nullptr) {
+      std::memcpy(collector.result.memberships.Row(slot), membership,
+                  num_clusters * sizeof(double));
+    }
+    collector.result.hard_labels[slot] = hard_label;
+    if (ok) {
+      collector.result.report.valid_queries += 1;
+      collector.result.report.total_links += num_links;
+      collector.result.report.total_observations += num_observations;
+    }
+    collector.result.report.plan_seconds += plan_share_seconds;
+    collector.result.report.exec_seconds += exec_share_seconds;
+    last = (--collector.remaining == 0);
+  }
+  if (last) collector.promise.set_value(std::move(collector.result));
+}
+
+void Server::Deliver(Request& request, const InferenceResult& result,
+                     size_t row, double plan_share_seconds,
+                     double exec_share_seconds,
+                     std::chrono::steady_clock::time_point dequeued_at,
+                     std::chrono::steady_clock::time_point now) {
+  // Counted BEFORE the promise is fulfilled: a caller that just resolved
+  // its future must see stats that already include that query.
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  const Status& status = result.statuses[row];
+  const size_t num_clusters = result.memberships.cols();
+  if (request.collector != nullptr) {
+    CompleteCollectorSlot(
+        *request.collector, request.slot, status,
+        status.ok() ? result.memberships.Row(row) : nullptr, num_clusters,
+        result.hard_labels[row], request.num_links,
+        request.num_observations, plan_share_seconds, exec_share_seconds);
+  } else {
+    QueryResult answer;
+    answer.status = status;
+    if (status.ok()) {
+      answer.membership.assign(result.memberships.Row(row),
+                               result.memberships.Row(row) + num_clusters);
+    }
+    answer.hard_label = result.hard_labels[row];
+    answer.queue_seconds = SecondsBetween(request.enqueued_at, dequeued_at);
+    answer.total_seconds = SecondsBetween(request.enqueued_at, now);
+    request.promise.set_value(std::move(answer));
+  }
+}
+
+void Server::Cancel(Request& request) {
+  cancelled_.fetch_add(1, std::memory_order_relaxed);  // before fulfillment
+  Status status = Status::Cancelled("server stopped before execution");
+  if (request.collector != nullptr) {
+    CompleteCollectorSlot(*request.collector, request.slot,
+                          std::move(status), nullptr,
+                          model_->num_clusters(), kNoHardLabel, 0, 0, 0.0,
+                          0.0);
+  } else {
+    QueryResult answer;
+    answer.status = std::move(status);
+    request.promise.set_value(std::move(answer));
+  }
+}
+
+// The admission loop body each worker runs: coalesce queued queries into
+// one micro-batch, plan + execute it on this worker's own session (own
+// ServeWorkspace — workers never share mutable execution state, so
+// micro-batches run concurrently), deliver per-query answers, record
+// stats. The session runs its batch serially: with num_workers sessions
+// in flight the tier already saturates the cores batch-wise, and serial
+// execution keeps per-batch latency deterministic.
+void Server::WorkerLoop() {
+  InferSession session(model_, /*pool=*/nullptr,
+                       options_.inference_iterations, options_.theta_floor);
+  std::vector<Request> batch;
+  std::vector<NewObjectQuery> queries;
+  const std::chrono::microseconds linger(options_.max_wait_us);
+  while (queue_.PopBatch(&batch, options_.max_batch, linger) > 0) {
+    const auto dequeued_at = std::chrono::steady_clock::now();
+    if (cancel_pending_.load(std::memory_order_relaxed)) {
+      for (Request& request : batch) Cancel(request);
+      continue;
+    }
+    queries.clear();
+    queries.reserve(batch.size());
+    for (Request& request : batch) {
+      queries.push_back(std::move(request.query));
+    }
+    InferPlan plan = planner_.Plan(queries);
+    InferenceResult result = session.Execute(plan);
+    const auto done_at = std::chrono::steady_clock::now();
+    // Per-query attribution of the shared plan/exec cost: equal shares,
+    // so whole-batch reassembly sums back to the micro-batch totals.
+    const double share = 1.0 / static_cast<double>(batch.size());
+    const double plan_share = plan.plan_seconds * share;
+    const double exec_share = result.report.exec_seconds * share;
+    // Stats first, delivery second: the moment a future resolves, the
+    // histogram and latency rings already cover its micro-batch.
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      batch_size_histogram_[batch.size()] += 1;
+      plan_us_.Add(plan.plan_seconds * 1e6);
+      exec_us_.Add(result.report.exec_seconds * 1e6);
+      for (const Request& request : batch) {
+        queue_wait_us_.Add(
+            SecondsBetween(request.enqueued_at, dequeued_at) * 1e6);
+        end_to_end_us_.Add(
+            SecondsBetween(request.enqueued_at, done_at) * 1e6);
+      }
+    }
+    for (size_t i = 0; i < batch.size(); ++i) {
+      Deliver(batch[i], result, i, plan_share, exec_share, dequeued_at,
+              done_at);
+    }
+  }
+}
+
+ServerStats Server::Stats() const {
+  ServerStats out;
+  out.accepted = accepted_.load(std::memory_order_relaxed);
+  out.rejected = rejected_.load(std::memory_order_relaxed);
+  out.completed = completed_.load(std::memory_order_relaxed);
+  out.cancelled = cancelled_.load(std::memory_order_relaxed);
+  out.batches = batches_.load(std::memory_order_relaxed);
+  out.queue_depth = queue_.size();
+  out.queue_high_water = queue_.high_water();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    out.batch_size_histogram = batch_size_histogram_;
+    out.queue_wait = Summarize(queue_wait_us_.samples);
+    out.plan = Summarize(plan_us_.samples);
+    out.exec = Summarize(exec_us_.samples);
+    out.end_to_end = Summarize(end_to_end_us_.samples);
+  }
+  return out;
+}
+
+}  // namespace genclus

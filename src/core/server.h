@@ -1,0 +1,244 @@
+// The serving tier: a Server owns the Plan/Execute pipeline behind a
+// bounded MPMC request queue with backpressure and micro-batching.
+//
+//   Submit(query)  --TryPush-->  BoundedQueue  --PopBatch-->  N workers
+//     (never blocks;               (bounded,       (coalesce up to
+//      queue full =>                backpressure)   max_batch queries,
+//      kResourceExhausted)                          linger max_wait_us)
+//
+// Each worker thread owns its own InferSession (and therefore its own
+// ServeWorkspace), so micro-batches execute concurrently — no global
+// execution mutex. The admission loop coalesces queued single queries
+// into micro-batches sized to the SpMM sweet spot (serve_bench maps the
+// batch-size curve; max_batch defaults into its knee). Because every
+// query's sweep depends only on its own links and observations, the
+// per-query answers are bitwise identical to Engine::InferBatch no matter
+// how the admission loop happens to batch them — the contract
+// tests/core/server_test.cc pins under concurrency.
+//
+// Results are delivered per query through promises: Submit hands back a
+// std::future<QueryResult> that becomes ready when some worker finishes
+// the query's micro-batch. SubmitBatch enqueues a whole batch and returns
+// one future for the assembled InferenceResult (Engine::Submit is now a
+// thin deprecated wrapper over it). Stop() closes the queue and — by
+// default — drains it: every admitted request is executed before the
+// workers join, so pending futures always complete and nothing dangles
+// (the fix for the old Submit's use-after-free on Engine destruction).
+// With drain_on_stop = false, requests still queued at Stop() fail fast
+// with kCancelled instead of executing.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/bounded_queue.h"
+#include "common/status.h"
+#include "core/inference.h"
+#include "core/model.h"
+#include "hin/network.h"
+
+namespace genclus {
+
+/// Admission and execution knobs of the serving tier.
+struct ServerOptions {
+  /// Worker threads, each owning one InferSession + ServeWorkspace.
+  /// 0 = hardware concurrency.
+  size_t num_workers = 2;
+  /// Request-queue bound: admissions beyond this many queued queries are
+  /// rejected with kResourceExhausted (never queued unboundedly).
+  size_t queue_capacity = 1024;
+  /// Largest micro-batch a worker coalesces per dequeue. 64 sits at the
+  /// knee of serve_bench's batch-size curve: most of the SpMM win of
+  /// batch 256 without its queueing delay.
+  size_t max_batch = 64;
+  /// How long a worker lingers after the first dequeued query for more
+  /// arrivals to coalesce. 0 = take only what is already queued.
+  size_t max_wait_us = 200;
+  /// Stop()/destructor policy: true executes every queued request before
+  /// the workers join (pending futures complete with real answers);
+  /// false fails still-queued requests fast with kCancelled.
+  bool drain_on_stop = true;
+  /// Fixed-point sweeps per query (see InferMembership).
+  size_t inference_iterations = ServeDefaults::kInferenceIterations;
+  /// Floor applied to inferred membership probabilities.
+  double theta_floor = ServeDefaults::kThetaFloor;
+
+  Status Validate() const;
+};
+
+/// One served query's answer, delivered through Submit's future.
+struct QueryResult {
+  /// Validation/admission outcome; membership is meaningful only when ok.
+  Status status;
+  /// Membership over the model's clusters — bitwise identical to what
+  /// Engine::InferBatch returns for the same query.
+  std::vector<double> membership;
+  uint32_t hard_label = kNoHardLabel;
+  /// Seconds the query waited in the queue before a worker dequeued it.
+  double queue_seconds = 0.0;
+  /// Seconds from admission to completion (queue + plan + execute).
+  double total_seconds = 0.0;
+
+  bool ok() const { return status.ok(); }
+};
+
+/// Percentiles over the most recent samples of one latency metric
+/// (microseconds). Zero count = no samples yet.
+struct LatencySummary {
+  size_t count = 0;
+  double p50_us = 0.0;
+  double p90_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+};
+
+/// Observability snapshot of a running Server (Server::Stats()).
+struct ServerStats {
+  /// Requests admitted into the queue (including not-yet-executed ones).
+  size_t accepted = 0;
+  /// Requests rejected at admission because the queue was full or the
+  /// server was stopping.
+  size_t rejected = 0;
+  /// Requests whose result has been delivered.
+  size_t completed = 0;
+  /// Requests failed with kCancelled by a non-draining Stop().
+  size_t cancelled = 0;
+  /// Micro-batches executed.
+  size_t batches = 0;
+  /// Queue depth right now and the highest depth ever observed.
+  size_t queue_depth = 0;
+  size_t queue_high_water = 0;
+  /// batch_size_histogram[s] = micro-batches that coalesced exactly s
+  /// queries (index 0 unused; size max_batch + 1).
+  std::vector<size_t> batch_size_histogram;
+  /// Latency percentiles over the most recent samples: time spent queued,
+  /// per-micro-batch plan and execute phases, and admission-to-delivery.
+  LatencySummary queue_wait;
+  LatencySummary plan;
+  LatencySummary exec;
+  LatencySummary end_to_end;
+};
+
+/// Micro-batching fold-in server over a (network, model) pair. Create it
+/// once, Submit from any number of threads, Stop (or destroy) to shut
+/// down. The network must outlive the server; the model is either owned
+/// (Model overload) or borrowed (const Model* overload — must outlive the
+/// server and stay unmutated, the contract Engine relies on).
+class Server {
+ public:
+  /// Validates options and model-vs-network consistency, then starts the
+  /// worker threads. The returned server is ready to Submit to.
+  static Result<std::unique_ptr<Server>> Create(const Network* network,
+                                                Model model,
+                                                ServerOptions options = {});
+  static Result<std::unique_ptr<Server>> Create(const Network* network,
+                                                const Model* model,
+                                                ServerOptions options = {});
+
+  /// Stops (draining per options) and joins the workers.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Admits one query. Returns the future carrying its eventual answer,
+  /// or — immediately, never blocking — kResourceExhausted when the queue
+  /// is at capacity / kFailedPrecondition when the server is stopped.
+  Result<std::future<QueryResult>> Submit(NewObjectQuery query);
+
+  /// Admits a whole batch and returns one future for the assembled
+  /// InferenceResult: slot i holds query i's status/membership/hard
+  /// label, bitwise identical to Engine::InferBatch on the same queries.
+  /// Queries that do not fit the queue fail their slot with
+  /// kResourceExhausted (the batch future still completes). Never blocks.
+  std::future<InferenceResult> SubmitBatch(
+      std::vector<NewObjectQuery> queries);
+
+  /// Closes the queue (further Submits are rejected) and joins the
+  /// workers; pending requests drain or cancel per
+  /// ServerOptions::drain_on_stop. Idempotent and thread-safe.
+  void Stop();
+
+  /// Observability snapshot; callable from any thread at any time.
+  ServerStats Stats() const;
+
+  const Model& model() const { return *model_; }
+  size_t num_workers() const { return workers_.size(); }
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  // A whole-batch submission being reassembled from its scattered
+  // per-query completions; the last completion fulfills the promise.
+  struct BatchCollector;
+
+  // One admitted query in flight: delivered either through its own
+  // promise (Submit) or into a collector slot (SubmitBatch).
+  struct Request {
+    NewObjectQuery query;
+    std::promise<QueryResult> promise;
+    std::shared_ptr<BatchCollector> collector;
+    size_t slot = 0;
+    size_t num_links = 0;
+    size_t num_observations = 0;
+    std::chrono::steady_clock::time_point enqueued_at;
+  };
+
+  Server(const Network* network, std::unique_ptr<Model> owned_model,
+         const Model* model, ServerOptions options);
+
+  bool Enqueue(Request request, Status* rejection);
+  void WorkerLoop();
+  void Deliver(Request& request, const InferenceResult& result, size_t row,
+               double plan_share_seconds, double exec_share_seconds,
+               std::chrono::steady_clock::time_point dequeued_at,
+               std::chrono::steady_clock::time_point now);
+  void Cancel(Request& request);
+  static void CompleteCollectorSlot(BatchCollector& collector, size_t slot,
+                                    Status status, const double* membership,
+                                    size_t num_clusters, uint32_t hard_label,
+                                    size_t num_links,
+                                    size_t num_observations,
+                                    double plan_share_seconds,
+                                    double exec_share_seconds);
+
+  ServerOptions options_;
+  std::unique_ptr<Model> owned_model_;
+  const Model* model_;
+  BatchPlanner planner_;
+  BoundedQueue<Request> queue_;
+  std::vector<std::thread> workers_;
+
+  // Stop() coordination: set before Close() so a non-draining stop makes
+  // workers cancel instead of executing what they pop.
+  std::atomic<bool> cancel_pending_{false};
+  std::mutex stop_mutex_;
+  bool stopped_ = false;
+
+  // Stats: counters are atomics (hot, touched per request); the latency
+  // sample rings and histogram are guarded by stats_mutex_ and touched
+  // once per micro-batch.
+  std::atomic<size_t> accepted_{0};
+  std::atomic<size_t> rejected_{0};
+  std::atomic<size_t> completed_{0};
+  std::atomic<size_t> cancelled_{0};
+  std::atomic<size_t> batches_{0};
+  struct SampleRing {
+    std::vector<double> samples;  // microseconds
+    size_t next = 0;
+    void Add(double us);
+  };
+  mutable std::mutex stats_mutex_;
+  SampleRing queue_wait_us_;
+  SampleRing plan_us_;
+  SampleRing exec_us_;
+  SampleRing end_to_end_us_;
+  std::vector<size_t> batch_size_histogram_;
+};
+
+}  // namespace genclus

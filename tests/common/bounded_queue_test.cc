@@ -1,0 +1,168 @@
+// BoundedQueue: the serving tier's backpressure + micro-batching
+// primitive. Covers non-blocking admission at capacity, batch coalescing
+// (max_items cap, zero-linger greediness), close-then-drain semantics,
+// the high-water mark, and a multi-producer/multi-consumer stress run
+// that accounts for every item exactly once.
+#include "common/bounded_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace genclus {
+namespace {
+
+using std::chrono::microseconds;
+
+TEST(BoundedQueueTest, TryPushRejectsAtCapacityWithoutBlocking) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_FALSE(queue.TryPush(3));  // full — immediate rejection
+  EXPECT_EQ(queue.size(), 2u);
+
+  int item = 0;
+  EXPECT_TRUE(queue.Pop(&item));
+  EXPECT_EQ(item, 1);  // FIFO
+  EXPECT_TRUE(queue.TryPush(3));  // capacity freed
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(BoundedQueueTest, ZeroCapacityClampsToOne) {
+  BoundedQueue<int> queue(0);
+  EXPECT_EQ(queue.capacity(), 1u);
+  EXPECT_TRUE(queue.TryPush(7));
+  EXPECT_FALSE(queue.TryPush(8));
+}
+
+TEST(BoundedQueueTest, PopBatchTakesWhatIsQueuedUpToMaxItems) {
+  BoundedQueue<int> queue(16);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(queue.TryPush(i));
+  std::vector<int> batch;
+  // Zero linger: take only what is already there, capped at max_items.
+  EXPECT_EQ(queue.PopBatch(&batch, 3, microseconds(0)), 3u);
+  EXPECT_EQ(batch, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(queue.PopBatch(&batch, 8, microseconds(0)), 2u);
+  EXPECT_EQ(batch, (std::vector<int>{3, 4}));
+}
+
+TEST(BoundedQueueTest, PopBatchLingersForCoalescing) {
+  BoundedQueue<int> queue(16);
+  ASSERT_TRUE(queue.TryPush(1));
+  std::thread late_producer([&queue] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    queue.TryPush(2);
+  });
+  std::vector<int> batch;
+  // A generous linger lets the second item join the first's batch.
+  EXPECT_EQ(queue.PopBatch(&batch, 4, microseconds(500000)), 2u);
+  EXPECT_EQ(batch, (std::vector<int>{1, 2}));
+  late_producer.join();
+}
+
+TEST(BoundedQueueTest, PopBatchReturnsAtMaxItemsWithoutWaiting) {
+  BoundedQueue<int> queue(16);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(queue.TryPush(i));
+  std::vector<int> batch;
+  const auto start = std::chrono::steady_clock::now();
+  // max_items already queued: a huge linger must not be waited out.
+  EXPECT_EQ(queue.PopBatch(&batch, 4, microseconds(60000000)), 4u);
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds(5));
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedConsumerAndDrains) {
+  BoundedQueue<int> queue(4);
+  ASSERT_TRUE(queue.TryPush(1));
+  ASSERT_TRUE(queue.TryPush(2));
+  queue.Close();
+  EXPECT_FALSE(queue.TryPush(3));  // no admissions after close
+  std::vector<int> batch;
+  // Items queued before close stay poppable...
+  EXPECT_EQ(queue.PopBatch(&batch, 8, microseconds(1000)), 2u);
+  // ...and a drained closed queue returns 0 instead of blocking.
+  EXPECT_EQ(queue.PopBatch(&batch, 8, microseconds(1000)), 0u);
+  int item = 0;
+  EXPECT_FALSE(queue.Pop(&item));
+}
+
+TEST(BoundedQueueTest, CloseUnblocksWaitingConsumer) {
+  BoundedQueue<int> queue(4);
+  std::atomic<bool> returned{false};
+  std::thread consumer([&] {
+    std::vector<int> batch;
+    EXPECT_EQ(queue.PopBatch(&batch, 4, microseconds(0)), 0u);
+    returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(returned.load());  // blocked on the empty queue
+  queue.Close();
+  consumer.join();
+  EXPECT_TRUE(returned.load());
+}
+
+TEST(BoundedQueueTest, HighWaterTracksDeepestFill) {
+  BoundedQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(queue.TryPush(i));
+  int item;
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(queue.Pop(&item));
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_EQ(queue.high_water(), 5u);  // survives the drain
+  ASSERT_TRUE(queue.TryPush(0));
+  EXPECT_EQ(queue.high_water(), 5u);  // shallower refill does not lower it
+}
+
+TEST(BoundedQueueTest, MoveOnlyPayload) {
+  BoundedQueue<std::unique_ptr<int>> queue(2);
+  ASSERT_TRUE(queue.TryPush(std::make_unique<int>(42)));
+  std::unique_ptr<int> item;
+  ASSERT_TRUE(queue.Pop(&item));
+  EXPECT_EQ(*item, 42);
+}
+
+TEST(BoundedQueueTest, MpmcStressAccountsForEveryItemOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 500;
+  BoundedQueue<int> queue(32);
+  std::atomic<int> accepted{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, &accepted, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int item = p * kPerProducer + i;
+        // Spin on backpressure: the stress wants every item through.
+        while (!queue.TryPush(item)) std::this_thread::yield();
+        accepted.fetch_add(1);
+      }
+    });
+  }
+  std::mutex seen_mutex;
+  std::set<int> seen;
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&queue, &seen, &seen_mutex] {
+      std::vector<int> batch;
+      while (queue.PopBatch(&batch, 16, microseconds(100)) > 0) {
+        std::lock_guard<std::mutex> lock(seen_mutex);
+        for (int item : batch) {
+          EXPECT_TRUE(seen.insert(item).second) << "duplicate " << item;
+        }
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  queue.Close();
+  for (std::thread& t : consumers) t.join();
+  EXPECT_EQ(accepted.load(), kProducers * kPerProducer);
+  EXPECT_EQ(seen.size(), static_cast<size_t>(kProducers * kPerProducer));
+}
+
+}  // namespace
+}  // namespace genclus

@@ -30,6 +30,15 @@ TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
   EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
   EXPECT_EQ(Status::NotConverged("x").code(), StatusCode::kNotConverged);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(StatusTest, ResourceExhaustedRendersItsName) {
+  // The serving tier's backpressure rejection; callers match on the code
+  // and log the rendered string.
+  EXPECT_EQ(Status::ResourceExhausted("queue full").ToString(),
+            "ResourceExhausted: queue full");
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {

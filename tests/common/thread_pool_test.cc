@@ -269,6 +269,68 @@ TEST(ThreadPoolReduceTest, BodyExceptionPropagates) {
                std::runtime_error);
 }
 
+TEST(ThreadPoolTest, ConcurrentParallelForBatchesStayIndependent) {
+  // Multiple caller threads interleaving ParallelFor on ONE pool: each
+  // call's completion tracking is batch-local, so every caller must see
+  // exactly its own range covered (the old pool-global Wait could return
+  // early or late when batches interleaved).
+  ThreadPool pool(4);
+  constexpr size_t kCallers = 6;
+  constexpr size_t kRounds = 50;
+  std::vector<std::thread> callers;
+  std::atomic<bool> ok{true};
+  for (size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &ok, c] {
+      const size_t n = 1000 + 97 * c;  // distinct ranges per caller
+      for (size_t round = 0; round < kRounds; ++round) {
+        std::atomic<size_t> covered{0};
+        pool.ParallelFor(n, [&covered](size_t, size_t begin, size_t end) {
+          covered.fetch_add(end - begin);
+        });
+        if (covered.load() != n) ok.store(false);
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForIsolatesExceptionsPerCall) {
+  // A shard throwing in one caller's batch must surface in THAT call only;
+  // concurrent clean batches on the same pool finish normally.
+  ThreadPool pool(4);
+  std::atomic<int> clean_failures{0};
+  std::atomic<int> rethrown{0};
+  std::thread thrower([&pool, &rethrown] {
+    for (int round = 0; round < 20; ++round) {
+      try {
+        pool.ParallelFor(1000, [](size_t shard, size_t, size_t) {
+          if (shard == 0) throw std::runtime_error("mine");
+        });
+      } catch (const std::runtime_error&) {
+        rethrown.fetch_add(1);
+      }
+    }
+  });
+  std::thread clean([&pool, &clean_failures] {
+    for (int round = 0; round < 20; ++round) {
+      std::atomic<size_t> covered{0};
+      try {
+        pool.ParallelFor(1000, [&covered](size_t, size_t begin, size_t end) {
+          covered.fetch_add(end - begin);
+        });
+      } catch (...) {
+        clean_failures.fetch_add(1);
+      }
+      if (covered.load() != 1000) clean_failures.fetch_add(1);
+    }
+  });
+  thrower.join();
+  clean.join();
+  EXPECT_EQ(rethrown.load(), 20);
+  EXPECT_EQ(clean_failures.load(), 0);
+}
+
 TEST(ThreadPoolTest, ReusableAcrossCalls) {
   ThreadPool pool(2);
   for (int round = 0; round < 10; ++round) {
