@@ -10,12 +10,13 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace genclus {
 
@@ -35,14 +36,14 @@ class BoundedQueue {
   /// Non-blocking push: false when the queue is full or closed (the item
   /// is dropped — callers surface backpressure to their own callers
   /// instead of waiting).
-  bool TryPush(T item) {
+  bool TryPush(T item) GENCLUS_EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
       if (items_.size() > high_water_) high_water_ = items_.size();
     }
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
@@ -53,11 +54,12 @@ class BoundedQueue {
   /// micro-batches instead of single items. Never waits once `max_items`
   /// is reached, the queue is closed, or `max_wait` is zero.
   size_t PopBatch(std::vector<T>* out, size_t max_items,
-                  std::chrono::microseconds max_wait) {
+                  std::chrono::microseconds max_wait)
+      GENCLUS_EXCLUDES(mutex_) {
     out->clear();
     if (max_items == 0) return 0;
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    MutexLock lock(mutex_);
+    while (!closed_ && items_.empty()) not_empty_.Wait(lock);
     if (items_.empty()) return 0;
     const auto deadline = std::chrono::steady_clock::now() + max_wait;
     for (;;) {
@@ -69,9 +71,14 @@ class BoundedQueue {
           max_wait <= std::chrono::microseconds::zero()) {
         break;
       }
-      if (not_empty_.wait_until(lock, deadline, [this] {
-            return closed_ || !items_.empty();
-          })) {
+      // Linger: sleep until new arrivals, close, or the deadline. A
+      // timed-out wake still rechecks once — an item can arrive in the
+      // same instant the deadline expires.
+      bool timed_out = false;
+      while (!timed_out && !closed_ && items_.empty()) {
+        timed_out = not_empty_.WaitUntil(lock, deadline);
+      }
+      if (closed_ || !items_.empty()) {
         continue;  // new arrivals (or close) before the linger expired
       }
       break;  // linger expired with nothing new
@@ -80,9 +87,9 @@ class BoundedQueue {
   }
 
   /// Pops one item, blocking. False when the queue is closed and drained.
-  bool Pop(T* out) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  bool Pop(T* out) GENCLUS_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    while (!closed_ && items_.empty()) not_empty_.Wait(lock);
     if (items_.empty()) return false;
     *out = std::move(items_.front());
     items_.pop_front();
@@ -92,40 +99,40 @@ class BoundedQueue {
   /// Rejects all future pushes and wakes every blocked consumer. Items
   /// already queued remain poppable (consumers drain, then see 0/false).
   /// Idempotent.
-  void Close() {
+  void Close() GENCLUS_EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       closed_ = true;
     }
-    not_empty_.notify_all();
+    not_empty_.NotifyAll();
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  size_t size() const GENCLUS_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return items_.size();
   }
 
   /// Largest depth the queue ever reached — the admission-loop tuning
   /// signal ServerStats reports.
-  size_t high_water() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  size_t high_water() const GENCLUS_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return high_water_;
   }
 
   size_t capacity() const { return capacity_; }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  bool closed() const GENCLUS_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return closed_;
   }
 
  private:
   const size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_empty_;
-  std::deque<T> items_;
-  size_t high_water_ = 0;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar not_empty_;
+  std::deque<T> items_ GENCLUS_GUARDED_BY(mutex_);
+  size_t high_water_ GENCLUS_GUARDED_BY(mutex_) = 0;
+  bool closed_ GENCLUS_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace genclus

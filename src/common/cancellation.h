@@ -10,6 +10,12 @@ namespace genclus {
 
 /// Thread-safe one-way cancellation flag. Once requested, cancellation
 /// cannot be revoked; create a fresh token per operation instead.
+///
+/// Deliberately lock-free: the single flag is a std::atomic, so there is
+/// no capability for the thread-safety analysis to track here — the
+/// release/acquire pair below is the whole synchronization story. Any
+/// future state beyond one flag (a cancellation reason, callbacks) must
+/// move behind an annotated genclus::Mutex (common/mutex.h).
 class CancellationToken {
  public:
   CancellationToken() = default;

@@ -1,0 +1,96 @@
+// Annotated mutex / scoped-lock / condition-variable wrappers — the only
+// place in the library that touches std::mutex directly (enforced by
+// tools/lint_determinism.py). Wrapping the std primitives in capability
+// types is what lets Clang's -Wthread-safety analysis check the lock
+// discipline declared with the GENCLUS_GUARDED_BY / GENCLUS_REQUIRES
+// annotations (common/thread_annotations.h) at compile time.
+//
+// Condition waits deliberately have no predicate overloads: a predicate
+// lambda is analyzed as a separate function, so guarded reads inside it
+// would need their own annotations. Callers write the standard loop form
+// instead, where the guarded reads sit in the scope that visibly holds
+// the lock:
+//
+//   MutexLock lock(mutex_);
+//   while (!ready_) cv_.Wait(lock);          // ready_ GUARDED_BY(mutex_)
+//
+// The analysis models the capability as held across Wait() even though
+// the wait releases and reacquires it internally; that approximation is
+// sound for discipline checking (same convention as absl::CondVar).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace genclus {
+
+class MutexLock;
+
+/// Annotated exclusive mutex wrapping std::mutex. Prefer MutexLock for
+/// scoped acquisition; Lock/Unlock exist for the rare split-scope
+/// patterns and for the negative-compilation harness.
+class GENCLUS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() GENCLUS_ACQUIRE() { mu_.lock(); }
+  void Unlock() GENCLUS_RELEASE() { mu_.unlock(); }
+  bool TryLock() GENCLUS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+
+  std::mutex mu_;
+};
+
+/// RAII scoped acquisition of a Mutex. Holds a std::unique_lock so
+/// CondVar can wait on the underlying std::mutex without re-locking.
+class GENCLUS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) GENCLUS_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() GENCLUS_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable paired with Mutex/MutexLock. Spurious wakeups are
+/// possible, as with std::condition_variable — always wait in a loop.
+class CondVar {
+ public:
+  CondVar() = default;
+
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `lock`'s mutex and blocks until notified, then
+  /// reacquires before returning.
+  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  /// As Wait, but returns once `deadline` passes even without a notify.
+  /// True = timed out (the deadline passed before a notification).
+  template <typename Clock, typename Duration>
+  bool WaitUntil(MutexLock& lock,
+                 const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv_.wait_until(lock.lock_, deadline) == std::cv_status::timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace genclus

@@ -1,0 +1,70 @@
+// Clang thread-safety annotation macros. On Clang these expand to the
+// attributes the -Wthread-safety analysis consumes, turning the project's
+// lock discipline (which members a mutex guards, which functions need or
+// exclude a lock) into compile-time errors on every schedule — the static
+// counterpart of the TSan lane, which can only observe the schedules a
+// test happens to run. On other compilers every macro is a no-op, so
+// annotated headers stay portable (GCC builds carry the annotations as
+// documentation only; CI's Clang lane enforces them with -Werror).
+//
+// Use the wrappers in common/mutex.h (genclus::Mutex / MutexLock /
+// CondVar) rather than std::mutex directly: the analysis only tracks
+// capability types, and tools/lint_determinism.py rejects naked std
+// mutex primitives outside that header.
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define GENCLUS_THREAD_ANNOTATION_ATTR(x) __attribute__((x))
+#else
+#define GENCLUS_THREAD_ANNOTATION_ATTR(x)  // no-op off Clang
+#endif
+
+// Marks a class as a lockable capability (e.g. a mutex). The string names
+// the capability kind in diagnostics.
+#define GENCLUS_CAPABILITY(x) GENCLUS_THREAD_ANNOTATION_ATTR(capability(x))
+
+// Marks an RAII class whose constructor acquires and destructor releases
+// a capability (e.g. MutexLock).
+#define GENCLUS_SCOPED_CAPABILITY GENCLUS_THREAD_ANNOTATION_ATTR(scoped_lockable)
+
+// Declares that a data member may only be read or written while holding
+// the given capability.
+#define GENCLUS_GUARDED_BY(x) GENCLUS_THREAD_ANNOTATION_ATTR(guarded_by(x))
+
+// As GUARDED_BY, but guards the data a pointer member points to rather
+// than the pointer itself.
+#define GENCLUS_PT_GUARDED_BY(x) GENCLUS_THREAD_ANNOTATION_ATTR(pt_guarded_by(x))
+
+// Function-level contracts: the caller must hold the capability / must
+// NOT hold it (deadlock prevention on self-locking public APIs).
+#define GENCLUS_REQUIRES(...) \
+  GENCLUS_THREAD_ANNOTATION_ATTR(requires_capability(__VA_ARGS__))
+#define GENCLUS_EXCLUDES(...) \
+  GENCLUS_THREAD_ANNOTATION_ATTR(locks_excluded(__VA_ARGS__))
+
+// The function acquires / releases the capability (no argument = `this`,
+// for methods of a capability class).
+#define GENCLUS_ACQUIRE(...) \
+  GENCLUS_THREAD_ANNOTATION_ATTR(acquire_capability(__VA_ARGS__))
+#define GENCLUS_RELEASE(...) \
+  GENCLUS_THREAD_ANNOTATION_ATTR(release_capability(__VA_ARGS__))
+
+// The function attempts to acquire the capability and returns `succ` on
+// success (e.g. try_lock returning true).
+#define GENCLUS_TRY_ACQUIRE(...) \
+  GENCLUS_THREAD_ANNOTATION_ATTR(try_acquire_capability(__VA_ARGS__))
+
+// The function returns a reference to the given capability (accessor
+// pattern).
+#define GENCLUS_RETURN_CAPABILITY(x) \
+  GENCLUS_THREAD_ANNOTATION_ATTR(lock_returned(x))
+
+// Runtime assertion that the capability is held (for code paths the
+// analysis cannot follow).
+#define GENCLUS_ASSERT_CAPABILITY(x) \
+  GENCLUS_THREAD_ANNOTATION_ATTR(assert_capability(x))
+
+// Escape hatch: disables the analysis for one function. Every use must
+// carry a comment explaining why the function is safe.
+#define GENCLUS_NO_THREAD_SAFETY_ANALYSIS \
+  GENCLUS_THREAD_ANNOTATION_ATTR(no_thread_safety_analysis)

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/mutex.h"
 
 namespace genclus {
 
@@ -18,10 +19,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutdown_ = true;
   }
-  task_available_.notify_all();
+  task_available_.NotifyAll();
   for (std::thread& t : threads_) {
     if (t.joinable()) t.join();
   }
@@ -31,8 +32,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      task_available_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      while (!shutdown_ && tasks_.empty()) task_available_.Wait(lock);
       if (tasks_.empty()) {
         if (shutdown_) return;
         continue;
@@ -50,32 +51,36 @@ void ThreadPool::WorkerLoop() {
       error = std::current_exception();
     }
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (error && !first_error_) first_error_ = std::move(error);
       --in_flight_;
-      if (in_flight_ == 0 && tasks_.empty()) all_done_.notify_all();
+      if (in_flight_ == 0 && tasks_.empty()) all_done_.NotifyAll();
     }
   }
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     GENCLUS_CHECK_MSG(!shutdown_, "Submit after shutdown");
     tasks_.push(std::move(task));
     ++in_flight_;
   }
-  task_available_.notify_one();
+  task_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0 && tasks_.empty(); });
-  if (first_error_) {
-    std::exception_ptr error = std::move(first_error_);
+  // The error is moved out and rethrown only after the lock scope ends:
+  // rethrowing while holding mutex_ would deadlock any catch handler
+  // that calls back into the pool.
+  std::exception_ptr error;
+  {
+    MutexLock lock(mutex_);
+    while (in_flight_ != 0 || !tasks_.empty()) all_done_.Wait(lock);
+    error = std::move(first_error_);
     first_error_ = nullptr;
-    std::rethrow_exception(error);
   }
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::ParallelFor(
@@ -92,10 +97,10 @@ void ThreadPool::ParallelFor(
   // waits for exactly its own shards). Shard tasks catch internally and
   // report here, not into the pool-level first_error_.
   struct BatchState {
-    std::mutex mutex;
-    std::condition_variable done;
-    size_t remaining = 0;
-    std::exception_ptr first_error;
+    Mutex mutex;
+    CondVar done;
+    size_t remaining GENCLUS_GUARDED_BY(mutex) = 0;
+    std::exception_ptr first_error GENCLUS_GUARDED_BY(mutex);
   } state;
   const size_t chunk = (n + shards - 1) / shards;
   size_t submitted = 0;
@@ -103,7 +108,10 @@ void ThreadPool::ParallelFor(
     if (s * chunk >= n) break;
     ++submitted;
   }
-  state.remaining = submitted;
+  {
+    MutexLock lock(state.mutex);
+    state.remaining = submitted;
+  }
   for (size_t s = 0; s < submitted; ++s) {
     const size_t begin = s * chunk;
     const size_t end = std::min(n, begin + chunk);
@@ -117,14 +125,19 @@ void ThreadPool::ParallelFor(
       // Notify under the lock: `state` lives on the caller's stack, and
       // the caller may return (destroying it) the moment it observes
       // remaining == 0 — which it cannot do before this lock is released.
-      std::lock_guard<std::mutex> lock(state.mutex);
+      MutexLock lock(state.mutex);
       if (error && !state.first_error) state.first_error = std::move(error);
-      if (--state.remaining == 0) state.done.notify_all();
+      if (--state.remaining == 0) state.done.NotifyAll();
     });
   }
-  std::unique_lock<std::mutex> lock(state.mutex);
-  state.done.wait(lock, [&state] { return state.remaining == 0; });
-  if (state.first_error) std::rethrow_exception(state.first_error);
+  // As in Wait(): rethrow only after releasing the batch mutex.
+  std::exception_ptr error;
+  {
+    MutexLock lock(state.mutex);
+    while (state.remaining != 0) state.done.Wait(lock);
+    error = std::move(state.first_error);
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace genclus

@@ -5,15 +5,16 @@
 #pragma once
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace genclus {
 
@@ -53,26 +54,32 @@ class ThreadPool {
   /// exception thrown by any shard once every shard has finished. Safe to
   /// call from multiple threads concurrently (per-call completion state).
   void ParallelFor(size_t n,
-                   const std::function<void(size_t, size_t, size_t)>& fn);
+                   const std::function<void(size_t, size_t, size_t)>& fn)
+      GENCLUS_EXCLUDES(mutex_);
 
   /// Submits one task for asynchronous execution.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) GENCLUS_EXCLUDES(mutex_);
 
   /// Blocks until all submitted tasks have finished, then rethrows the
-  /// first exception any of them raised (if one did).
-  void Wait();
+  /// first exception any of them raised (if one did). The rethrow happens
+  /// after the pool mutex is released, so a catch handler may call back
+  /// into the pool (Submit/Wait) without self-deadlocking.
+  void Wait() GENCLUS_EXCLUDES(mutex_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() GENCLUS_EXCLUDES(mutex_);
 
+  // threads_ is written only during construction (before any worker can
+  // observe it) and joined in the destructor; it needs no guard, which is
+  // what lets num_threads() stay lock-free.
   std::vector<std::thread> threads_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable task_available_;
-  std::condition_variable all_done_;
-  size_t in_flight_ = 0;
-  bool shutdown_ = false;
-  std::exception_ptr first_error_;
+  Mutex mutex_;
+  CondVar task_available_;
+  CondVar all_done_;
+  std::queue<std::function<void()>> tasks_ GENCLUS_GUARDED_BY(mutex_);
+  size_t in_flight_ GENCLUS_GUARDED_BY(mutex_) = 0;
+  bool shutdown_ GENCLUS_GUARDED_BY(mutex_) = false;
+  std::exception_ptr first_error_ GENCLUS_GUARDED_BY(mutex_);
 };
 
 /// Runs `body(block, begin, end)` over the fixed-size-block partition of

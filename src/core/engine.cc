@@ -1,10 +1,11 @@
 #include "core/engine.h"
 
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "core/server.h"
@@ -90,15 +91,17 @@ struct Engine::ServeState {
   EngineOptions options;
   BatchPlanner planner;
 
-  std::mutex session_mutex;
-  std::vector<std::unique_ptr<InferSession>> free_sessions;
+  Mutex session_mutex;
+  std::vector<std::unique_ptr<InferSession>> free_sessions
+      GENCLUS_GUARDED_BY(session_mutex);
 
-  std::mutex submit_mutex;
-  std::unique_ptr<Server> submit_server;
+  Mutex submit_mutex;
+  std::unique_ptr<Server> submit_server GENCLUS_GUARDED_BY(submit_mutex);
 
-  std::unique_ptr<InferSession> AcquireSession() {
+  std::unique_ptr<InferSession> AcquireSession()
+      GENCLUS_EXCLUDES(session_mutex) {
     {
-      std::lock_guard<std::mutex> lock(session_mutex);
+      MutexLock lock(session_mutex);
       if (!free_sessions.empty()) {
         std::unique_ptr<InferSession> session =
             std::move(free_sessions.back());
@@ -110,8 +113,9 @@ struct Engine::ServeState {
         model, pool, options.inference_iterations, options.theta_floor);
   }
 
-  void ReleaseSession(std::unique_ptr<InferSession> session) {
-    std::lock_guard<std::mutex> lock(session_mutex);
+  void ReleaseSession(std::unique_ptr<InferSession> session)
+      GENCLUS_EXCLUDES(session_mutex) {
+    MutexLock lock(session_mutex);
     free_sessions.push_back(std::move(session));
   }
 };
@@ -172,7 +176,7 @@ std::future<InferenceResult> Engine::Submit(
   ServeState* serve = serve_.get();
   Server* server;
   {
-    std::lock_guard<std::mutex> lock(serve->submit_mutex);
+    MutexLock lock(serve->submit_mutex);
     if (serve->submit_server == nullptr) {
       ServerOptions options;
       options.num_workers = pool_->num_threads();

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/mutex.h"
 #include "common/string_util.h"
 
 namespace genclus {
@@ -16,9 +17,10 @@ namespace {
 // current behavior, memory stays bounded under sustained traffic.
 constexpr size_t kMaxLatencySamples = 8192;
 
-// Nearest-rank percentile over a scratch copy of the ring.
-double Percentile(std::vector<double> samples, double q) {
-  if (samples.empty()) return 0.0;
+// Nearest-rank percentile, reordering `samples` in place. Successive
+// calls on the same scratch buffer are fine: nth_element needs no
+// pre-existing order.
+double Percentile(std::vector<double>& samples, double q) {
   const size_t rank = std::min(
       samples.size() - 1,
       static_cast<size_t>(q * static_cast<double>(samples.size())));
@@ -26,14 +28,16 @@ double Percentile(std::vector<double> samples, double q) {
   return samples[rank];
 }
 
-LatencySummary Summarize(const std::vector<double>& samples) {
+// Takes its scratch copy by value; Stats() passes ring snapshots taken
+// under stats_mutex_, so the nth_element work here runs unlocked.
+LatencySummary Summarize(std::vector<double> samples) {
   LatencySummary out;
   out.count = samples.size();
   if (samples.empty()) return out;
+  out.max_us = *std::max_element(samples.begin(), samples.end());
   out.p50_us = Percentile(samples, 0.50);
   out.p90_us = Percentile(samples, 0.90);
   out.p99_us = Percentile(samples, 0.99);
-  out.max_us = *std::max_element(samples.begin(), samples.end());
   return out;
 }
 
@@ -63,12 +67,15 @@ Status ServerOptions::Validate() const {
 // Whole-batch reassembly state. The result is preallocated at submit time
 // (zero membership rows, kNoHardLabel) and each completion fills its slot;
 // `remaining` counts down under `mutex` and the thread that takes it to
-// zero fulfills the promise. Rejected slots count down too, so the batch
-// future always completes.
+// zero moves the result out (still under the lock) and fulfills the
+// promise after releasing it. Rejected slots count down too, so the batch
+// future always completes. The promise itself needs no guard: get_future
+// runs once before the collector is shared, and set_value runs once, on
+// the single thread that observed remaining hit zero.
 struct Server::BatchCollector {
-  std::mutex mutex;
-  size_t remaining = 0;
-  InferenceResult result;
+  Mutex mutex;
+  size_t remaining GENCLUS_GUARDED_BY(mutex) = 0;
+  InferenceResult result GENCLUS_GUARDED_BY(mutex);
   std::promise<InferenceResult> promise;
 };
 
@@ -131,7 +138,7 @@ Server::Server(const Network* network, std::unique_ptr<Model> owned_model,
 Server::~Server() { Stop(); }
 
 void Server::Stop() {
-  std::lock_guard<std::mutex> lock(stop_mutex_);
+  MutexLock lock(stop_mutex_);
   if (stopped_) return;
   stopped_ = true;
   if (!options_.drain_on_stop) cancel_pending_.store(true);
@@ -172,14 +179,21 @@ std::future<InferenceResult> Server::SubmitBatch(
   auto collector = std::make_shared<BatchCollector>();
   const size_t n = queries.size();
   const size_t num_clusters = model_->num_clusters();
-  collector->remaining = n;
-  collector->result.statuses.assign(n, Status::OK());
-  collector->result.memberships = Matrix(n, num_clusters);
-  collector->result.hard_labels.assign(n, kNoHardLabel);
-  collector->result.report.batch_size = n;
+  InferenceResult empty_result;
+  {
+    // The collector is not shared yet, but its state is guarded — take
+    // the (uncontended) lock so the annotations hold unconditionally.
+    MutexLock lock(collector->mutex);
+    collector->remaining = n;
+    collector->result.statuses.assign(n, Status::OK());
+    collector->result.memberships = Matrix(n, num_clusters);
+    collector->result.hard_labels.assign(n, kNoHardLabel);
+    collector->result.report.batch_size = n;
+    if (n == 0) empty_result = std::move(collector->result);
+  }
   std::future<InferenceResult> future = collector->promise.get_future();
   if (n == 0) {
-    collector->promise.set_value(std::move(collector->result));
+    collector->promise.set_value(std::move(empty_result));
     return future;
   }
   const auto now = std::chrono::steady_clock::now();
@@ -211,8 +225,9 @@ void Server::CompleteCollectorSlot(BatchCollector& collector, size_t slot,
                                    double plan_share_seconds,
                                    double exec_share_seconds) {
   bool last = false;
+  InferenceResult finished;
   {
-    std::lock_guard<std::mutex> lock(collector.mutex);
+    MutexLock lock(collector.mutex);
     const bool ok = status.ok();
     collector.result.statuses[slot] = std::move(status);
     if (membership != nullptr) {
@@ -228,8 +243,11 @@ void Server::CompleteCollectorSlot(BatchCollector& collector, size_t slot,
     collector.result.report.plan_seconds += plan_share_seconds;
     collector.result.report.exec_seconds += exec_share_seconds;
     last = (--collector.remaining == 0);
+    // Move the result out while still holding the guard; the promise is
+    // fulfilled after release so no waiter ever wakes into our lock.
+    if (last) finished = std::move(collector.result);
   }
-  if (last) collector.promise.set_value(std::move(collector.result));
+  if (last) collector.promise.set_value(std::move(finished));
 }
 
 void Server::Deliver(Request& request, const InferenceResult& result,
@@ -313,7 +331,7 @@ void Server::WorkerLoop() {
     // histogram and latency rings already cover its micro-batch.
     batches_.fetch_add(1, std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      MutexLock lock(stats_mutex_);
       batch_size_histogram_[batch.size()] += 1;
       plan_us_.Add(plan.plan_seconds * 1e6);
       exec_us_.Add(result.report.exec_seconds * 1e6);
@@ -340,14 +358,28 @@ ServerStats Server::Stats() const {
   out.batches = batches_.load(std::memory_order_relaxed);
   out.queue_depth = queue_.size();
   out.queue_high_water = queue_.high_water();
+  // Hold stats_mutex_ only for the copies. The old code ran the
+  // nth_element percentile extraction (4 rings x up to 8192 samples)
+  // inside this critical section, stalling every worker's per-batch
+  // stats recording while a monitor polled Stats(); annotating the guard
+  // made the oversized section obvious. Summarize now runs on the
+  // snapshots after release.
+  std::vector<double> queue_wait_snapshot;
+  std::vector<double> plan_snapshot;
+  std::vector<double> exec_snapshot;
+  std::vector<double> end_to_end_snapshot;
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     out.batch_size_histogram = batch_size_histogram_;
-    out.queue_wait = Summarize(queue_wait_us_.samples);
-    out.plan = Summarize(plan_us_.samples);
-    out.exec = Summarize(exec_us_.samples);
-    out.end_to_end = Summarize(end_to_end_us_.samples);
+    queue_wait_snapshot = queue_wait_us_.samples;
+    plan_snapshot = plan_us_.samples;
+    exec_snapshot = exec_us_.samples;
+    end_to_end_snapshot = end_to_end_us_.samples;
   }
+  out.queue_wait = Summarize(std::move(queue_wait_snapshot));
+  out.plan = Summarize(std::move(plan_snapshot));
+  out.exec = Summarize(std::move(exec_snapshot));
+  out.end_to_end = Summarize(std::move(end_to_end_snapshot));
   return out;
 }
 

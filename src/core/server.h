@@ -33,12 +33,13 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/bounded_queue.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/inference.h"
 #include "core/model.h"
 #include "hin/network.h"
@@ -163,10 +164,13 @@ class Server {
   /// Closes the queue (further Submits are rejected) and joins the
   /// workers; pending requests drain or cancel per
   /// ServerOptions::drain_on_stop. Idempotent and thread-safe.
-  void Stop();
+  void Stop() GENCLUS_EXCLUDES(stop_mutex_);
 
-  /// Observability snapshot; callable from any thread at any time.
-  ServerStats Stats() const;
+  /// Observability snapshot; callable from any thread at any time. The
+  /// stats mutex is held only long enough to copy the rings/histogram —
+  /// percentile extraction happens after release, so Stats() never
+  /// stalls the workers' per-batch recording.
+  ServerStats Stats() const GENCLUS_EXCLUDES(stats_mutex_);
 
   const Model& model() const { return *model_; }
   size_t num_workers() const { return workers_.size(); }
@@ -207,18 +211,20 @@ class Server {
                                     double plan_share_seconds,
                                     double exec_share_seconds);
 
+  // options_ and the model/planner pointers are written only during
+  // construction, before the worker threads start; they need no guard.
   ServerOptions options_;
   std::unique_ptr<Model> owned_model_;
   const Model* model_;
   BatchPlanner planner_;
-  BoundedQueue<Request> queue_;
+  BoundedQueue<Request> queue_;  // internally synchronized
   std::vector<std::thread> workers_;
 
   // Stop() coordination: set before Close() so a non-draining stop makes
   // workers cancel instead of executing what they pop.
   std::atomic<bool> cancel_pending_{false};
-  std::mutex stop_mutex_;
-  bool stopped_ = false;
+  Mutex stop_mutex_;
+  bool stopped_ GENCLUS_GUARDED_BY(stop_mutex_) = false;
 
   // Stats: counters are atomics (hot, touched per request); the latency
   // sample rings and histogram are guarded by stats_mutex_ and touched
@@ -233,12 +239,12 @@ class Server {
     size_t next = 0;
     void Add(double us);
   };
-  mutable std::mutex stats_mutex_;
-  SampleRing queue_wait_us_;
-  SampleRing plan_us_;
-  SampleRing exec_us_;
-  SampleRing end_to_end_us_;
-  std::vector<size_t> batch_size_histogram_;
+  mutable Mutex stats_mutex_;
+  SampleRing queue_wait_us_ GENCLUS_GUARDED_BY(stats_mutex_);
+  SampleRing plan_us_ GENCLUS_GUARDED_BY(stats_mutex_);
+  SampleRing exec_us_ GENCLUS_GUARDED_BY(stats_mutex_);
+  SampleRing end_to_end_us_ GENCLUS_GUARDED_BY(stats_mutex_);
+  std::vector<size_t> batch_size_histogram_ GENCLUS_GUARDED_BY(stats_mutex_);
 };
 
 }  // namespace genclus

@@ -186,6 +186,43 @@ TEST(ThreadPoolTest, FirstOfSeveralTaskExceptionsWins) {
   pool.Wait();
 }
 
+TEST(ThreadPoolTest, PoolUsableFromInsideWaitCatchHandler) {
+  // Pin for the PR 7 restructure: Wait() and ParallelFor() now move the
+  // stored exception out under the lock and rethrow only after the
+  // MutexLock scope closes, making the lock release explicit rather than
+  // a side effect of unwinding the lock guard. The observable contract:
+  // the pool mutex is free inside the catch handler, so the handler can
+  // immediately Submit/Wait/ParallelFor on the same pool.
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  bool caught = false;
+  try {
+    pool.Wait();
+  } catch (const std::runtime_error&) {
+    caught = true;
+    std::atomic<int> counter{0};
+    pool.Submit([&counter] { counter.fetch_add(1); });
+    pool.Wait();  // re-entering Wait from the handler must not deadlock
+    EXPECT_EQ(counter.load(), 1);
+  }
+  EXPECT_TRUE(caught);
+
+  caught = false;
+  try {
+    pool.ParallelFor(1000, [](size_t shard, size_t, size_t) {
+      if (shard == 0) throw std::logic_error("shard boom");
+    });
+  } catch (const std::logic_error&) {
+    caught = true;
+    std::atomic<int> count{0};
+    pool.ParallelFor(64, [&](size_t, size_t begin, size_t end) {
+      count.fetch_add(static_cast<int>(end - begin));
+    });
+    EXPECT_EQ(count.load(), 64);
+  }
+  EXPECT_TRUE(caught);
+}
+
 TEST(ThreadPoolTest, ParallelForRethrowsShardException) {
   ThreadPool pool(4);
   EXPECT_THROW(

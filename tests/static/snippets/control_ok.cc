@@ -1,0 +1,16 @@
+// Positive control: disciplined locking MUST compile under
+// -Wthread-safety -Werror. If this snippet fails, the harness
+// scaffolding (not an annotation) is broken, and the negative results
+// are meaningless.
+#include "snippet_common.h"
+
+namespace genclus_static_test {
+
+int ControlOk() {
+  Counter counter;
+  counter.Increment();
+  genclus::MutexLock lock(counter.mu_);
+  return counter.ReadLocked() + counter.value_;
+}
+
+}  // namespace genclus_static_test

@@ -1,0 +1,13 @@
+// MUST NOT COMPILE: scoped-acquires a mutex that is already held
+// (expected diagnostic: "acquiring mutex 'mu_' that is already held").
+#include "snippet_common.h"
+
+namespace genclus_static_test {
+
+void DoubleAcquire() {
+  Counter counter;
+  genclus::MutexLock first(counter.mu_);
+  genclus::MutexLock second(counter.mu_);
+}
+
+}  // namespace genclus_static_test

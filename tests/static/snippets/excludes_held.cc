@@ -1,0 +1,15 @@
+// MUST NOT COMPILE: calls a GENCLUS_EXCLUDES (self-locking) function
+// while already holding the excluded mutex — the static form of a
+// self-deadlock (expected diagnostic: "cannot call function 'Increment'
+// while mutex 'mu_' is held").
+#include "snippet_common.h"
+
+namespace genclus_static_test {
+
+void ExcludesViolation() {
+  Counter counter;
+  genclus::MutexLock lock(counter.mu_);
+  counter.Increment();
+}
+
+}  // namespace genclus_static_test

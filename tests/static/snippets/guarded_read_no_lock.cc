@@ -1,0 +1,13 @@
+// MUST NOT COMPILE: reads a GENCLUS_GUARDED_BY member without holding
+// its mutex (expected diagnostic: "reading variable 'value_' requires
+// holding mutex 'mu_'").
+#include "snippet_common.h"
+
+namespace genclus_static_test {
+
+int GuardedReadWithoutLock() {
+  Counter counter;
+  return counter.value_;
+}
+
+}  // namespace genclus_static_test

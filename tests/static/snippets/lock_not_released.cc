@@ -1,0 +1,13 @@
+// MUST NOT COMPILE: acquires via Mutex::Lock and returns without
+// releasing (expected diagnostic: "mutex 'mu' is still held at the end
+// of function").
+#include "snippet_common.h"
+
+namespace genclus_static_test {
+
+void LockWithoutRelease() {
+  genclus::Mutex mu;
+  mu.Lock();
+}
+
+}  // namespace genclus_static_test

@@ -1,0 +1,13 @@
+// MUST NOT COMPILE: calls a GENCLUS_REQUIRES function without holding
+// the required mutex (expected diagnostic: "calling function
+// 'ReadLocked' requires holding mutex 'mu_'").
+#include "snippet_common.h"
+
+namespace genclus_static_test {
+
+int CallRequiresUnlocked() {
+  Counter counter;
+  return counter.ReadLocked();
+}
+
+}  // namespace genclus_static_test

@@ -1,0 +1,30 @@
+// Shared scaffolding for the negative-compilation snippets
+// (tests/static). A minimal annotated class exercising each annotation
+// kind; control_ok.cc proves this header and the wrappers compile clean,
+// so a failing negative snippet fails because of the thread-safety
+// diagnostic it provokes, not because of broken scaffolding.
+#pragma once
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace genclus_static_test {
+
+class Counter {
+ public:
+  /// Locks internally; calling it while already holding mu_ is the
+  /// excludes_held.cc violation.
+  void Increment() GENCLUS_EXCLUDES(mu_) {
+    genclus::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  /// Caller must hold mu_; calling it unlocked is the requires_unheld.cc
+  /// violation.
+  int ReadLocked() const GENCLUS_REQUIRES(mu_) { return value_; }
+
+  mutable genclus::Mutex mu_;
+  int value_ GENCLUS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace genclus_static_test
