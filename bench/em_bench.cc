@@ -297,6 +297,31 @@ int main(int argc, char** argv) {
                 StrFormat("%.2fx", cell.speedup_vs_serial)});
       cells.push_back(cell);
     }
+
+    // Sharded-Θ gate: a pooled run with two Θ column shards must
+    // reproduce the serial un-sharded iterate bit for bit (the per-shard
+    // link terms merge in ascending shard order).
+    {
+      ThreadPool pool(2);
+      GenClusConfig config = fx.config;
+      config.em_iterations = em_iterations;
+      config.em_tolerance = 0.0;
+      config.theta_shards = 2;
+      EmOptimizer optimizer(&fx.data.dataset.network, fx.attrs, &config,
+                            &pool);
+      const std::vector<double> gamma(
+          fx.data.dataset.network.schema().num_link_types(), 1.0);
+      Matrix theta = fx.theta0;
+      auto comps = fx.comps0;
+      optimizer.Run(gamma, &theta, &comps);
+      if (theta.data() != serial_theta.data()) {
+        std::fprintf(stderr,
+                     "FAIL: sharded EM (theta_shards=2) not bitwise equal "
+                     "to the un-sharded run (nodes=%zu)\n",
+                     fx.data.dataset.network.num_nodes());
+        gates_ok = false;
+      }
+    }
   }
 
   WriteJson(out, small ? "weather_s1_small" : "weather_s1_fig11",

@@ -258,6 +258,29 @@ int main(int argc, char** argv) {
                 StrFormat("%.2fx", cell.speedup_vs_reference)});
       cells.push_back(cell);
     }
+
+    // Gate 3: serving through two Θ column shards stays bitwise equal to
+    // the un-sharded memberships (ascending shard-order merge).
+    {
+      EngineOptions options;
+      options.num_threads = 2;
+      options.theta_shards = 2;
+      auto engine = Engine::Create(&data->dataset.network, model, options);
+      if (!engine.ok()) {
+        std::fprintf(stderr, "Engine::Create failed: %s\n",
+                     engine.status().ToString().c_str());
+        return 1;
+      }
+      const InferenceResult sharded =
+          engine->Execute(engine->Plan(queries));
+      if (sharded.memberships.data() != serial_memberships.data()) {
+        std::fprintf(stderr,
+                     "FAIL: sharded serving (theta_shards=2) not bitwise "
+                     "equal to un-sharded (batch=%zu)\n",
+                     batch);
+        gates_ok = false;
+      }
+    }
   }
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");

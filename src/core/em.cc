@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "linalg/sharding.h"
 #include "linalg/spmm.h"
 #include "prob/simplex.h"
 #include "prob/special_functions.h"
@@ -113,6 +114,28 @@ void EmWorkspace::Prepare(size_t num_nodes, size_t num_clusters,
   }
 }
 
+void EmWorkspace::PrepareSharding(const Network& network,
+                                  size_t requested_shards) {
+  const ShardPartition partition =
+      ShardPartition::Resolve(requested_shards, network.num_nodes());
+  const size_t num_relations = network.schema().num_link_types();
+  const size_t want_splits = partition.num_shards() > 1 ? num_relations : 0;
+  if (shard_ready_ &&
+      shard_partition_.num_shards() == partition.num_shards() &&
+      shard_partition_.num_cols() == partition.num_cols() &&
+      shard_splits_.size() == want_splits) {
+    return;
+  }
+  shard_partition_ = partition;
+  shard_splits_.assign(want_splits, CsrColumnSplit());
+  for (LinkTypeId r = 0; r < want_splits; ++r) {
+    const RelationCsr adj = network.OutCsr(r);
+    const CsrMatrixView view{adj.row_offsets, adj.neighbors, adj.weights};
+    shard_splits_[r].Build(view, shard_partition_);
+  }
+  shard_ready_ = true;
+}
+
 EmOptimizer::EmOptimizer(const Network* network,
                          std::vector<const Attribute*> attributes,
                          const GenClusConfig* config, ThreadPool* pool)
@@ -156,6 +179,33 @@ void EmOptimizer::RebuildDerivedTables(
   }
 }
 
+void EmOptimizer::AccumulateLinkTerm(const std::vector<double>& gamma,
+                                     const double* theta_data, size_t begin,
+                                     size_t end, EmWorkspace* ws,
+                                     double* out) const {
+  const size_t num_clusters = config_->num_clusters;
+  const size_t num_relations = gamma.size();
+  const ShardPartition& partition = ws->shard_partition_;
+  const size_t num_shards = partition.num_shards();
+  for (LinkTypeId r = 0; r < num_relations; ++r) {
+    if (gamma[r] == 0.0) continue;
+    const RelationCsr adj = network_->OutCsr(r);
+    const CsrMatrixView view{adj.row_offsets, adj.neighbors, adj.weights};
+    if (num_shards == 1) {
+      SpmmAccumulate(view, gamma[r], theta_data, num_clusters, begin, end,
+                     out);
+      continue;
+    }
+    // Shards run ascending inside each relation so every output row's
+    // non-zero chain replays the unsharded relation-by-relation order.
+    for (size_t s = 0; s < num_shards; ++s) {
+      SpmmAccumulateShard(view, ws->shard_splits_[r], partition, s, gamma[r],
+                          theta_data + partition.begin(s) * num_clusters,
+                          num_clusters, begin, end, out);
+    }
+  }
+}
+
 double EmOptimizer::FusedStep(const std::vector<double>& gamma, Matrix* theta,
                               std::vector<AttributeComponents>* components,
                               EmWorkspace* ws, double* entry_objective) const {
@@ -167,13 +217,13 @@ double EmOptimizer::FusedStep(const std::vector<double>& gamma, Matrix* theta,
 
   const size_t n = network_->num_nodes();
   const size_t num_clusters = config_->num_clusters;
-  const size_t num_relations = gamma.size();
   const size_t num_blocks = NumBlocks();
   const bool track = entry_objective != nullptr;
   const bool need_logs = has_numerical_ || track;
   const double log_theta_floor = std::log(kDefaultThetaFloor);
 
   ws->Prepare(n, num_clusters, attributes_, num_blocks);
+  ws->PrepareSharding(*network_, config_->theta_shards);
   RebuildDerivedTables(*components, ws);
 
   const double* theta_data = theta->data().data();
@@ -196,16 +246,11 @@ double EmOptimizer::FusedStep(const std::vector<double>& gamma, Matrix* theta,
     double* base = log_s + num_clusters;  // log theta_vk + log_norm_k
 
     // Link part of Eq. 10/11/12 as a typed-CSR SpMM: per relation r,
-    // new_theta rows of this block += gamma_r * (W_r Theta).
+    // new_theta rows of this block += gamma_r * (W_r Theta), one column
+    // shard at a time.
     std::fill(new_theta_data + begin * num_clusters,
               new_theta_data + end * num_clusters, 0.0);
-    for (LinkTypeId r = 0; r < num_relations; ++r) {
-      if (gamma[r] == 0.0) continue;
-      const RelationCsr adj = network_->OutCsr(r);
-      const CsrMatrixView view{adj.row_offsets, adj.neighbors, adj.weights};
-      SpmmAccumulate(view, gamma[r], theta_data, num_clusters, begin, end,
-                     new_theta_data);
-    }
+    AccumulateLinkTerm(gamma, theta_data, begin, end, ws, new_theta_data);
 
     double local_delta = 0.0;
     double local_obj = 0.0;
@@ -365,12 +410,12 @@ double EmOptimizer::FusedObjective(
   GENCLUS_CHECK_EQ(components.size(), attributes_.size());
 
   const size_t num_clusters = config_->num_clusters;
-  const size_t num_relations = gamma.size();
   const size_t num_blocks = NumBlocks();
   const double log_theta_floor = std::log(kDefaultThetaFloor);
 
   const size_t n = network_->num_nodes();
   ws->Prepare(n, num_clusters, attributes_, num_blocks);
+  ws->PrepareSharding(*network_, config_->theta_shards);
   RebuildDerivedTables(components, ws);
   const double* theta_data = theta.data().data();
   double* mix_data = ws->new_theta_.data().data();  // scratch rows only
@@ -385,13 +430,7 @@ double EmOptimizer::FusedObjective(
 
     std::fill(mix_data + begin * num_clusters, mix_data + end * num_clusters,
               0.0);
-    for (LinkTypeId r = 0; r < num_relations; ++r) {
-      if (gamma[r] == 0.0) continue;
-      const RelationCsr adj = network_->OutCsr(r);
-      const CsrMatrixView view{adj.row_offsets, adj.neighbors, adj.weights};
-      SpmmAccumulate(view, gamma[r], theta_data, num_clusters, begin, end,
-                     mix_data);
-    }
+    AccumulateLinkTerm(gamma, theta_data, begin, end, ws, mix_data);
 
     double local_obj = 0.0;
     for (size_t vi = begin; vi < end; ++vi) {

@@ -8,7 +8,6 @@
 #include "common/thread_annotations.h"
 #include "common/string_util.h"
 #include "common/timer.h"
-#include "core/server.h"
 
 namespace genclus {
 
@@ -48,6 +47,12 @@ Result<FitResult> Engine::Fit(const Dataset& dataset,
 
   FitResult out;
   out.model.theta = std::move(run.theta);
+  // Stamp the resolved shard count the fit ran with, so serving adopts
+  // the same partition by default and both model formats persist it.
+  out.model.theta_shards =
+      ShardPartition::Resolve(options.config.theta_shards,
+                              out.model.theta.rows())
+          .num_shards();
   out.model.gamma = std::move(run.gamma);
   out.model.components = std::move(run.components);
   out.model.attributes = std::move(attr_info);
@@ -74,8 +79,6 @@ Result<FitResult> Engine::Fit(const Dataset& dataset,
 // free list — each owns its own ServeWorkspace, so concurrent batches
 // execute in parallel with no global execution mutex (ParallelFor tracks
 // completion per call, so sessions may share the engine's thread pool).
-// The Submit wrapper's micro-batching Server is also created lazily here,
-// so engines that never Submit pay for no worker threads.
 struct Engine::ServeState {
   ServeState(const Network* network, const Model* model, ThreadPool* pool,
              const EngineOptions& options)
@@ -83,7 +86,7 @@ struct Engine::ServeState {
         model(model),
         pool(pool),
         options(options),
-        planner(network, model) {}
+        planner(network, model, options.theta_shards) {}
 
   const Network* network;
   const Model* model;
@@ -94,9 +97,6 @@ struct Engine::ServeState {
   Mutex session_mutex;
   std::vector<std::unique_ptr<InferSession>> free_sessions
       GENCLUS_GUARDED_BY(session_mutex);
-
-  Mutex submit_mutex;
-  std::unique_ptr<Server> submit_server GENCLUS_GUARDED_BY(submit_mutex);
 
   std::unique_ptr<InferSession> AcquireSession()
       GENCLUS_EXCLUDES(session_mutex) {
@@ -161,42 +161,6 @@ InferenceResult Engine::Execute(const InferPlan& plan) const {
   InferenceResult result = session->Execute(plan);
   serve_->ReleaseSession(std::move(session));
   return result;
-}
-
-std::future<InferenceResult> Engine::Submit(
-    std::vector<NewObjectQuery> queries) const {
-  // Deprecated wrapper over the serving tier (core/server.h): the batch
-  // rides the same bounded queue + micro-batching workers as Server
-  // submissions, and per-query answers stay bitwise identical to
-  // Execute(Plan(queries)). Unlike the old per-batch std::async path,
-  // nothing here can outlive the engine: the lazily created server is
-  // owned by ServeState and its destructor drains every outstanding
-  // submission before the workers join, so destroying an Engine with a
-  // pending future is safe (the future still completes).
-  ServeState* serve = serve_.get();
-  Server* server;
-  {
-    MutexLock lock(serve->submit_mutex);
-    if (serve->submit_server == nullptr) {
-      ServerOptions options;
-      options.num_workers = pool_->num_threads();
-      // Roomy bound: the deprecated path should only reject under truly
-      // pathological in-flight volume (per-query statuses then carry
-      // kResourceExhausted; Server::Submit is the API with real
-      // backpressure control).
-      options.queue_capacity = 1 << 16;
-      options.max_batch = 256;
-      options.max_wait_us = 50;
-      options.inference_iterations = options_.inference_iterations;
-      options.theta_floor = options_.theta_floor;
-      auto server_or = Server::Create(network_, model_.get(), options);
-      GENCLUS_CHECK_MSG(server_or.ok(),
-                        "internal Submit server must construct");
-      serve->submit_server = std::move(server_or).value();
-    }
-    server = serve->submit_server.get();
-  }
-  return server->SubmitBatch(std::move(queries));
 }
 
 Result<std::vector<double>> Engine::Infer(const NewObjectQuery& query) const {

@@ -20,14 +20,13 @@
 // blocks on the engine's pool; results are bitwise identical to the
 // per-query InferMembership reference and to any thread count. Concurrent
 // Execute calls run in parallel, each on its own pooled InferSession
-// (own ServeWorkspace) — there is no global execution mutex. Submit is a
-// deprecated thin wrapper over the micro-batching serving tier
-// (core/server.h); high-traffic callers should run a Server directly.
+// (own ServeWorkspace) — there is no global execution mutex. Callers that
+// want per-query submission with bounded-queue backpressure run the
+// micro-batching serving tier (core/server.h) directly.
 // Infer/InferBatch remain as thin wrappers over a one-query / one-shot
 // plan.
 #pragma once
 
-#include <future>
 #include <memory>
 #include <span>
 #include <string>
@@ -92,6 +91,11 @@ struct EngineOptions {
   size_t inference_iterations = ServeDefaults::kInferenceIterations;
   /// Floor applied to inferred membership probabilities.
   double theta_floor = ServeDefaults::kThetaFloor;
+  /// Θ column-shard count for the batch link term. 0 (default) adopts the
+  /// model's stamped `theta_shards`; any other value overrides it
+  /// (clamped like ShardPartition::Resolve). Served memberships are
+  /// bitwise identical for every choice.
+  size_t theta_shards = 0;
 };
 
 /// Reusable serving object: a Network + trained Model + thread pool +
@@ -132,17 +136,6 @@ class Engine {
   /// thread count.
   InferenceResult Execute(const InferPlan& plan) const;
 
-  /// DEPRECATED: thin wrapper over the micro-batching serving tier
-  /// (core/server.h) — new callers should create a Server and Submit
-  /// per-query for bounded-queue backpressure and stats. The batch is
-  /// admitted to an engine-owned Server and the future carries the
-  /// assembled typed result, bitwise identical to Execute(Plan(queries)).
-  /// Destroying the engine with pending futures is safe: the internal
-  /// server drains every outstanding submission first, so the futures
-  /// still complete.
-  std::future<InferenceResult> Submit(
-      std::vector<NewObjectQuery> queries) const;
-
   /// Answers one fold-in query — a thin wrapper over a one-query plan.
   Result<std::vector<double>> Infer(const NewObjectQuery& query) const;
 
@@ -163,11 +156,9 @@ class Engine {
   std::unique_ptr<Model> model_;
   EngineOptions options_;
   std::unique_ptr<ThreadPool> pool_;
-  // Planner, the recycled InferSession pool (one session per concurrent
-  // Execute caller) and the lazily built Submit server; defined in
-  // engine.cc. Declared last so it is destroyed first: the Submit
-  // server's destructor drains outstanding submissions while model_ and
-  // pool_ are still alive.
+  // Planner plus the recycled InferSession pool (one session per
+  // concurrent Execute caller); defined in engine.cc. Declared last so it
+  // is destroyed while model_ and pool_ are still alive.
   std::unique_ptr<ServeState> serve_;
 };
 

@@ -24,6 +24,11 @@ Status ValidateModelForServing(const Network& network, const Model& model) {
       model.gamma.size() != network.schema().num_link_types()) {
     return Status::InvalidArgument("model does not match network");
   }
+  // The plan CSR addresses link targets with 32-bit column ids; reject
+  // node counts that would silently wrap instead of truncating at
+  // assembly time.
+  GENCLUS_RETURN_IF_ERROR(
+      ValidateCsrColumnCount(network.num_nodes(), "serving node count"));
   return Status::OK();
 }
 
@@ -133,14 +138,20 @@ Status NewObjectObservation::Validate(const Model& model) const {
 // ---------------------------------------------------------------------------
 // BatchPlanner
 
-BatchPlanner::BatchPlanner(const Network* network, const Model* model)
+BatchPlanner::BatchPlanner(const Network* network, const Model* model,
+                           size_t theta_shards)
     : network_(network),
       model_(model),
-      model_status_(ValidateModelForServing(*network, *model)) {}
+      model_status_(ValidateModelForServing(*network, *model)),
+      theta_partition_(ShardPartition::Resolve(
+          theta_shards == 0 ? model->theta_shards : theta_shards,
+          model->num_nodes())) {}
 
 InferPlan BatchPlanner::Plan(std::span<const NewObjectQuery> queries) const {
   WallTimer timer;
   InferPlan plan;
+  plan.theta_partition = theta_partition_;
+  std::vector<std::pair<uint32_t, double>> row_links;  // sort scratch
   plan.statuses.reserve(queries.size());
   plan.row_to_query.reserve(queries.size());
   plan.row_offsets.reserve(queries.size() + 1);
@@ -190,6 +201,27 @@ InferPlan BatchPlanner::Plan(std::span<const NewObjectQuery> queries) const {
       plan.statuses.push_back(std::move(status));
       continue;
     }
+    // Canonicalize the kept row: stable-sort its non-zeros by target
+    // column. This is the accumulation order the reference path uses too,
+    // and ascending columns are what lets the column-shard split replay
+    // the exact chain for any shard count.
+    const size_t links_count = plan.link_cols.size() - links_start;
+    if (links_count > 1) {
+      row_links.resize(links_count);
+      for (size_t j = 0; j < links_count; ++j) {
+        row_links[j] = {plan.link_cols[links_start + j],
+                        plan.link_values[links_start + j]};
+      }
+      std::stable_sort(row_links.begin(), row_links.end(),
+                       [](const std::pair<uint32_t, double>& a,
+                          const std::pair<uint32_t, double>& b) {
+                         return a.first < b.first;
+                       });
+      for (size_t j = 0; j < links_count; ++j) {
+        plan.link_cols[links_start + j] = row_links[j].first;
+        plan.link_values[links_start + j] = row_links[j].second;
+      }
+    }
     plan.statuses.push_back(Status::OK());
     plan.row_to_query.push_back(i);
     plan.row_offsets.push_back(plan.link_cols.size());
@@ -204,6 +236,9 @@ InferPlan BatchPlanner::Plan(std::span<const NewObjectQuery> queries) const {
     plan.observation_offsets.push_back(plan.observations.size());
     plan.total_links += query.links.size();
     plan.total_observations += query.observations.size();
+  }
+  if (theta_partition_.num_shards() > 1) {
+    plan.shard_split.Build(plan.links(), theta_partition_);
   }
   plan.plan_seconds = timer.Seconds();
   return plan;
@@ -295,8 +330,26 @@ void InferSession::ExecuteBlock(const InferPlan& plan, size_t block,
                                 InferenceResult* out) {
   const size_t num_clusters = model_->num_clusters();
   const CsrMatrixView links = plan.links();
-  SpmmAccumulate(links, 1.0, model_->theta.data().data(), num_clusters,
-                 row_begin, row_end, workspace_.link_part_.data().data());
+  const size_t num_shards = plan.theta_partition.num_shards();
+  if (num_shards > 1 && !plan.shard_split.empty()) {
+    // Per-shard link terms merged in ascending shard order — each row's
+    // chain replays the monolithic call's non-zero order bit for bit,
+    // while every shard gathers from only its own Θ block. The shard base
+    // comes from the plan's partition (the planner may override the
+    // model's stamped shard count, so Model::ShardThetaData would slice
+    // differently).
+    const double* theta = model_->theta.data().data();
+    for (size_t s = 0; s < num_shards; ++s) {
+      SpmmAccumulateShard(links, plan.shard_split, plan.theta_partition, s,
+                          1.0,
+                          theta + plan.theta_partition.begin(s) * num_clusters,
+                          num_clusters, row_begin, row_end,
+                          workspace_.link_part_.data().data());
+    }
+  } else {
+    SpmmAccumulate(links, 1.0, model_->theta.data().data(), num_clusters,
+                   row_begin, row_end, workspace_.link_part_.data().data());
+  }
   switch (num_clusters) {
     case 2:
       SweepRows<2>(plan, block, row_begin, row_end, out);
@@ -469,9 +522,18 @@ Result<std::vector<double>> InferMembership(
   GENCLUS_RETURN_IF_ERROR(
       ValidateQuery(network, model, links, observations));
 
-  // Link part is constant across sweeps: sum_e gamma w theta_target.
+  // Link part is constant across sweeps: sum_e gamma w theta_target,
+  // accumulated in stable ascending-target order — the canonical order
+  // the batch planner sorts each CSR row into, so the two paths stay
+  // bitwise identical for every Θ shard count.
+  std::vector<size_t> order(links.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return links[a].target < links[b].target;
+  });
   std::vector<double> link_part(num_clusters, 0.0);
-  for (const NewObjectLink& link : links) {
+  for (size_t idx : order) {
+    const NewObjectLink& link = links[idx];
     const double coeff = model.gamma[link.type] * link.weight;
     if (coeff == 0.0) continue;
     const double* theta_u = model.theta.Row(link.target);

@@ -44,6 +44,7 @@
 #include "core/model.h"
 #include "hin/network.h"
 #include "linalg/matrix.h"
+#include "linalg/sharding.h"
 #include "linalg/spmm.h"
 #include "prob/simplex.h"
 
@@ -130,14 +131,22 @@ struct InferPlan {
   /// CSR row -> input query index (valid queries only, in input order).
   std::vector<size_t> row_to_query;
   /// Query x node link matrix in CSR form. Values are gamma(type) *
-  /// weight — folding gamma in at plan time keeps each row's
-  /// accumulation order equal to the reference path's per-link loop, so
-  /// SpMM output is bitwise identical to InferMembership's link term.
-  /// Duplicate links to the same target stay separate non-zeros; their
-  /// contributions sum exactly as the reference loop sums them.
+  /// weight, and each row's non-zeros are stable-sorted by target column
+  /// — the canonical accumulation order shared with the reference path
+  /// (InferMembership sums its link part in the same stable
+  /// ascending-target order), so SpMM output is bitwise identical to the
+  /// reference link term AND independent of how the columns are cut into
+  /// Θ shards. Duplicate links to the same target stay separate adjacent
+  /// non-zeros in their original relative order.
   std::vector<size_t> row_offsets;  // num_rows() + 1
   std::vector<uint32_t> link_cols;
   std::vector<double> link_values;
+  /// Column-shard state of the link CSR: the planner's resolved Θ
+  /// partition, plus the per-row shard cuts when the partition has more
+  /// than one shard (Execute then merges per-shard link terms in
+  /// ascending shard order; otherwise it takes the monolithic path).
+  ShardPartition theta_partition;
+  CsrColumnSplit shard_split;
   /// Observations of the valid queries, flattened; row i's observations
   /// live at [observation_offsets[i], observation_offsets[i + 1]).
   /// `observation_categorical[j]` resolves observation j's kind against
@@ -197,7 +206,13 @@ struct InferenceResult {
 /// planner.
 class BatchPlanner {
  public:
-  BatchPlanner(const Network* network, const Model* model);
+  /// `theta_shards` picks the column-shard count used to execute the
+  /// batch link term: 0 (default) adopts the model's stamped
+  /// `theta_shards`, any other value overrides it (clamped like
+  /// ShardPartition::Resolve). Served memberships are bitwise identical
+  /// for every choice.
+  BatchPlanner(const Network* network, const Model* model,
+               size_t theta_shards = 0);
 
   /// Validates every query (per-query Status — one bad query never
   /// poisons the rest) and assembles the valid ones into the batch CSR.
@@ -208,6 +223,8 @@ class BatchPlanner {
   const Model* model_;
   /// Model-vs-network precondition; a failure marks every query.
   Status model_status_;
+  /// Resolved Θ column partition every plan carries.
+  ShardPartition theta_partition_;
 };
 
 /// Reusable per-session scratch of the batch execution path: the

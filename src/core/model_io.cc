@@ -1,11 +1,17 @@
 #include "core/model_io.h"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <iomanip>
+#include <iterator>
 #include <utility>
 #include <vector>
 
+#include "common/check.h"
 #include "common/string_util.h"
 #include "hin/io.h"
 
@@ -14,6 +20,99 @@ namespace genclus {
 namespace {
 
 constexpr int kModelFormatVersion = 1;
+
+// --------------------------------------------------------------------------
+// Binary container plumbing (layout documented in model_io.h).
+
+constexpr char kBinaryMagic[8] = {'G', 'E', 'N', 'C', 'L', 'U', 'S', 'B'};
+constexpr uint32_t kBinaryVersion = 1;
+constexpr size_t kBinaryHeaderSize = 64;
+constexpr size_t kBinaryAlignment = 64;
+
+uint64_t Fnv1a64(const uint8_t* data, size_t size) {
+  uint64_t hash = 14695981039346656037ull;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+size_t RoundUpTo(size_t value, size_t alignment) {
+  return (value + alignment - 1) / alignment * alignment;
+}
+
+// The container is defined little-endian; on the (guarded) little-endian
+// hosts a memcpy of the native representation is exactly that encoding.
+Status RequireLittleEndian() {
+  if (std::endian::native != std::endian::little) {
+    return Status::FailedPrecondition(
+        "binary model I/O is little-endian only; use the text format on "
+        "this host");
+  }
+  return Status::OK();
+}
+
+void AppendBytes(std::vector<uint8_t>* out, const void* src, size_t n) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(src);
+  out->insert(out->end(), bytes, bytes + n);
+}
+
+template <typename T>
+void AppendScalar(std::vector<uint8_t>* out, T value) {
+  AppendBytes(out, &value, sizeof(T));
+}
+
+// Zero-pads `out` up to `size` (never shrinks).
+void PadTo(std::vector<uint8_t>* out, size_t size) {
+  GENCLUS_DCHECK(size >= out->size());
+  out->resize(size, 0);
+}
+
+// Bounds-checked forward cursor over a loaded file image. Every read
+// fails (returns false) instead of running past the buffer, so a
+// truncated or lying file surfaces as a clean error at the call site.
+class ByteReader {
+ public:
+  ByteReader(const std::vector<uint8_t>& bytes, size_t offset)
+      : bytes_(bytes), offset_(offset) {}
+
+  bool Read(void* dst, size_t n) {
+    if (n > bytes_.size() - offset_) return false;
+    std::memcpy(dst, bytes_.data() + offset_, n);
+    offset_ += n;
+    return true;
+  }
+
+  template <typename T>
+  bool ReadScalar(T* out) {
+    return Read(out, sizeof(T));
+  }
+
+  // u32 length-prefixed string.
+  bool ReadString(std::string* out) {
+    uint32_t length = 0;
+    if (!ReadScalar(&length)) return false;
+    if (length > bytes_.size() - offset_) return false;
+    out->assign(reinterpret_cast<const char*>(bytes_.data()) + offset_,
+                length);
+    offset_ += length;
+    return true;
+  }
+
+  bool SeekTo(size_t offset) {
+    if (offset > bytes_.size()) return false;
+    offset_ = offset;
+    return true;
+  }
+
+  size_t offset() const { return offset_; }
+  size_t remaining() const { return bytes_.size() - offset_; }
+
+ private:
+  const std::vector<uint8_t>& bytes_;
+  size_t offset_;
+};
 
 }  // namespace
 
@@ -31,6 +130,7 @@ Status SaveModel(const Model& model, const std::string& path) {
   out << "genclus_model " << kModelFormatVersion << "\n";
   out << "clusters " << model.num_clusters() << "\n";
   out << "nodes " << model.num_nodes() << "\n";
+  out << "theta_shards " << model.theta_shards << "\n";
   out << "objective " << model.objective << "\n";
   for (size_t r = 0; r < model.gamma.size(); ++r) {
     out << "link_type " << model.link_types[r] << " " << model.gamma[r]
@@ -130,6 +230,13 @@ Result<Model> LoadModel(const std::string& path) {
             return bad("nodes needs a count");
           }
           nodes_seen = true;
+        } else if (cmd == "theta_shards") {
+          // Optional (files before the sharded-Θ format keep default 1).
+          if (tok.size() != 2 ||
+              !ParseSizeT(tok[1], &model.theta_shards) ||
+              model.theta_shards == 0) {
+            return bad("theta_shards needs a positive count");
+          }
         } else if (cmd == "objective") {
           if (objective_seen) return bad("duplicate objective record");
           if (tok.size() != 2 || !ParseDouble(tok[1], &model.objective)) {
@@ -276,6 +383,283 @@ Result<Model> LoadModel(const std::string& path) {
           AttributeComponents::Numerical(std::move(gaussians)));
     }
   }
+  GENCLUS_RETURN_IF_ERROR(model.Validate());
+  return model;
+}
+
+Status SaveModelBinary(const Model& model, const std::string& path) {
+  GENCLUS_RETURN_IF_ERROR(model.Validate());
+  GENCLUS_RETURN_IF_ERROR(RequireLittleEndian());
+  const size_t num_nodes = model.num_nodes();
+  const size_t num_clusters = model.num_clusters();
+
+  std::vector<uint8_t> payload;
+  AppendScalar(&payload, model.objective);
+
+  AppendScalar(&payload, static_cast<uint64_t>(model.link_types.size()));
+  for (const std::string& name : model.link_types) {
+    AppendScalar(&payload, static_cast<uint32_t>(name.size()));
+    AppendBytes(&payload, name.data(), name.size());
+  }
+  for (double gamma : model.gamma) AppendScalar(&payload, gamma);
+
+  AppendScalar(&payload, static_cast<uint64_t>(model.components.size()));
+  for (size_t a = 0; a < model.components.size(); ++a) {
+    const ModelAttributeInfo& info = model.attributes[a];
+    const AttributeComponents& comp = model.components[a];
+    const bool categorical = info.kind == AttributeKind::kCategorical;
+    AppendScalar(&payload, static_cast<uint8_t>(categorical ? 0 : 1));
+    AppendScalar(&payload, static_cast<uint32_t>(info.name.size()));
+    AppendBytes(&payload, info.name.data(), info.name.size());
+    AppendScalar(&payload,
+                 static_cast<uint64_t>(categorical ? info.vocab_size : 0));
+    if (categorical) {
+      AppendBytes(&payload, comp.beta().data().data(),
+                  num_clusters * info.vocab_size * sizeof(double));
+    } else {
+      for (size_t k = 0; k < num_clusters; ++k) {
+        const GaussianDistribution& g =
+            comp.gaussian(static_cast<ClusterId>(k));
+        AppendScalar(&payload, g.mean());
+        AppendScalar(&payload, g.variance());
+      }
+    }
+  }
+
+  // Shard table, then each shard's raw Θ block, all 64-byte aligned in
+  // the file. The header is itself 64 bytes, so aligning payload offsets
+  // aligns file offsets too.
+  const ShardPartition partition = model.ThetaPartition();
+  const size_t num_shards = partition.num_shards();
+  PadTo(&payload, RoundUpTo(payload.size(), kBinaryAlignment));
+  struct ShardEntry {
+    uint64_t node_begin, node_count, theta_offset, theta_bytes;
+  };
+  std::vector<ShardEntry> table(num_shards);
+  size_t cursor = payload.size() + num_shards * sizeof(ShardEntry);
+  for (size_t s = 0; s < num_shards; ++s) {
+    cursor = RoundUpTo(cursor, kBinaryAlignment);
+    const size_t begin = partition.begin(s);
+    const size_t count = partition.end(s) - begin;
+    table[s] = {begin, count, kBinaryHeaderSize + cursor,
+                count * num_clusters * sizeof(double)};
+    cursor += table[s].theta_bytes;
+  }
+  for (const ShardEntry& entry : table) {
+    AppendScalar(&payload, entry.node_begin);
+    AppendScalar(&payload, entry.node_count);
+    AppendScalar(&payload, entry.theta_offset);
+    AppendScalar(&payload, entry.theta_bytes);
+  }
+  for (const ShardEntry& entry : table) {
+    PadTo(&payload, entry.theta_offset - kBinaryHeaderSize);
+    AppendBytes(&payload,
+                model.theta.data().data() + entry.node_begin * num_clusters,
+                entry.theta_bytes);
+  }
+
+  std::vector<uint8_t> header;
+  header.reserve(kBinaryHeaderSize);
+  AppendBytes(&header, kBinaryMagic, sizeof(kBinaryMagic));
+  AppendScalar(&header, kBinaryVersion);
+  AppendScalar(&header, uint32_t{0});  // flags
+  AppendScalar(&header, static_cast<uint64_t>(payload.size()));
+  AppendScalar(&header, Fnv1a64(payload.data(), payload.size()));
+  AppendScalar(&header, static_cast<uint64_t>(num_nodes));
+  AppendScalar(&header, static_cast<uint64_t>(num_clusters));
+  AppendScalar(&header, static_cast<uint64_t>(model.theta_shards));
+  PadTo(&header, kBinaryHeaderSize);  // reserved tail
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IoError(
+        StrFormat("cannot open '%s' for writing", path.c_str()));
+  }
+  out.write(reinterpret_cast<const char*>(header.data()),
+            static_cast<std::streamsize>(header.size()));
+  out.write(reinterpret_cast<const char*>(payload.data()),
+            static_cast<std::streamsize>(payload.size()));
+  out.flush();
+  if (!out) {
+    return Status::IoError(StrFormat("write to '%s' failed", path.c_str()));
+  }
+  return Status::OK();
+}
+
+Result<Model> LoadModelBinary(const std::string& path) {
+  GENCLUS_RETURN_IF_ERROR(RequireLittleEndian());
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError(
+        StrFormat("cannot open '%s' for reading", path.c_str()));
+  }
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  auto bad = [&](const char* why) {
+    return Status::IoError(StrFormat("%s: %s", path.c_str(), why));
+  };
+  if (bytes.size() < kBinaryHeaderSize) {
+    return bad("truncated binary model header");
+  }
+  if (std::memcmp(bytes.data(), kBinaryMagic, sizeof(kBinaryMagic)) != 0) {
+    return bad("not a genclus binary model (bad magic)");
+  }
+  ByteReader header(bytes, sizeof(kBinaryMagic));
+  uint32_t version = 0;
+  uint32_t flags = 0;
+  uint64_t payload_size = 0;
+  uint64_t checksum = 0;
+  uint64_t num_nodes64 = 0;
+  uint64_t num_clusters64 = 0;
+  uint64_t num_shards64 = 0;
+  // Reads within the (size-checked) 64-byte header cannot fail.
+  header.ReadScalar(&version);
+  header.ReadScalar(&flags);
+  header.ReadScalar(&payload_size);
+  header.ReadScalar(&checksum);
+  header.ReadScalar(&num_nodes64);
+  header.ReadScalar(&num_clusters64);
+  header.ReadScalar(&num_shards64);
+  if (version != kBinaryVersion) {
+    return bad("unsupported binary model format version");
+  }
+  if (flags != 0) return bad("unsupported binary model flags");
+  if (payload_size != bytes.size() - kBinaryHeaderSize) {
+    return bad("payload size does not match the file (truncated?)");
+  }
+  if (checksum != Fnv1a64(bytes.data() + kBinaryHeaderSize, payload_size)) {
+    return bad("payload checksum mismatch (corrupt file)");
+  }
+  const size_t num_nodes = static_cast<size_t>(num_nodes64);
+  const size_t num_clusters = static_cast<size_t>(num_clusters64);
+  if (num_shards64 < 1 ||
+      num_shards64 > std::max<uint64_t>(1, num_nodes64)) {
+    return bad("theta shard count out of range");
+  }
+  // Reject absurd extents before sizing Θ: every row must physically fit
+  // in the payload, so a lying header cannot trigger a huge allocation.
+  if (num_clusters != 0 &&
+      num_nodes > payload_size / sizeof(double) / num_clusters) {
+    return bad("theta extent exceeds the file");
+  }
+
+  Model model;
+  model.theta_shards = static_cast<size_t>(num_shards64);
+  ByteReader reader(bytes, kBinaryHeaderSize);
+  if (!reader.ReadScalar(&model.objective)) return bad("truncated objective");
+
+  uint64_t num_link_types = 0;
+  if (!reader.ReadScalar(&num_link_types) ||
+      num_link_types > reader.remaining()) {
+    return bad("truncated link-type section");
+  }
+  model.link_types.resize(static_cast<size_t>(num_link_types));
+  for (std::string& name : model.link_types) {
+    if (!reader.ReadString(&name)) return bad("truncated link-type name");
+  }
+  model.gamma.resize(static_cast<size_t>(num_link_types));
+  for (double& gamma : model.gamma) {
+    if (!reader.ReadScalar(&gamma)) return bad("truncated gamma values");
+  }
+
+  uint64_t num_attributes = 0;
+  if (!reader.ReadScalar(&num_attributes) ||
+      num_attributes > reader.remaining()) {
+    return bad("truncated attribute section");
+  }
+  for (uint64_t a = 0; a < num_attributes; ++a) {
+    uint8_t kind = 0;
+    ModelAttributeInfo info;
+    uint64_t vocab = 0;
+    if (!reader.ReadScalar(&kind) || !reader.ReadString(&info.name) ||
+        !reader.ReadScalar(&vocab)) {
+      return bad("truncated attribute record");
+    }
+    if (kind == 0) {
+      info.kind = AttributeKind::kCategorical;
+      info.vocab_size = static_cast<size_t>(vocab);
+      if (info.vocab_size == 0 || num_clusters == 0 ||
+          info.vocab_size >
+              reader.remaining() / sizeof(double) / num_clusters) {
+        return bad("categorical attribute extent exceeds the file");
+      }
+      const size_t cells = num_clusters * info.vocab_size;
+      AttributeComponents comp = AttributeComponents::CategoricalUniform(
+          num_clusters, info.vocab_size);
+      if (!reader.Read(comp.mutable_beta()->data().data(),
+                       cells * sizeof(double))) {
+        return bad("truncated beta rows");
+      }
+      model.components.push_back(std::move(comp));
+    } else if (kind == 1) {
+      info.kind = AttributeKind::kNumerical;
+      if (vocab != 0) return bad("numerical attribute declares a vocabulary");
+      std::vector<GaussianDistribution> gaussians;
+      gaussians.reserve(num_clusters);
+      for (size_t k = 0; k < num_clusters; ++k) {
+        double mean = 0.0;
+        double variance = 0.0;
+        if (!reader.ReadScalar(&mean) || !reader.ReadScalar(&variance)) {
+          return bad("truncated gaussian rows");
+        }
+        if (!std::isfinite(mean) || !std::isfinite(variance) ||
+            variance <= 0.0) {
+          return bad("gaussian needs finite mean and positive variance");
+        }
+        gaussians.emplace_back(mean, variance);
+      }
+      model.components.push_back(
+          AttributeComponents::Numerical(std::move(gaussians)));
+    } else {
+      return bad("unknown attribute kind");
+    }
+    model.attributes.push_back(std::move(info));
+  }
+
+  // Shard table at the next 64-byte boundary; entries must tile [0, n)
+  // in ascending order and each Θ block must lie inside the file.
+  if (!reader.SeekTo(RoundUpTo(reader.offset(), kBinaryAlignment))) {
+    return bad("truncated shard table");
+  }
+  if (num_nodes > 0) model.theta = Matrix(num_nodes, num_clusters);
+  uint64_t expected_begin = 0;
+  for (uint64_t s = 0; s < num_shards64; ++s) {
+    uint64_t node_begin = 0;
+    uint64_t node_count = 0;
+    uint64_t theta_offset = 0;
+    uint64_t theta_bytes = 0;
+    if (!reader.ReadScalar(&node_begin) || !reader.ReadScalar(&node_count) ||
+        !reader.ReadScalar(&theta_offset) ||
+        !reader.ReadScalar(&theta_bytes)) {
+      return bad("truncated shard table");
+    }
+    if (node_begin != expected_begin || node_count > num_nodes64 ||
+        node_begin + node_count > num_nodes64) {
+      return bad("shard table does not tile the node range");
+    }
+    expected_begin = node_begin + node_count;
+    if (theta_bytes !=
+        node_count * num_clusters64 * sizeof(double)) {
+      return bad("shard extent does not match its node count");
+    }
+    if (theta_offset % kBinaryAlignment != 0) {
+      return bad("misaligned theta block");
+    }
+    if (theta_offset < kBinaryHeaderSize || theta_offset > bytes.size() ||
+        theta_bytes > bytes.size() - theta_offset) {
+      return bad("theta block out of bounds");
+    }
+    if (theta_bytes > 0) {
+      std::memcpy(model.theta.data().data() +
+                      static_cast<size_t>(node_begin) * num_clusters,
+                  bytes.data() + theta_offset,
+                  static_cast<size_t>(theta_bytes));
+    }
+  }
+  if (expected_begin != num_nodes64) {
+    return bad("shard table does not tile the node range");
+  }
+
   GENCLUS_RETURN_IF_ERROR(model.Validate());
   return model;
 }

@@ -1,8 +1,44 @@
-// Plain-text serialization of trained Models, alongside the dataset format
-// in hin/io.h (both share ForEachTextRecord's line-oriented scaffolding).
-// Doubles are written at 17 significant digits, so a save/load round trip
-// is bit-exact and a model trained once keeps answering queries with the
-// same doubles after being persisted and reloaded.
+// Serialization of trained Models in two formats.
+//
+// Text (SaveModel/LoadModel): the fidelity format, alongside the dataset
+// format in hin/io.h (both share ForEachTextRecord's line-oriented
+// scaffolding). Doubles are written at 17 significant digits, so a
+// save/load round trip is bit-exact and a model trained once keeps
+// answering queries with the same doubles after being persisted and
+// reloaded.
+//
+// Binary (SaveModelBinary/LoadModelBinary): a versioned little-endian
+// container built for fast, checksummed loads of large models. Layout:
+//
+//   [64-byte header]
+//     bytes  0..7   magic "GENCLUSB"
+//     bytes  8..11  u32 format version (currently 1)
+//     bytes 12..15  u32 flags (must be 0)
+//     bytes 16..23  u64 payload size (file size minus the header)
+//     bytes 24..31  u64 FNV-1a 64 checksum of the payload bytes
+//     bytes 32..39  u64 num_nodes
+//     bytes 40..47  u64 num_clusters
+//     bytes 48..55  u64 num_shards (the model's Θ column-shard stamp)
+//     bytes 56..63  reserved, zero
+//   [payload]
+//     f64 objective
+//     link types:   u64 count; per type u32 name length + bytes;
+//                   then count f64 gamma values
+//     attributes:   u64 count; per attribute u8 kind (0 categorical,
+//                   1 numerical), u32 name length + bytes, u64 vocab
+//                   size (0 for numerical), then K x vocab f64 beta
+//                   rows (categorical) or K {mean, variance} f64 pairs
+//                   (numerical)
+//     shard table:  64-byte-aligned file offset; per shard u64
+//                   node_begin, u64 node_count, u64 theta file offset,
+//                   u64 theta byte count
+//     Θ blocks:     per shard, at its recorded 64-byte-aligned offset,
+//                   node_count x K raw f64 rows
+//
+// Every section is written little-endian; Θ blocks are 64-byte aligned in
+// the file so a loaded (or memory-mapped) image can hand shard pointers
+// straight to the SpMM kernels. A binary round trip is bitwise exact and
+// equivalent to the text round trip of the same model.
 #pragma once
 
 #include <string>
@@ -31,6 +67,19 @@ Status SaveModel(const Model& model, const std::string& path);
 ///   beta <cluster> <vocab values>        (for the preceding attribute)
 ///   attribute numerical <name>
 ///   gaussian <cluster> <mean> <variance> (for the preceding attribute)
+///   theta_shards <S>                     (optional; defaults to 1)
 Result<Model> LoadModel(const std::string& path);
+
+/// Writes `model` to `path` in the binary container described above.
+/// Fails with InvalidArgument if the model does not pass
+/// Model::Validate(), IoError on filesystem problems.
+Status SaveModelBinary(const Model& model, const std::string& path);
+
+/// Reads a model written by SaveModelBinary. The loaded Θ, gamma, beta
+/// and Gaussian parameters are bitwise identical to the saved ones.
+/// Truncated files, checksum mismatches, bad magic/version/flags and
+/// malformed sections all fail with a clean IoError; the loaded model is
+/// re-validated before being returned.
+Result<Model> LoadModelBinary(const std::string& path);
 
 }  // namespace genclus

@@ -121,7 +121,7 @@ Server::Server(const Network* network, std::unique_ptr<Model> owned_model,
     : options_(options),
       owned_model_(std::move(owned_model)),
       model_(model),
-      planner_(network, model),
+      planner_(network, model, options.theta_shards),
       queue_(options.queue_capacity),
       batch_size_histogram_(options.max_batch + 1, 0) {
   size_t num_workers = options_.num_workers;

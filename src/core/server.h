@@ -19,9 +19,8 @@
 // Results are delivered per query through promises: Submit hands back a
 // std::future<QueryResult> that becomes ready when some worker finishes
 // the query's micro-batch. SubmitBatch enqueues a whole batch and returns
-// one future for the assembled InferenceResult (Engine::Submit is now a
-// thin deprecated wrapper over it). Stop() closes the queue and — by
-// default — drains it: every admitted request is executed before the
+// one future for the assembled InferenceResult. Stop() closes the queue
+// and — by default — drains it: every admitted request is executed before the
 // workers join, so pending futures always complete and nothing dangles
 // (the fix for the old Submit's use-after-free on Engine destruction).
 // With drain_on_stop = false, requests still queued at Stop() fail fast
@@ -69,6 +68,11 @@ struct ServerOptions {
   size_t inference_iterations = ServeDefaults::kInferenceIterations;
   /// Floor applied to inferred membership probabilities.
   double theta_floor = ServeDefaults::kThetaFloor;
+  /// Θ column-shard count for the batch link term. 0 (default) adopts the
+  /// model's stamped `theta_shards`; any other value overrides it
+  /// (clamped like ShardPartition::Resolve). Served memberships are
+  /// bitwise identical for every choice.
+  size_t theta_shards = 0;
 
   Status Validate() const;
 };

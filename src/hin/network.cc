@@ -53,6 +53,18 @@ Result<Network> NetworkBuilder::Build() && {
   const size_t n = node_types_.size();
   const size_t m = link_srcs_.size();
 
+  // The typed-CSR views hand 32-bit neighbor ids to the SpMM kernels
+  // (linalg's CsrMatrixView), with the all-ones id reserved as
+  // kInvalidNode. AddNode already refuses to mint ids at the sentinel;
+  // this guard keeps the contract explicit at the one place the CSR is
+  // actually assembled (defense in depth for future builder entry
+  // points, same rule as linalg's ValidateCsrColumnCount).
+  if (n > static_cast<size_t>(kInvalidNode)) {
+    return Status::InvalidArgument(StrFormat(
+        "network has %zu nodes, exceeding the 32-bit CSR node-id space",
+        n));
+  }
+
   net.schema_ = std::move(schema_);
   net.node_types_ = std::move(node_types_);
   net.node_names_ = std::move(node_names_);

@@ -1,0 +1,56 @@
+#include "linalg/sharding.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "linalg/spmm_kernels.h"
+
+namespace genclus {
+
+ShardPartition ShardPartition::Resolve(size_t requested, size_t num_cols) {
+  size_t shards = requested;
+  if (shards == 0) {
+    shards = std::min<size_t>(8, 1 + num_cols / (size_t{1} << 18));
+  }
+  shards = std::min(shards, std::max<size_t>(1, num_cols));
+  shards = std::max<size_t>(1, shards);
+  return ShardPartition(num_cols, shards);
+}
+
+void CsrColumnSplit::Build(const CsrMatrixView& a,
+                           const ShardPartition& partition) {
+  const size_t num_rows = a.rows();
+  const size_t shards = partition.num_shards();
+  num_shards_ = shards;
+  cuts_.assign(num_rows * (shards + 1), 0);
+  for (size_t v = 0; v < num_rows; ++v) {
+    const size_t row_end = a.row_offsets[v + 1];
+    size_t j = a.row_offsets[v];
+    for (size_t s = 0; s <= shards; ++s) {
+      const size_t col_begin = partition.begin(s);
+      while (j < row_end && static_cast<size_t>(a.cols[j]) < col_begin) {
+        GENCLUS_DCHECK(j + 1 >= row_end || a.cols[j] <= a.cols[j + 1]);
+        ++j;
+      }
+      cuts_[v * (shards + 1) + s] = j;
+    }
+    GENCLUS_DCHECK(cuts_[v * (shards + 1) + shards] == row_end);
+  }
+}
+
+void SpmmAccumulateShard(const CsrMatrixView& a, const CsrColumnSplit& split,
+                         const ShardPartition& partition, size_t shard,
+                         double coeff, const double* shard_dense, size_t k,
+                         size_t row_begin, size_t row_end, double* out) {
+  GENCLUS_DCHECK(shard < partition.num_shards());
+  GENCLUS_DCHECK(split.num_shards() == partition.num_shards());
+  GENCLUS_DCHECK(row_end <= a.rows());
+  GENCLUS_DCHECK(row_begin <= row_end);
+  if (coeff == 0.0 || k == 0) return;
+  internal::SpmmRowsDispatch(split.ShardExtents(shard), split.stride(),
+                             a.cols.data(), a.values.data(), coeff,
+                             shard_dense, partition.begin(shard), k,
+                             row_begin, row_end, out);
+}
+
+}  // namespace genclus

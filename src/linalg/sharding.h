@@ -1,0 +1,95 @@
+// Column (node-range) sharding for the SpMM link term.
+//
+// A ShardPartition slices the dense operand's node dimension into
+// `num_shards` contiguous ranges; a CsrColumnSplit precomputes, per CSR
+// row, where each shard's column range begins inside the row's ascending
+// non-zeros. SpmmAccumulateShard then runs the ordinary SpMM row kernels
+// restricted to one shard's non-zeros, gathering from just that shard's
+// block of Θ. Because the kernels chain each output row left-to-right and
+// resume from the value already in `out` (see spmm_kernels.h), running the
+// shards of a relation in ascending shard order replays exactly the full
+// CSR's non-zero chain — the merged result is bitwise identical to one
+// un-sharded SpmmAccumulate call for every shard count.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/spmm.h"
+
+namespace genclus {
+
+/// Uniform contiguous partition of a node range [0, num_cols) into
+/// `num_shards` column shards of ceil(num_cols / num_shards) nodes each
+/// (the last shard may be short or empty). Default-constructed: one shard
+/// over zero columns.
+class ShardPartition {
+ public:
+  ShardPartition() = default;
+  ShardPartition(size_t num_cols, size_t num_shards)
+      : num_cols_(num_cols), num_shards_(num_shards == 0 ? 1 : num_shards) {}
+
+  /// Maps a user-facing shard-count knob to a concrete partition:
+  /// `requested` 0 picks an automatic count from the node count (one
+  /// shard per 256Ki nodes, capped at 8 — small models stay monolithic);
+  /// any other value is clamped to [1, max(1, num_cols)].
+  static ShardPartition Resolve(size_t requested, size_t num_cols);
+
+  size_t num_cols() const { return num_cols_; }
+  size_t num_shards() const { return num_shards_; }
+
+  /// First node of `shard`; `begin(num_shards()) == num_cols()` so the
+  /// ranges tile the node space.
+  size_t begin(size_t shard) const {
+    const size_t chunk = (num_cols_ + num_shards_ - 1) / num_shards_;
+    const size_t b = shard * chunk;
+    return b < num_cols_ ? b : num_cols_;
+  }
+  size_t end(size_t shard) const { return begin(shard + 1); }
+
+ private:
+  size_t num_cols_ = 0;
+  size_t num_shards_ = 1;
+};
+
+/// Per-row cut points of a CSR's ascending columns at a ShardPartition's
+/// boundaries: shard s of row v covers non-zero indices
+/// [cuts[v * (S + 1) + s], cuts[v * (S + 1) + s + 1]). Stored flat so
+/// shard s's extents are a strided view (`ShardExtents(s)` with
+/// `stride()`), exactly the shape the shared SpMM kernels consume.
+class CsrColumnSplit {
+ public:
+  CsrColumnSplit() = default;
+
+  /// Builds the cut table for `a` under `partition`. Columns must ascend
+  /// within each row (the typed-CSR builder guarantees this) and
+  /// partition.num_cols() must cover every column id.
+  void Build(const CsrMatrixView& a, const ShardPartition& partition);
+
+  bool empty() const { return cuts_.empty(); }
+  size_t num_shards() const { return num_shards_; }
+  size_t stride() const { return num_shards_ + 1; }
+  /// Strided extents array for `shard`: row v's range is
+  /// [extents[v * stride()], extents[v * stride() + 1]).
+  const size_t* ShardExtents(size_t shard) const {
+    return cuts_.data() + shard;
+  }
+
+ private:
+  std::vector<size_t> cuts_;
+  size_t num_shards_ = 1;
+};
+
+/// out[v,:] += coeff * sum_{j in shard} values[j] *
+///             shard_dense[cols[j] - partition.begin(shard),:]
+/// for rows v in [row_begin, row_end) — one shard's slice of the link
+/// term. `shard_dense` points at the shard's own Θ block (row 0 =
+/// node partition.begin(shard)); `out` is the full row-major output.
+/// Calling this for every shard in ascending order is bitwise identical
+/// to one SpmmAccumulate over the whole CSR.
+void SpmmAccumulateShard(const CsrMatrixView& a, const CsrColumnSplit& split,
+                         const ShardPartition& partition, size_t shard,
+                         double coeff, const double* shard_dense, size_t k,
+                         size_t row_begin, size_t row_end, double* out);
+
+}  // namespace genclus

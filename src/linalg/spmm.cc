@@ -1,49 +1,12 @@
 #include "linalg/spmm.h"
 
+#include <limits>
+#include <string>
+
 #include "common/check.h"
+#include "linalg/spmm_kernels.h"
 
 namespace genclus {
-
-namespace {
-
-// K-specialized row kernels: with the column count a compile-time
-// constant the inner loop fully unrolls and keeps the output row in
-// registers across the whole neighbor scan.
-template <size_t K>
-void SpmmRowsFixedK(const CsrMatrixView& a, double coeff, const double* dense,
-                    size_t row_begin, size_t row_end, double* out) {
-  for (size_t v = row_begin; v < row_end; ++v) {
-    const size_t begin = a.row_offsets[v];
-    const size_t end = a.row_offsets[v + 1];
-    if (begin == end) continue;
-    double acc[K];
-    for (size_t kk = 0; kk < K; ++kk) acc[kk] = 0.0;
-    for (size_t j = begin; j < end; ++j) {
-      const double w = coeff * a.values[j];
-      const double* in = dense + static_cast<size_t>(a.cols[j]) * K;
-      for (size_t kk = 0; kk < K; ++kk) acc[kk] += w * in[kk];
-    }
-    double* out_row = out + v * K;
-    for (size_t kk = 0; kk < K; ++kk) out_row[kk] += acc[kk];
-  }
-}
-
-void SpmmRowsGenericK(const CsrMatrixView& a, double coeff,
-                      const double* dense, size_t k, size_t row_begin,
-                      size_t row_end, double* out) {
-  for (size_t v = row_begin; v < row_end; ++v) {
-    const size_t begin = a.row_offsets[v];
-    const size_t end = a.row_offsets[v + 1];
-    double* out_row = out + v * k;
-    for (size_t j = begin; j < end; ++j) {
-      const double w = coeff * a.values[j];
-      const double* in = dense + static_cast<size_t>(a.cols[j]) * k;
-      for (size_t kk = 0; kk < k; ++kk) out_row[kk] += w * in[kk];
-    }
-  }
-}
-
-}  // namespace
 
 void SpmmAccumulate(const CsrMatrixView& a, double coeff, const double* dense,
                     size_t k, size_t row_begin, size_t row_end, double* out) {
@@ -51,23 +14,24 @@ void SpmmAccumulate(const CsrMatrixView& a, double coeff, const double* dense,
   GENCLUS_DCHECK(row_begin <= row_end);
   GENCLUS_DCHECK(a.cols.size() == a.values.size());
   if (coeff == 0.0 || k == 0) return;
-  switch (k) {
-    case 2:
-      SpmmRowsFixedK<2>(a, coeff, dense, row_begin, row_end, out);
-      break;
-    case 3:
-      SpmmRowsFixedK<3>(a, coeff, dense, row_begin, row_end, out);
-      break;
-    case 4:
-      SpmmRowsFixedK<4>(a, coeff, dense, row_begin, row_end, out);
-      break;
-    case 8:
-      SpmmRowsFixedK<8>(a, coeff, dense, row_begin, row_end, out);
-      break;
-    default:
-      SpmmRowsGenericK(a, coeff, dense, k, row_begin, row_end, out);
-      break;
+  internal::SpmmRowsDispatch(a.row_offsets.data(), /*stride=*/1,
+                             a.cols.data(), a.values.data(), coeff, dense,
+                             /*col_base=*/0, k, row_begin, row_end, out);
+}
+
+Status ValidateCsrColumnCount(size_t num_cols, const char* what) {
+  // The hin layer reserves the all-ones id (kInvalidNode) as a sentinel,
+  // so the largest addressable column count is UINT32_MAX, not
+  // UINT32_MAX + 1.
+  constexpr size_t kMaxCols =
+      static_cast<size_t>(std::numeric_limits<uint32_t>::max());
+  if (num_cols > kMaxCols) {
+    return Status::InvalidArgument(
+        std::string(what) + " " + std::to_string(num_cols) +
+        " exceeds the 32-bit CSR column-id space (max " +
+        std::to_string(kMaxCols) + ")");
   }
+  return Status::OK();
 }
 
 }  // namespace genclus

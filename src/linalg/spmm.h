@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <span>
 
+#include "common/status.h"
+
 namespace genclus {
 
 /// Read-only CSR matrix view with 32-bit column ids — the shape of
@@ -34,9 +36,20 @@ struct CsrMatrixView {
 /// [row_begin, row_end) — the γ-weighted W_r Θ product of the E-step's link
 /// term, restricted to one block of rows so callers can tile the sweep.
 /// `dense` and `out` are row-major with `k` columns; they must not alias.
-/// Per-row accumulation order is the CSR non-zero order, so the result is
-/// bitwise independent of how callers partition the row range.
+/// Each output row is accumulated as one left-to-right chain over the CSR
+/// non-zeros, resumed from the value already in `out`, so the result is
+/// bitwise independent of how callers partition the row range AND of how a
+/// row's non-zeros are split across consecutive calls (the column-sharded
+/// path in sharding.h relies on the latter).
 void SpmmAccumulate(const CsrMatrixView& a, double coeff, const double* dense,
                     size_t k, size_t row_begin, size_t row_end, double* out);
+
+/// Rejects dense column counts that cannot be addressed by the view's
+/// 32-bit column ids. CsrMatrixView stores `uint32_t` ids (with the
+/// all-ones pattern reserved as the hin layer's invalid-node sentinel);
+/// building a CSR over more columns than that would silently wrap ids
+/// instead of failing. `what` names the dimension for the error message
+/// (e.g. "node count").
+Status ValidateCsrColumnCount(size_t num_cols, const char* what);
 
 }  // namespace genclus

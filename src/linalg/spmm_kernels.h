@@ -1,0 +1,98 @@
+// Internal row kernels shared by the full-CSR SpMM entry point (spmm.cc)
+// and the shard-range entry point (sharding.cc). Not part of the public
+// surface — include only from linalg .cc files.
+//
+// The kernels are parameterized by an *extents* pointer plus stride so one
+// instantiation serves both callers: row v's non-zeros live at
+// [extents[v * stride], extents[v * stride + 1]). The full CSR passes
+// row_offsets.data() with stride 1; shard s of a CsrColumnSplit passes
+// cuts.data() + s with stride num_shards + 1. `col_base` rebases column
+// ids into the dense operand, so a shard can pass just its own Θ block.
+//
+// Every kernel accumulates each output row as one pure left-to-right
+// chain over the non-zeros, resuming from the value already in `out`
+// (load → accumulate → store). With ascending columns per row, splitting
+// a row range by column into shards and running the shards in ascending
+// order replays exactly the same chain — so the result is bitwise
+// invariant to the shard count, not just to the row partition.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace genclus::internal {
+
+// K-specialized row kernel: with the column count a compile-time constant
+// the inner loop fully unrolls and keeps the output row in registers
+// across the whole neighbor scan.
+template <size_t K>
+void SpmmRowsFixedK(const size_t* extents, size_t stride,
+                    const uint32_t* cols, const double* values, double coeff,
+                    const double* dense, size_t col_base, size_t row_begin,
+                    size_t row_end, double* out) {
+  for (size_t v = row_begin; v < row_end; ++v) {
+    const size_t begin = extents[v * stride];
+    const size_t end = extents[v * stride + 1];
+    if (begin == end) continue;
+    double* out_row = out + v * K;
+    double acc[K];
+    for (size_t kk = 0; kk < K; ++kk) acc[kk] = out_row[kk];
+    for (size_t j = begin; j < end; ++j) {
+      const double w = coeff * values[j];
+      const double* in =
+          dense + (static_cast<size_t>(cols[j]) - col_base) * K;
+      for (size_t kk = 0; kk < K; ++kk) acc[kk] += w * in[kk];
+    }
+    for (size_t kk = 0; kk < K; ++kk) out_row[kk] = acc[kk];
+  }
+}
+
+inline void SpmmRowsGenericK(const size_t* extents, size_t stride,
+                             const uint32_t* cols, const double* values,
+                             double coeff, const double* dense,
+                             size_t col_base, size_t k, size_t row_begin,
+                             size_t row_end, double* out) {
+  for (size_t v = row_begin; v < row_end; ++v) {
+    const size_t begin = extents[v * stride];
+    const size_t end = extents[v * stride + 1];
+    double* out_row = out + v * k;
+    for (size_t j = begin; j < end; ++j) {
+      const double w = coeff * values[j];
+      const double* in = dense + (static_cast<size_t>(cols[j]) - col_base) * k;
+      for (size_t kk = 0; kk < k; ++kk) out_row[kk] += w * in[kk];
+    }
+  }
+}
+
+// Shared K dispatcher: the K values the paper's experiments use get the
+// register-resident kernel, everything else the generic loop.
+inline void SpmmRowsDispatch(const size_t* extents, size_t stride,
+                             const uint32_t* cols, const double* values,
+                             double coeff, const double* dense,
+                             size_t col_base, size_t k, size_t row_begin,
+                             size_t row_end, double* out) {
+  switch (k) {
+    case 2:
+      SpmmRowsFixedK<2>(extents, stride, cols, values, coeff, dense, col_base,
+                        row_begin, row_end, out);
+      break;
+    case 3:
+      SpmmRowsFixedK<3>(extents, stride, cols, values, coeff, dense, col_base,
+                        row_begin, row_end, out);
+      break;
+    case 4:
+      SpmmRowsFixedK<4>(extents, stride, cols, values, coeff, dense, col_base,
+                        row_begin, row_end, out);
+      break;
+    case 8:
+      SpmmRowsFixedK<8>(extents, stride, cols, values, coeff, dense, col_base,
+                        row_begin, row_end, out);
+      break;
+    default:
+      SpmmRowsGenericK(extents, stride, cols, values, coeff, dense, col_base,
+                       k, row_begin, row_end, out);
+      break;
+  }
+}
+
+}  // namespace genclus::internal

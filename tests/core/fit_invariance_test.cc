@@ -1,12 +1,16 @@
-// Thread-invariance guarantee of training: Engine::Fit produces a
-// bitwise-identical Model for any pool size. Both phases of the outer
-// loop reduce over fixed-grain blocks merged in block order (EM sweep in
-// core/em.cc, strength learning via ParallelForReduce), so the fitted
-// Theta, beta, Gaussians and hard labels must not depend on
-// GenClusConfig::num_threads — the property that makes models reproducible
-// across machines with different core counts.
+// Thread- and shard-invariance guarantee of training: Engine::Fit
+// produces a bitwise-identical Model for any pool size and any Θ
+// column-shard count. Both phases of the outer loop reduce over
+// fixed-grain blocks merged in block order (EM sweep in core/em.cc,
+// strength learning via ParallelForReduce), and the sharded link term
+// merges its per-shard partials in ascending shard order, replaying the
+// monolithic left-to-right accumulation chain. So the fitted Theta,
+// beta, Gaussians and hard labels must not depend on
+// GenClusConfig::num_threads or GenClusConfig::theta_shards — the
+// property that makes models reproducible across machines.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "core/engine.h"
@@ -39,55 +43,81 @@ class FitInvarianceFixture : public ::testing::Test {
     fixture_.dataset.attributes.push_back(std::move(temperature));
   }
 
-  Result<FitResult> FitWithThreads(size_t num_threads) {
+  Result<FitResult> FitWith(size_t num_threads, size_t theta_shards = 1) {
     FitOptions options;
     options.attributes = {"text", "temperature"};
     options.config = testing::PlantedFixtureConfig(813);
     options.config.num_threads = num_threads;
+    options.config.theta_shards = theta_shards;
     return Engine::Fit(fixture_.dataset, options);
+  }
+
+  // Bitwise model equality: Theta, gamma, every component, hard labels.
+  static void ExpectModelsBitwiseEqual(const Model& got, const Model& want,
+                                       const std::string& label) {
+    EXPECT_EQ(got.theta.data(), want.theta.data())
+        << label << ": Theta drifted";
+    EXPECT_EQ(got.gamma, want.gamma) << label << ": gamma drifted";
+    ASSERT_EQ(got.components.size(), want.components.size());
+    for (size_t t = 0; t < want.components.size(); ++t) {
+      if (want.components[t].kind() == AttributeKind::kCategorical) {
+        EXPECT_EQ(got.components[t].beta().data(),
+                  want.components[t].beta().data())
+            << label << ": beta[" << t << "] drifted";
+      } else {
+        for (size_t k = 0; k < want.components[t].num_clusters(); ++k) {
+          EXPECT_EQ(got.components[t].gaussian(k).mean(),
+                    want.components[t].gaussian(k).mean())
+              << label << ": mu[" << t << "," << k << "]";
+          EXPECT_EQ(got.components[t].gaussian(k).variance(),
+                    want.components[t].gaussian(k).variance())
+              << label << ": sigma2[" << t << "," << k << "]";
+        }
+      }
+    }
+    EXPECT_EQ(got.HardLabels(), want.HardLabels())
+        << label << ": hard labels drifted";
   }
 
   testing::TwoCommunityNetwork fixture_;
 };
 
 TEST_F(FitInvarianceFixture, ModelIsBitwiseIdenticalAcrossPoolSizes) {
-  auto baseline = FitWithThreads(1);
+  auto baseline = FitWith(1);
   ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
-  const Model& want = baseline->model;
 
   for (size_t threads : {2u, 8u}) {
-    auto fit = FitWithThreads(threads);
+    auto fit = FitWith(threads);
     ASSERT_TRUE(fit.ok()) << fit.status().ToString();
-    const Model& got = fit->model;
-
-    EXPECT_EQ(got.theta.data(), want.theta.data())
-        << threads << " threads: Theta drifted";
-    EXPECT_EQ(got.gamma, want.gamma) << threads << " threads: gamma drifted";
-    ASSERT_EQ(got.components.size(), want.components.size());
-    for (size_t t = 0; t < want.components.size(); ++t) {
-      if (want.components[t].kind() == AttributeKind::kCategorical) {
-        EXPECT_EQ(got.components[t].beta().data(),
-                  want.components[t].beta().data())
-            << threads << " threads: beta[" << t << "] drifted";
-      } else {
-        for (size_t k = 0; k < want.components[t].num_clusters(); ++k) {
-          EXPECT_EQ(got.components[t].gaussian(k).mean(),
-                    want.components[t].gaussian(k).mean())
-              << threads << " threads: mu[" << t << "," << k << "]";
-          EXPECT_EQ(got.components[t].gaussian(k).variance(),
-                    want.components[t].gaussian(k).variance())
-              << threads << " threads: sigma2[" << t << "," << k << "]";
-        }
-      }
-    }
-    EXPECT_EQ(got.HardLabels(), want.HardLabels())
-        << threads << " threads: hard labels drifted";
+    ExpectModelsBitwiseEqual(fit->model, baseline->model,
+                             std::to_string(threads) + " threads");
   }
 }
 
+TEST_F(FitInvarianceFixture, ModelIsBitwiseIdenticalAcrossShardCounts) {
+  // The full tentpole grid: Θ shards {1,2,4} x pool sizes {1,2,8} all
+  // reproduce the unsharded serial model bit for bit. 162 nodes across 4
+  // shards gives ~41-node column ranges, so rows genuinely split.
+  auto baseline = FitWith(1, /*theta_shards=*/1);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  for (size_t shards : {2u, 4u}) {
+    for (size_t threads : {1u, 2u, 8u}) {
+      auto fit = FitWith(threads, shards);
+      ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+      ExpectModelsBitwiseEqual(fit->model, baseline->model,
+                               std::to_string(shards) + " shards / " +
+                                   std::to_string(threads) + " threads");
+      // The fit stamps the shard count it ran with; the baseline keeps 1.
+      EXPECT_EQ(fit->model.theta_shards, shards);
+    }
+  }
+  EXPECT_EQ(baseline->model.theta_shards, 1u);
+}
+
 TEST_F(FitInvarianceFixture, ReportedObjectiveIsInvariantToo) {
-  auto serial = FitWithThreads(1);
-  auto pooled = FitWithThreads(8);
+  auto serial = FitWith(1);
+  auto pooled = FitWith(8, /*theta_shards=*/4);
   ASSERT_TRUE(serial.ok() && pooled.ok());
   EXPECT_EQ(serial->report.objective, pooled->report.objective);
   EXPECT_EQ(serial->report.outer_iterations, pooled->report.outer_iterations);

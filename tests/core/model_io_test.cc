@@ -1,6 +1,9 @@
-// SaveModel/LoadModel: bit-exact round trips of trained models (including
-// numerical-attribute Gaussians) and clean Status errors — never crashes —
-// on truncated or corrupt files.
+// Model persistence, both formats. SaveModel/LoadModel (text) and
+// SaveModelBinary/LoadModelBinary: bit-exact round trips of trained
+// models (including numerical-attribute Gaussians and the Θ shard
+// stamp), cross-format equivalence, and clean Status errors — never
+// crashes — on truncated or corrupt files, bad magic, checksum
+// mismatches and unsupported versions.
 #include "core/model_io.h"
 
 #include <gtest/gtest.h>
@@ -48,6 +51,7 @@ Model TrainPlantedModel() {
 void ExpectBitExact(const Model& a, const Model& b) {
   ASSERT_EQ(a.num_nodes(), b.num_nodes());
   ASSERT_EQ(a.num_clusters(), b.num_clusters());
+  EXPECT_EQ(a.theta_shards, b.theta_shards);
   EXPECT_EQ(a.theta.data(), b.theta.data());  // exact double equality
   EXPECT_EQ(a.gamma, b.gamma);
   EXPECT_EQ(a.link_types, b.link_types);
@@ -194,6 +198,156 @@ TEST(ModelIoTest, LoadRejectsUnsupportedVersion) {
   auto loaded = LoadModel(file.path());
   ASSERT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(ModelIoTest, TextRoundTripPreservesThetaShardStamp) {
+  Model model = TrainPlantedModel();
+  model.theta_shards = 3;
+  ScopedFile file(TempPath("genclus_model_shards.model"));
+  ASSERT_TRUE(SaveModel(model, file.path()).ok());
+  auto loaded = LoadModel(file.path());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->theta_shards, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Binary format.
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(ModelIoBinaryTest, RoundTripIsBitExactOnPlantedFixture) {
+  Model model = TrainPlantedModel();
+  ScopedFile file(TempPath("genclus_model_roundtrip.bin"));
+  Status saved = SaveModelBinary(model, file.path());
+  ASSERT_TRUE(saved.ok()) << saved.ToString();
+  auto loaded = LoadModelBinary(file.path());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectBitExact(model, *loaded);
+}
+
+TEST(ModelIoBinaryTest, RoundTripPreservesGaussiansAndShardStamp) {
+  Model model;
+  model.theta = Matrix(5, 2);
+  for (size_t v = 0; v < 5; ++v) {
+    model.theta(v, 0) = 1.0 / (3.0 + static_cast<double>(v));
+    model.theta(v, 1) = 1.0 - model.theta(v, 0);
+  }
+  model.theta_shards = 2;  // Θ persists per shard: two blocks here
+  model.gamma = {0.1, 14.46};
+  model.link_types = {"tt", "tp"};
+  model.objective = -123.456789012345678;
+  model.attributes.push_back({"temperature", AttributeKind::kNumerical, 0});
+  model.components.push_back(AttributeComponents::Numerical(
+      {GaussianDistribution(-7.25, 0.3333333333333333),
+       GaussianDistribution(31.0, 2.718281828459045)}));
+  ASSERT_TRUE(model.Validate().ok());
+
+  ScopedFile file(TempPath("genclus_model_gaussian.bin"));
+  ASSERT_TRUE(SaveModelBinary(model, file.path()).ok());
+  auto loaded = LoadModelBinary(file.path());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectBitExact(model, *loaded);
+  EXPECT_EQ(loaded->theta_shards, 2u);
+}
+
+TEST(ModelIoBinaryTest, BinaryAndTextRoundTripsAgreeBitwise) {
+  // Cross-format equivalence: the same model through either format loads
+  // back to bitwise-identical parameters.
+  Model model = TrainPlantedModel();
+  model.theta_shards = 2;
+  ScopedFile text_file(TempPath("genclus_model_cross.model"));
+  ScopedFile binary_file(TempPath("genclus_model_cross.bin"));
+  ASSERT_TRUE(SaveModel(model, text_file.path()).ok());
+  ASSERT_TRUE(SaveModelBinary(model, binary_file.path()).ok());
+  auto from_text = LoadModel(text_file.path());
+  auto from_binary = LoadModelBinary(binary_file.path());
+  ASSERT_TRUE(from_text.ok()) << from_text.status().ToString();
+  ASSERT_TRUE(from_binary.ok()) << from_binary.status().ToString();
+  ExpectBitExact(*from_text, *from_binary);
+}
+
+TEST(ModelIoBinaryTest, SaveRejectsInvalidModel) {
+  Model model;  // K = 0: fails Validate
+  ScopedFile file(TempPath("genclus_model_invalid.bin"));
+  EXPECT_FALSE(SaveModelBinary(model, file.path()).ok());
+}
+
+TEST(ModelIoBinaryTest, LoadFailsCleanlyOnMissingFile) {
+  auto loaded = LoadModelBinary(TempPath("genclus_model_missing.bin"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(ModelIoBinaryTest, LoadFailsCleanlyOnTruncation) {
+  Model model = TrainPlantedModel();
+  ScopedFile file(TempPath("genclus_model_truncated.bin"));
+  ASSERT_TRUE(SaveModelBinary(model, file.path()).ok());
+  const std::string full = ReadFileBytes(file.path());
+  // Every truncation point must fail cleanly — inside the header, inside
+  // the sections, and mid-Θ.
+  for (size_t keep : {size_t{0}, size_t{8}, size_t{63}, size_t{64},
+                      size_t{100}, full.size() / 2, full.size() - 1}) {
+    WriteFileBytes(file.path(), full.substr(0, keep));
+    auto loaded = LoadModelBinary(file.path());
+    ASSERT_FALSE(loaded.ok()) << "accepted truncation at " << keep;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kIoError) << keep;
+  }
+}
+
+TEST(ModelIoBinaryTest, LoadFailsCleanlyOnCorruptPayload) {
+  Model model = TrainPlantedModel();
+  ScopedFile file(TempPath("genclus_model_corrupt.bin"));
+  ASSERT_TRUE(SaveModelBinary(model, file.path()).ok());
+  std::string bytes = ReadFileBytes(file.path());
+  ASSERT_GT(bytes.size(), 200u);
+  // Flip one payload byte: the checksum must catch it before any parsing.
+  bytes[150] = static_cast<char>(bytes[150] ^ 0x5a);
+  WriteFileBytes(file.path(), bytes);
+  auto loaded = LoadModelBinary(file.path());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+  EXPECT_NE(loaded.status().message().find("checksum"), std::string::npos);
+}
+
+TEST(ModelIoBinaryTest, LoadRejectsBadMagicAndVersionAndTextFile) {
+  Model model = TrainPlantedModel();
+  ScopedFile file(TempPath("genclus_model_header.bin"));
+  ASSERT_TRUE(SaveModelBinary(model, file.path()).ok());
+  const std::string good = ReadFileBytes(file.path());
+
+  std::string bad_magic = good;
+  bad_magic[0] = 'X';
+  WriteFileBytes(file.path(), bad_magic);
+  auto loaded = LoadModelBinary(file.path());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("magic"), std::string::npos);
+
+  // The version lives in the (un-checksummed) header, so a bumped version
+  // is reported as such, not as corruption.
+  std::string bad_version = good;
+  bad_version[8] = 99;
+  WriteFileBytes(file.path(), bad_version);
+  loaded = LoadModelBinary(file.path());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("version"), std::string::npos);
+
+  // A text model handed to the binary loader is a clean bad-magic error,
+  // and vice versa a binary file fails the text parser cleanly.
+  ScopedFile text_file(TempPath("genclus_model_header.model"));
+  ASSERT_TRUE(SaveModel(model, text_file.path()).ok());
+  EXPECT_FALSE(LoadModelBinary(text_file.path()).ok());
+  WriteFileBytes(file.path(), good);
+  EXPECT_FALSE(LoadModel(file.path()).ok());
 }
 
 }  // namespace

@@ -1,5 +1,5 @@
 // Batch-planned serving (BatchPlanner + InferSession behind
-// Engine::Plan/Execute/Submit): edge cases — empty batch, all-invalid
+// Engine::Plan/Execute): edge cases — empty batch, all-invalid
 // batch, duplicate links, links-only / observations-only queries — plus
 // the two load-bearing contracts: every batch result is bitwise identical
 // to the per-query InferMembership reference, and bitwise invariant to
@@ -8,12 +8,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <future>
 #include <span>
 #include <utility>
 #include <vector>
 
 #include "core/engine.h"
 #include "core/inference.h"
+#include "core/server.h"
 #include "datagen/weather_generator.h"
 #include "tests/core/test_fixtures.h"
 
@@ -210,7 +212,8 @@ TEST_F(ServeBatchFixture, PlanMapsRowsPastInvalidQueriesAndFoldsGamma) {
   EXPECT_EQ(plan.link_cols,
             (std::vector<uint32_t>{fixture_->docs[0], fixture_->docs[1],
                                    fixture_->docs[2]}));
-  // Values carry gamma(type) * weight, in each query's own link order.
+  // Values carry gamma(type) * weight; each row's non-zeros are
+  // stable-sorted by target column (these targets already ascend).
   const std::vector<double>& gamma = engine.model().gamma;
   EXPECT_EQ(plan.link_values[0], gamma[fixture_->doc_doc] * 2.0);
   EXPECT_EQ(plan.link_values[1], gamma[fixture_->doc_tag] * 1.0);
@@ -218,6 +221,65 @@ TEST_F(ServeBatchFixture, PlanMapsRowsPastInvalidQueriesAndFoldsGamma) {
   EXPECT_EQ(plan.observation_offsets, (std::vector<size_t>{0, 0, 1, 1}));
   EXPECT_EQ(plan.total_links, 3u);
   EXPECT_EQ(plan.total_observations, 1u);
+}
+
+TEST_F(ServeBatchFixture, PlanStableSortsEachRowByTargetColumn) {
+  Engine engine = MakeEngine(1);
+  NewObjectQuery query;
+  // Descending targets plus a duplicate: the plan must stable-sort the
+  // row by target column (ties keep submission order) with each value
+  // staying paired to its link.
+  query.links.push_back({fixture_->docs[3], fixture_->doc_doc, 5.0});
+  query.links.push_back({fixture_->docs[1], fixture_->doc_doc, 1.0});
+  query.links.push_back({fixture_->docs[3], fixture_->doc_doc, 7.0});
+  query.links.push_back({fixture_->docs[0], fixture_->doc_doc, 2.0});
+  const InferPlan plan = engine.Plan(std::span(&query, 1));
+  ASSERT_EQ(plan.num_rows(), 1u);
+  EXPECT_EQ(plan.link_cols,
+            (std::vector<uint32_t>{fixture_->docs[0], fixture_->docs[1],
+                                   fixture_->docs[3], fixture_->docs[3]}));
+  const double gamma_dd = engine.model().gamma[fixture_->doc_doc];
+  EXPECT_EQ(plan.link_values,
+            (std::vector<double>{gamma_dd * 2.0, gamma_dd * 1.0,
+                                 gamma_dd * 5.0, gamma_dd * 7.0}));
+}
+
+TEST_F(ServeBatchFixture, ExecutionIsBitwiseInvariantToThetaShardCount) {
+  // The same batch served through 1, 2 and 4 Θ column shards (and a
+  // sharded planner over an auto-stamped model) must produce bitwise
+  // identical memberships — the per-shard link terms merge in ascending
+  // shard order, replaying the monolithic accumulation chain.
+  std::vector<NewObjectQuery> queries(9);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    NewObjectQuery& q = queries[i];
+    q.links.push_back({fixture_->docs[(i * 3) % 16], fixture_->doc_doc,
+                       1.0 + 0.25 * static_cast<double>(i)});
+    q.links.push_back({fixture_->docs[15 - i % 16], fixture_->doc_doc, 2.0});
+    q.links.push_back({fixture_->tags[i % 2], fixture_->doc_tag, 1.5});
+    if (i % 2 == 0) {
+      q.observations.push_back(
+          NewObjectObservation::Categorical(0, i % 4, 1.0 + i));
+    }
+  }
+  Matrix baseline;
+  for (size_t shards : {1, 2, 4}) {
+    EngineOptions options;
+    options.num_threads = 2;
+    options.theta_shards = shards;
+    auto engine =
+        Engine::Create(&fixture_->dataset.network, *model_, options);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    const InferenceResult result = engine->Execute(engine->Plan(queries));
+    for (size_t i = 0; i < queries.size(); ++i) {
+      ASSERT_TRUE(result.ok(i)) << "shards " << shards << " query " << i;
+    }
+    if (shards == 1) {
+      baseline = result.memberships;
+      continue;
+    }
+    EXPECT_EQ(result.memberships.data(), baseline.data())
+        << "shards " << shards;
+  }
 }
 
 TEST_F(ServeBatchFixture, ExecuteReportsBatchStatsAndBlocks) {
@@ -235,7 +297,7 @@ TEST_F(ServeBatchFixture, ExecuteReportsBatchStatsAndBlocks) {
   EXPECT_GE(result.report.exec_seconds, 0.0);
 }
 
-TEST_F(ServeBatchFixture, SubmitFutureMatchesSynchronousExecution) {
+TEST_F(ServeBatchFixture, ServerSubmitBatchMatchesSynchronousExecution) {
   Engine engine = MakeEngine(2);
   std::vector<NewObjectQuery> queries(3);
   queries[0].links.push_back({fixture_->docs[0], fixture_->doc_doc, 1.0});
@@ -243,7 +305,13 @@ TEST_F(ServeBatchFixture, SubmitFutureMatchesSynchronousExecution) {
       NewObjectObservation::Categorical(0, 2, 2.0));
   queries[2].links.push_back({fixture_->docs[0], 99, 1.0});  // invalid
 
-  std::future<InferenceResult> future = engine.Submit(queries);
+  ServerOptions server_options;
+  server_options.num_workers = 2;
+  auto server =
+      Server::Create(&fixture_->dataset.network, model_, server_options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  std::future<InferenceResult> future =
+      (*server)->SubmitBatch(queries);
   const InferenceResult async_result = future.get();
   const InferenceResult sync_result = engine.Execute(engine.Plan(queries));
   ASSERT_EQ(async_result.size(), sync_result.size());

@@ -7,9 +7,9 @@
 //     immediately instead of blocking;
 //   * clean shutdown with a non-empty queue — draining by default,
 //     failing fast with kCancelled when drain_on_stop is off;
-//   * destroying an Engine with a pending Submit future is safe (the old
-//     std::async path dangled its captured ServeState — ASan/TSan cover
-//     this regression in CI);
+//   * destroying a Server with pending SubmitBatch futures is safe (the
+//     old Engine::Submit std::async path dangled its captured ServeState
+//     — ASan/TSan cover this regression in CI);
 //   * concurrent Engine::Execute calls (per-caller sessions, no global
 //     execution mutex) stay bitwise equal to the reference path;
 //   * ServerStats observability: counters, batch-size histogram, queue
@@ -340,27 +340,25 @@ TEST_F(ServerTest, SubmitBatchAssemblesInferenceResultBitwise) {
   EXPECT_EQ(empty.get().size(), 0u);
 }
 
-TEST_F(ServerTest, EngineDestructionWithPendingSubmitIsSafe) {
+TEST_F(ServerTest, ServerDestructionWithPendingSubmitBatchIsSafe) {
   // Regression for the PR 5 Submit hazard: a pending std::async future
-  // captured the engine's heap ServeState, so destroying the engine with
-  // the future in flight was a use-after-free. Submit now rides the
-  // draining internal Server: the engine destructor completes every
-  // outstanding submission before tearing anything down, and the futures
-  // stay valid afterwards (their shared state is independent). ASan/TSan
-  // jobs in CI watch this test.
+  // captured the engine's heap ServeState, so destroying the owner with
+  // the future in flight was a use-after-free. SubmitBatch rides the
+  // draining queue: the server destructor completes every outstanding
+  // submission before tearing anything down, and the futures stay valid
+  // afterwards (their shared state is independent). ASan/TSan jobs in CI
+  // watch this test.
   QueryPool pool = MakeQueryPool(6);
-  EngineOptions engine_options;
-  engine_options.num_threads = 2;
 
   std::vector<std::future<InferenceResult>> pending;
   {
-    auto engine = Engine::Create(&fixture_->dataset.network, *model_,
-                                 engine_options);
-    ASSERT_TRUE(engine.ok());
+    ServerOptions options;
+    options.num_workers = 2;
+    auto server = MakeServer(options);
     for (int i = 0; i < 8; ++i) {
-      pending.push_back(engine->Submit(pool.queries));
+      pending.push_back(server->SubmitBatch(pool.queries));
     }
-    // Engine destroyed here, submissions very likely still queued.
+    // Server destroyed here, submissions very likely still queued.
   }
   for (std::future<InferenceResult>& future : pending) {
     const InferenceResult result = future.get();
@@ -370,6 +368,50 @@ TEST_F(ServerTest, EngineDestructionWithPendingSubmitIsSafe) {
       if (!pool.reference[i].ok()) continue;
       for (size_t k = 0; k < pool.reference[i].value().size(); ++k) {
         EXPECT_EQ(result.memberships(i, k), pool.reference[i].value()[k]);
+      }
+    }
+  }
+}
+
+TEST_F(ServerTest, AnswersBitwiseInvariantToThetaShardsAndWorkers) {
+  // Served answers must be bitwise identical across every Θ shard count x
+  // worker count combination: the per-shard link terms merge in ascending
+  // shard order, replaying the monolithic accumulation chain exactly, and
+  // each query's sweep is independent of how micro-batches form.
+  QueryPool pool = MakeQueryPool(10);
+  std::vector<QueryResult> baseline;
+  for (size_t shards : {1, 2, 4}) {
+    for (size_t workers : {1, 2, 8}) {
+      ServerOptions options;
+      options.num_workers = workers;
+      options.theta_shards = shards;
+      auto server = MakeServer(options);
+      std::vector<std::future<QueryResult>> futures;
+      for (const NewObjectQuery& q : pool.queries) {
+        auto submitted = server->Submit(q);
+        ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+        futures.push_back(std::move(submitted).value());
+      }
+      std::vector<QueryResult> answers;
+      for (std::future<QueryResult>& f : futures) {
+        answers.push_back(f.get());
+      }
+      if (baseline.empty()) {
+        for (size_t i = 0; i < answers.size(); ++i) {
+          ExpectMatchesReference(answers[i], pool.reference[i]);
+        }
+        baseline = std::move(answers);
+        continue;
+      }
+      for (size_t i = 0; i < answers.size(); ++i) {
+        EXPECT_EQ(answers[i].status, baseline[i].status)
+            << "shards " << shards << " workers " << workers << " query "
+            << i;
+        // Bitwise: EXPECT_EQ on the double vectors, no tolerance.
+        EXPECT_EQ(answers[i].membership, baseline[i].membership)
+            << "shards " << shards << " workers " << workers << " query "
+            << i;
+        EXPECT_EQ(answers[i].hard_label, baseline[i].hard_label);
       }
     }
   }

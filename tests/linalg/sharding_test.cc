@@ -1,0 +1,185 @@
+// Column sharding of the SpMM link term (linalg/sharding.h):
+// ShardPartition tiling/clamping, CsrColumnSplit cut correctness, and the
+// load-bearing bitwise contract — merging SpmmAccumulateShard over all
+// shards in ascending order equals one monolithic SpmmAccumulate call
+// exactly, for every K specialization and shard count, including
+// accumulation onto non-zero outputs and empty rows/shards.
+#include "linalg/sharding.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "linalg/matrix.h"
+#include "linalg/spmm.h"
+
+namespace genclus {
+namespace {
+
+// A small owning CSR builder for tests (columns ascend within each row,
+// the precondition CsrColumnSplit documents).
+struct TestCsr {
+  std::vector<size_t> offsets;
+  std::vector<uint32_t> cols;
+  std::vector<double> values;
+
+  CsrMatrixView View() const { return {offsets, cols, values}; }
+};
+
+TestCsr RandomCsr(size_t rows, size_t cols, double density, Rng* rng) {
+  TestCsr csr;
+  csr.offsets.push_back(0);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      if (rng->Uniform() < density) {
+        csr.cols.push_back(static_cast<uint32_t>(c));
+        csr.values.push_back(rng->Uniform() * 2.0 - 0.5);
+      }
+    }
+    csr.offsets.push_back(csr.cols.size());
+  }
+  return csr;
+}
+
+Matrix RandomDense(size_t rows, size_t cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) m(r, c) = rng->Uniform() - 0.5;
+  }
+  return m;
+}
+
+TEST(ShardPartitionTest, TilesTheColumnRangeForAnyShardCount) {
+  for (size_t cols : {0u, 1u, 5u, 16u, 97u}) {
+    for (size_t shards : {1u, 2u, 3u, 7u, 16u}) {
+      const ShardPartition partition(cols, shards);
+      EXPECT_EQ(partition.begin(0), 0u);
+      EXPECT_EQ(partition.begin(partition.num_shards()), cols);
+      for (size_t s = 0; s < partition.num_shards(); ++s) {
+        EXPECT_LE(partition.begin(s), partition.end(s));
+        EXPECT_EQ(partition.end(s), partition.begin(s + 1));
+      }
+    }
+  }
+}
+
+TEST(ShardPartitionTest, ResolveClampsAndAutoPicks) {
+  // Explicit counts clamp to [1, max(1, cols)].
+  EXPECT_EQ(ShardPartition::Resolve(4, 100).num_shards(), 4u);
+  EXPECT_EQ(ShardPartition::Resolve(200, 100).num_shards(), 100u);
+  EXPECT_EQ(ShardPartition::Resolve(5, 0).num_shards(), 1u);
+  // Auto (0): small models stay monolithic, huge ones shard, capped at 8.
+  EXPECT_EQ(ShardPartition::Resolve(0, 1000).num_shards(), 1u);
+  EXPECT_GT(ShardPartition::Resolve(0, size_t{1} << 20).num_shards(), 1u);
+  EXPECT_LE(ShardPartition::Resolve(0, size_t{1} << 30).num_shards(), 8u);
+}
+
+TEST(CsrColumnSplitTest, CutsMatchAScalarScan) {
+  Rng rng(7);
+  const TestCsr csr = RandomCsr(13, 29, 0.4, &rng);
+  for (size_t shards : {1u, 2u, 3u, 7u}) {
+    const ShardPartition partition(29, shards);
+    CsrColumnSplit split;
+    split.Build(csr.View(), partition);
+    ASSERT_FALSE(split.empty());
+    EXPECT_EQ(split.num_shards(), shards);
+    for (size_t v = 0; v < 13; ++v) {
+      for (size_t s = 0; s < shards; ++s) {
+        const size_t* extents = split.ShardExtents(s) + v * split.stride();
+        // Every non-zero inside the cut range belongs to shard s's
+        // columns; everything outside does not.
+        for (size_t j = csr.offsets[v]; j < csr.offsets[v + 1]; ++j) {
+          const bool in_shard = csr.cols[j] >= partition.begin(s) &&
+                                csr.cols[j] < partition.end(s);
+          const bool in_range = j >= extents[0] && j < extents[1];
+          EXPECT_EQ(in_shard, in_range)
+              << "row " << v << " shard " << s << " nz " << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardedSpmmTest, MergedShardsBitwiseEqualMonolithicCall) {
+  Rng rng(11);
+  // K sweeps the specialized kernels (2, 3, 4, 8) and the generic path
+  // (5); shard counts cover even, odd and more-shards-than-needed cuts.
+  for (size_t k : {2u, 3u, 4u, 5u, 8u}) {
+    const size_t cols = 41;
+    const TestCsr csr = RandomCsr(17, cols, 0.35, &rng);
+    const Matrix dense = RandomDense(cols, k, &rng);
+    // Non-zero initial out: the chain must resume from it identically.
+    const Matrix init = RandomDense(17, k, &rng);
+    Matrix want = init;
+    SpmmAccumulate(csr.View(), 1.75, dense.data().data(), k, 0, 17,
+                   want.data().data());
+    for (size_t shards : {1u, 2u, 3u, 7u}) {
+      const ShardPartition partition(cols, shards);
+      CsrColumnSplit split;
+      split.Build(csr.View(), partition);
+      Matrix got = init;
+      for (size_t s = 0; s < shards; ++s) {
+        SpmmAccumulateShard(
+            csr.View(), split, partition, s, 1.75,
+            dense.data().data() + partition.begin(s) * k, k, 0, 17,
+            got.data().data());
+      }
+      // Bitwise: EXPECT_EQ on the double vectors, no tolerance.
+      EXPECT_EQ(got.data(), want.data()) << "k " << k << " shards " << shards;
+    }
+  }
+}
+
+TEST(ShardedSpmmTest, HandlesEmptyRowsAndEmptyShards) {
+  // 3 columns split 7 ways: most shards own no columns; row 1 is empty.
+  TestCsr csr;
+  csr.offsets = {0, 2, 2, 3};
+  csr.cols = {0, 2, 1};
+  csr.values = {1.5, -2.0, 0.5};
+  const size_t k = 2;
+  Rng rng(3);
+  const Matrix dense = RandomDense(3, k, &rng);
+  Matrix want(3, k);
+  SpmmAccumulate(csr.View(), 1.0, dense.data().data(), k, 0, 3,
+                 want.data().data());
+  const ShardPartition partition(3, 7);
+  CsrColumnSplit split;
+  split.Build(csr.View(), partition);
+  Matrix got(3, k);
+  for (size_t s = 0; s < partition.num_shards(); ++s) {
+    SpmmAccumulateShard(csr.View(), split, partition, s, 1.0,
+                        dense.data().data() + partition.begin(s) * k, k, 0,
+                        3, got.data().data());
+  }
+  EXPECT_EQ(got.data(), want.data());
+}
+
+TEST(ShardedSpmmTest, RespectsRowRanges) {
+  // Sharded accumulation over a sub-range must leave other rows alone,
+  // mirroring SpmmAccumulate's row-blocking contract.
+  Rng rng(19);
+  const TestCsr csr = RandomCsr(10, 20, 0.5, &rng);
+  const size_t k = 4;
+  const Matrix dense = RandomDense(20, k, &rng);
+  Matrix want(10, k);
+  SpmmAccumulate(csr.View(), 1.0, dense.data().data(), k, 3, 8,
+                 want.data().data());
+  const ShardPartition partition(20, 3);
+  CsrColumnSplit split;
+  split.Build(csr.View(), partition);
+  Matrix got(10, k);
+  for (size_t s = 0; s < partition.num_shards(); ++s) {
+    SpmmAccumulateShard(csr.View(), split, partition, s, 1.0,
+                        dense.data().data() + partition.begin(s) * k, k, 3,
+                        8, got.data().data());
+  }
+  EXPECT_EQ(got.data(), want.data());
+  for (size_t r : {0u, 1u, 2u, 8u, 9u}) {
+    for (size_t c = 0; c < k; ++c) EXPECT_EQ(got(r, c), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace genclus
