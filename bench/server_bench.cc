@@ -13,6 +13,12 @@
 //              give the tier its throughput. Best-of --reps.
 //   poisson    open-loop arrivals at 0.6x the saturated rate; per-query
 //              enqueue-to-delivery latency percentiles (p50/p90/p99).
+//   overload   open-loop arrivals at 3x the saturated rate against a
+//              fresh deadline-carrying server (default_timeout_us set,
+//              cost-based rejection + graceful degradation on): the
+//              robustness scenario. The tier must shed/reject the excess
+//              it cannot serve and keep the answers it does deliver
+//              within budget.
 //
 // Gates (non-zero exit, CI treats as broken build):
 //   * zero drift: every membership the server returns is bitwise equal
@@ -22,7 +28,17 @@
 //     ratio is printed but not gated);
 //   * p99 budget: poisson p99 latency <= max(20ms, 200x the serial
 //     per-query time) — generous, but catches lost wakeups and
-//     admission-loop stalls outright.
+//     admission-loop stalls outright;
+//   * overload p99: among requests that completed under 3x overload,
+//     p99 enqueue-to-delivery latency <= the deadline budget — load
+//     shedding must protect the served tail, not just drop traffic;
+//   * overload accounting: every submission resolves with a definite
+//     outcome and the client-side tallies reconcile exactly with
+//     ServerStats (submissions == accepted + rejected + deadline_rejected,
+//     accepted == completed + cancelled + deadline_shed) — no lost
+//     futures under sustained overload;
+//   * overload drift: every non-degraded answer stays bitwise equal to
+//     the reference even while the tier is shedding and degrading.
 //
 // Flags: --out FILE (default BENCH_server.json), --small (CI fixture),
 //        --reps N (default 5), --workers N (default 4).
@@ -321,6 +337,139 @@ int main(int argc, char** argv) {
     gates_ok = false;
   }
 
+  // --- Phase 4: 3x overload with deadlines --------------------------
+  // A fresh server (clean stats) that every request enters with a
+  // deadline budget, cost-based rejection and graceful degradation
+  // armed. Offered load is 3x the measured saturated rate: the tier
+  // cannot serve it all, so the gates are about HOW it fails — served
+  // tail within budget, exact accounting, no drift on full-sweep
+  // answers.
+  const double deadline_budget_us = p99_budget_us;
+  const size_t overload_arrivals = small ? 2048 : 8192;
+  const double overload_lambda_qps = 3.0 * server_qps;
+  size_t overload_submissions = 0;
+  size_t overload_admitted = 0;
+  size_t overload_rejected_full = 0;
+  size_t overload_rejected_deadline = 0;
+  size_t overload_completed = 0;
+  size_t overload_shed = 0;
+  size_t overload_degraded = 0;
+  std::vector<double> overload_latency_us;
+  ServerStats overload_stats;
+  {
+    ServerOptions overload_options = server_options;
+    overload_options.default_timeout_us =
+        static_cast<int64_t>(deadline_budget_us);
+    overload_options.cost_based_rejection = true;
+    overload_options.degrade_queue_wait_us =
+        static_cast<int64_t>(deadline_budget_us / 2.0);
+    overload_options.recover_queue_wait_us =
+        static_cast<int64_t>(deadline_budget_us / 8.0);
+    overload_options.min_inference_iterations = 2;
+    auto overload_server_or =
+        Server::Create(&data->dataset.network, &model, overload_options);
+    if (!overload_server_or.ok()) {
+      std::fprintf(stderr, "Server::Create (overload) failed: %s\n",
+                   overload_server_or.status().ToString().c_str());
+      return 1;
+    }
+    Server& overload_server = *overload_server_or.value();
+
+    Rng rng(97);
+    std::vector<std::pair<size_t, std::future<QueryResult>>> futures;
+    futures.reserve(overload_arrivals);
+    auto next_arrival = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < overload_arrivals; ++i) {
+      const double gap_seconds =
+          -std::log(1.0 - rng.Uniform()) / overload_lambda_qps;
+      next_arrival += std::chrono::nanoseconds(
+          static_cast<int64_t>(gap_seconds * 1e9));
+      // A next_arrival already in the past returns immediately, so the
+      // offered rate self-corrects toward 3x instead of drifting down.
+      std::this_thread::sleep_until(next_arrival);
+      const size_t index = i % kPoolSize;
+      ++overload_submissions;
+      auto submitted = overload_server.Submit(pool[index]);
+      if (submitted.ok()) {
+        ++overload_admitted;
+        futures.emplace_back(index, std::move(submitted).value());
+      } else if (submitted.status().code() ==
+                 StatusCode::kDeadlineExceeded) {
+        ++overload_rejected_deadline;  // cost-based early rejection
+      } else if (submitted.status().code() ==
+                 StatusCode::kResourceExhausted) {
+        ++overload_rejected_full;  // queue at capacity
+      } else {
+        std::fprintf(stderr, "FAIL(overload): unexpected rejection: %s\n",
+                     submitted.status().ToString().c_str());
+        gates_ok = false;
+      }
+    }
+    for (auto& [index, future] : futures) {
+      QueryResult answer = future.get();  // every admitted future resolves
+      if (answer.ok()) {
+        ++overload_completed;
+        overload_latency_us.push_back(answer.total_seconds * 1e6);
+        if (answer.degraded) {
+          ++overload_degraded;  // fewer sweeps: exempt from bitwise gate
+        } else {
+          gates_ok &=
+              BitwiseEqualsReference(answer, reference[index], "overload");
+        }
+      } else if (answer.status.code() == StatusCode::kDeadlineExceeded) {
+        ++overload_shed;
+      } else {
+        std::fprintf(stderr, "FAIL(overload): unexpected outcome: %s\n",
+                     answer.status.ToString().c_str());
+        gates_ok = false;
+      }
+    }
+    overload_server.Stop();
+    overload_stats = overload_server.Stats();
+  }
+  std::sort(overload_latency_us.begin(), overload_latency_us.end());
+  const double overload_p50 = PercentileUs(&overload_latency_us, 50.0);
+  const double overload_p99 = PercentileUs(&overload_latency_us, 99.0);
+  // Gate: the tail of what the tier chose to serve stays within the
+  // deadline budget. (Shedding protects the served requests; a p99 past
+  // the budget means it served work nobody could use.)
+  if (overload_completed > 0 && overload_p99 > deadline_budget_us) {
+    std::fprintf(stderr,
+                 "FAIL: overload p99 of completed requests %.0fus exceeds "
+                 "the deadline budget %.0fus\n",
+                 overload_p99, deadline_budget_us);
+    gates_ok = false;
+  }
+  // Gate: exact accounting — client-side tallies reconcile with the
+  // server's own counters and nothing is unaccounted for.
+  if (overload_submissions != overload_stats.accepted +
+                                  overload_stats.rejected +
+                                  overload_stats.deadline_rejected ||
+      overload_admitted != overload_stats.accepted ||
+      overload_rejected_full != overload_stats.rejected ||
+      overload_rejected_deadline != overload_stats.deadline_rejected) {
+    std::fprintf(stderr,
+                 "FAIL: overload admission accounting mismatch "
+                 "(client %zu/%zu/%zu vs stats %zu/%zu/%zu)\n",
+                 overload_admitted, overload_rejected_full,
+                 overload_rejected_deadline, overload_stats.accepted,
+                 overload_stats.rejected, overload_stats.deadline_rejected);
+    gates_ok = false;
+  }
+  if (overload_stats.accepted != overload_stats.completed +
+                                     overload_stats.cancelled +
+                                     overload_stats.deadline_shed ||
+      overload_completed != overload_stats.completed ||
+      overload_shed != overload_stats.deadline_shed) {
+    std::fprintf(stderr,
+                 "FAIL: overload resolution accounting mismatch "
+                 "(client %zu/%zu vs stats %zu/%zu, cancelled %zu)\n",
+                 overload_completed, overload_shed,
+                 overload_stats.completed, overload_stats.deadline_shed,
+                 overload_stats.cancelled);
+    gates_ok = false;
+  }
+
   const ServerStats stats = server.Stats();
   // Mean executed micro-batch size: how well the admission loop coalesces.
   double mean_batch = 0.0;
@@ -341,9 +490,19 @@ int main(int argc, char** argv) {
   PrintRow({"poisson", StrFormat("%.0f", lambda_qps),
             StrFormat("%.1fus", p50), StrFormat("%.1fus", p90),
             StrFormat("%.1fus", p99)});
+  PrintRow({"overload", StrFormat("%.0f", overload_lambda_qps),
+            StrFormat("%.1fus", overload_p50), "-",
+            StrFormat("%.1fus", overload_p99)});
   std::printf("mean micro-batch %.1f, queue high-water %zu, "
               "poisson rejected %zu\n",
               mean_batch, stats.queue_high_water, poisson_rejected);
+  std::printf("overload (3x, budget %.0fus): %zu submitted = "
+              "%zu completed + %zu shed + %zu early-rejected + %zu full; "
+              "%zu degraded answers, floor sweeps %zu\n",
+              deadline_budget_us, overload_submissions, overload_completed,
+              overload_shed, overload_rejected_deadline,
+              overload_rejected_full, overload_degraded,
+              overload_stats.current_inference_iterations);
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
@@ -369,7 +528,20 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  \"poisson_p99_budget_us\": %.1f,\n", p99_budget_us);
   std::fprintf(f, "  \"mean_micro_batch\": %.2f,\n", mean_batch);
   std::fprintf(f, "  \"queue_high_water\": %zu,\n", stats.queue_high_water);
-  std::fprintf(f, "  \"poisson_rejected\": %zu\n", poisson_rejected);
+  std::fprintf(f, "  \"poisson_rejected\": %zu,\n", poisson_rejected);
+  std::fprintf(f, "  \"overload_lambda_qps\": %.1f,\n", overload_lambda_qps);
+  std::fprintf(f, "  \"overload_deadline_budget_us\": %.1f,\n",
+               deadline_budget_us);
+  std::fprintf(f, "  \"overload_submissions\": %zu,\n", overload_submissions);
+  std::fprintf(f, "  \"overload_completed\": %zu,\n", overload_completed);
+  std::fprintf(f, "  \"overload_shed\": %zu,\n", overload_shed);
+  std::fprintf(f, "  \"overload_rejected_deadline\": %zu,\n",
+               overload_rejected_deadline);
+  std::fprintf(f, "  \"overload_rejected_full\": %zu,\n",
+               overload_rejected_full);
+  std::fprintf(f, "  \"overload_degraded\": %zu,\n", overload_degraded);
+  std::fprintf(f, "  \"overload_p50_us\": %.1f,\n", overload_p50);
+  std::fprintf(f, "  \"overload_p99_us\": %.1f\n", overload_p99);
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("\nwrote %s\n", out_path.c_str());

@@ -9,12 +9,14 @@
 // tested without a server around it.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstddef>
 #include <deque>
 #include <utility>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 
@@ -37,6 +39,9 @@ class BoundedQueue {
   /// is dropped — callers surface backpressure to their own callers
   /// instead of waiting).
   bool TryPush(T item) GENCLUS_EXCLUDES(mutex_) {
+    // Queue-storm injection: tests arm "bounded_queue.push" to make
+    // admission behave as if the queue were at capacity.
+    GENCLUS_FAILPOINT("bounded_queue.push", return false);
     {
       MutexLock lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
@@ -56,27 +61,43 @@ class BoundedQueue {
   size_t PopBatch(std::vector<T>* out, size_t max_items,
                   std::chrono::microseconds max_wait)
       GENCLUS_EXCLUDES(mutex_) {
+    return PopBatch(out, max_items, max_wait, [](const T&) {
+      return std::chrono::steady_clock::time_point::max();
+    });
+  }
+
+  /// As above, but each popped item may tighten the linger: `item_cap`
+  /// maps an item to the latest instant the consumer may keep lingering
+  /// while holding it (steady_clock::time_point::max() = no cap). The
+  /// serving tier passes each request's deadline (minus an execution
+  /// margin), so one tight-deadline request stops the micro-batch from
+  /// coalescing past the point where it could still be served in time.
+  template <typename ItemCapFn>
+  size_t PopBatch(std::vector<T>* out, size_t max_items,
+                  std::chrono::microseconds max_wait, ItemCapFn item_cap)
+      GENCLUS_EXCLUDES(mutex_) {
     out->clear();
     if (max_items == 0) return 0;
     MutexLock lock(mutex_);
     while (!closed_ && items_.empty()) not_empty_.Wait(lock);
     if (items_.empty()) return 0;
-    const auto deadline = std::chrono::steady_clock::now() + max_wait;
+    auto linger_until = std::chrono::steady_clock::now() + max_wait;
     for (;;) {
       while (!items_.empty() && out->size() < max_items) {
         out->push_back(std::move(items_.front()));
         items_.pop_front();
+        linger_until = std::min(linger_until, item_cap(out->back()));
       }
       if (out->size() >= max_items || closed_ ||
           max_wait <= std::chrono::microseconds::zero()) {
         break;
       }
-      // Linger: sleep until new arrivals, close, or the deadline. A
-      // timed-out wake still rechecks once — an item can arrive in the
-      // same instant the deadline expires.
+      // Linger: sleep until new arrivals, close, or the (possibly
+      // item-capped) deadline. A timed-out wake still rechecks once — an
+      // item can arrive in the same instant the deadline expires.
       bool timed_out = false;
       while (!timed_out && !closed_ && items_.empty()) {
-        timed_out = not_empty_.WaitUntil(lock, deadline);
+        timed_out = not_empty_.WaitUntil(lock, linger_until);
       }
       if (closed_ || !items_.empty()) {
         continue;  // new arrivals (or close) before the linger expired

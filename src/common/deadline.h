@@ -1,0 +1,86 @@
+// Deadline: a monotonic point in time a piece of work must finish by.
+// Every serving-tier Request carries one (core/server.h): set per query
+// through the Submit overloads or defaulted from
+// ServerOptions::default_timeout_us, it is what the admission loop sheds
+// against at dequeue, what caps a micro-batch's coalescing linger, and
+// what cost-based early rejection compares the queue-wait prediction to.
+//
+// Built on steady_clock (never wall clock — the determinism lint bans
+// system_clock), so a deadline is immune to clock adjustments. The
+// default-constructed value is infinite: it never expires and its
+// remaining budget saturates, so deadline-free callers pay no branches
+// beyond one is_infinite() check.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+namespace genclus {
+
+/// A monotonic completion deadline. Value type, trivially copyable;
+/// an infinite deadline (the default) never expires.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Infinite: never expires.
+  constexpr Deadline() = default;
+
+  static constexpr Deadline Infinite() { return Deadline(); }
+
+  /// Expires at the monotonic instant `when`.
+  static constexpr Deadline At(Clock::time_point when) {
+    return Deadline(when);
+  }
+
+  /// Expires `budget` from now.
+  static Deadline After(Clock::duration budget) {
+    return Deadline(Clock::now() + budget);
+  }
+
+  /// Expires `budget_us` microseconds from now.
+  static Deadline AfterMicros(int64_t budget_us) {
+    return After(std::chrono::microseconds(budget_us));
+  }
+
+  constexpr bool is_infinite() const {
+    return when_ == Clock::time_point::max();
+  }
+
+  /// The expiry instant; Clock::time_point::max() when infinite. Usable
+  /// directly as a CondVar::WaitUntil / BoundedQueue linger cap.
+  constexpr Clock::time_point when() const { return when_; }
+
+  /// True once `now` has reached the deadline. Infinite never expires.
+  bool Expired(Clock::time_point now = Clock::now()) const {
+    return !is_infinite() && now >= when_;
+  }
+
+  /// Remaining budget in microseconds, clamped at 0 once expired;
+  /// saturates at int64 max when infinite.
+  int64_t RemainingMicros(Clock::time_point now = Clock::now()) const {
+    if (is_infinite()) return std::numeric_limits<int64_t>::max();
+    if (now >= when_) return 0;
+    return std::chrono::duration_cast<std::chrono::microseconds>(when_ - now)
+        .count();
+  }
+
+  /// Remaining budget in seconds, clamped at 0; +infinity when infinite.
+  double RemainingSeconds(Clock::time_point now = Clock::now()) const {
+    if (is_infinite()) return std::numeric_limits<double>::infinity();
+    if (now >= when_) return 0.0;
+    return std::chrono::duration<double>(when_ - now).count();
+  }
+
+  constexpr bool operator==(const Deadline& other) const {
+    return when_ == other.when_;
+  }
+
+ private:
+  explicit constexpr Deadline(Clock::time_point when) : when_(when) {}
+
+  Clock::time_point when_ = Clock::time_point::max();
+};
+
+}  // namespace genclus

@@ -1,0 +1,93 @@
+#include "common/failpoint.h"
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace genclus {
+
+namespace {
+
+struct FailpointState {
+  FailpointSpec spec;
+  size_t hits = 0;
+  size_t fires = 0;
+};
+
+// std::map (not unordered): iteration order never matters here, but the
+// determinism lint's hash-container rules are simplest to satisfy by
+// construction. The transparent comparator lets Fire() look up by
+// string_view without allocating on the hot (armed) path.
+struct Registry {
+  Mutex mutex;
+  std::map<std::string, FailpointState, std::less<>> points
+      GENCLUS_GUARDED_BY(mutex);
+};
+
+// Leaked singleton: failpoints can fire from worker threads during static
+// destruction order teardown, so the registry must never be destroyed.
+Registry& GlobalRegistry() {
+  static Registry* registry = new Registry;
+  return *registry;
+}
+
+}  // namespace
+
+void Failpoints::Arm(std::string_view name, FailpointSpec spec) {
+  Registry& registry = GlobalRegistry();
+  MutexLock lock(registry.mutex);
+  FailpointState state;
+  state.spec = spec;
+  registry.points.insert_or_assign(std::string(name), state);
+}
+
+void Failpoints::Disarm(std::string_view name) {
+  Registry& registry = GlobalRegistry();
+  MutexLock lock(registry.mutex);
+  auto it = registry.points.find(name);
+  if (it != registry.points.end()) registry.points.erase(it);
+}
+
+void Failpoints::DisarmAll() {
+  Registry& registry = GlobalRegistry();
+  MutexLock lock(registry.mutex);
+  registry.points.clear();
+}
+
+size_t Failpoints::HitCount(std::string_view name) {
+  Registry& registry = GlobalRegistry();
+  MutexLock lock(registry.mutex);
+  auto it = registry.points.find(name);
+  return it == registry.points.end() ? 0 : it->second.hits;
+}
+
+bool Failpoints::Fire(const char* name) {
+  int64_t delay_us = 0;
+  bool fail = false;
+  {
+    Registry& registry = GlobalRegistry();
+    MutexLock lock(registry.mutex);
+    auto it = registry.points.find(std::string_view(name));
+    if (it == registry.points.end()) return false;
+    FailpointState& state = it->second;
+    ++state.hits;
+    if (state.hits <= state.spec.skip_hits) return false;
+    if (state.fires >= state.spec.max_fires) return false;
+    ++state.fires;
+    delay_us = state.spec.delay_us;
+    fail = state.spec.fail;
+  }
+  // Sleep outside the lock so a delay failpoint stalls only its own
+  // thread, not every other armed site.
+  if (delay_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+  }
+  return fail;
+}
+
+}  // namespace genclus

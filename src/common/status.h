@@ -25,6 +25,10 @@ enum class StatusCode {
   /// A bounded resource (e.g. the serving tier's request queue) is at
   /// capacity; the caller should back off and retry.
   kResourceExhausted,
+  /// The request's deadline expired before (or would expire during)
+  /// service: shed at dequeue, rejected by cost-based admission, or
+  /// already expired at submit. The work was not performed.
+  kDeadlineExceeded,
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -73,6 +77,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

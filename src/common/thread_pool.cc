@@ -1,8 +1,10 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 #include "common/mutex.h"
 
 namespace genclus {
@@ -46,6 +48,11 @@ void ThreadPool::WorkerLoop() {
     // first exception and surface it from Wait.
     std::exception_ptr error;
     try {
+      // Tests arm "thread_pool.task" to prove a throwing task surfaces
+      // from Wait() without wedging the worker.
+      GENCLUS_FAILPOINT("thread_pool.task",
+                        throw std::runtime_error(
+                            "injected thread_pool.task failure"));
       task();
     } catch (...) {
       error = std::current_exception();

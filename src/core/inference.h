@@ -176,6 +176,10 @@ struct ServeReport {
   size_t total_observations = 0;
   /// Fixed-grain execution blocks the batch was cut into.
   size_t exec_blocks = 0;
+  /// Valid queries answered with fewer fixed-point sweeps than the
+  /// configured normal — the serving tier's graceful-degradation mode.
+  /// Always 0 on the direct Engine/InferSession paths.
+  size_t degraded_queries = 0;
   double plan_seconds = 0.0;
   double exec_seconds = 0.0;
 };
@@ -295,6 +299,13 @@ class InferSession {
   /// thread count. The plan must have been built against this session's
   /// model.
   InferenceResult Execute(const InferPlan& plan);
+
+  /// Fixed-point sweeps per query. The serving tier's degradation
+  /// controller lowers this under sustained overload and restores it on
+  /// recovery; each worker owns its session, so no synchronization is
+  /// needed. Clamped to at least 1 at execution time.
+  void set_iterations(size_t iterations) { iterations_ = iterations; }
+  size_t iterations() const { return iterations_; }
 
  private:
   // Runs query rows [row_begin, row_end) of one block: SpMM for the

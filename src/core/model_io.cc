@@ -4,14 +4,22 @@
 #include <bit>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iomanip>
 #include <iterator>
+#include <span>
+#include <sstream>
 #include <utility>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 #include "common/check.h"
+#include "common/failpoint.h"
 #include "common/string_util.h"
 #include "hin/io.h"
 
@@ -69,6 +77,70 @@ void PadTo(std::vector<uint8_t>* out, size_t size) {
   out->resize(size, 0);
 }
 
+// Commits `chunks` to `path` atomically: the bytes go to a sibling
+// `path + ".tmp"` first, are flushed (and fsync'd where available) there,
+// and only a successful temp file is renamed over the target. A crash —
+// or an injected "model_io.save" fault — mid-write therefore never
+// replaces a good model file with a half-written one; at worst a .tmp
+// debris file remains next to the intact target.
+Status CommitFileAtomic(const std::string& path,
+                        std::initializer_list<std::span<const uint8_t>>
+                            chunks) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IoError(
+        StrFormat("cannot open '%s' for writing", tmp.c_str()));
+  }
+  auto fail = [&](const char* what) {
+    std::fclose(file);
+    std::remove(tmp.c_str());
+    return Status::IoError(StrFormat("%s '%s' failed", what, tmp.c_str()));
+  };
+  // Crash injection: write only half of the first chunk, close, and
+  // report failure — the temp debris a real crash would leave. The
+  // target must stay intact (model_io_test pins this).
+  GENCLUS_FAILPOINT("model_io.save", {
+    if (chunks.size() > 0 && chunks.begin()->size() > 0) {
+      std::fwrite(chunks.begin()->data(), 1, chunks.begin()->size() / 2,
+                  file);
+    }
+    std::fclose(file);
+    return Status::IoError(
+        StrFormat("injected crash while writing '%s'", tmp.c_str()));
+  });
+  for (const std::span<const uint8_t> chunk : chunks) {
+    if (chunk.empty()) continue;
+    if (std::fwrite(chunk.data(), 1, chunk.size(), file) != chunk.size()) {
+      return fail("write to");
+    }
+  }
+  if (std::fflush(file) != 0) return fail("flush of");
+#if defined(__unix__) || defined(__APPLE__)
+  // Durability before visibility: rename must never publish a file whose
+  // bytes still live only in the page cache.
+  if (fsync(fileno(file)) != 0) return fail("fsync of");
+#endif
+  if (std::fclose(file) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError(StrFormat("close of '%s' failed", tmp.c_str()));
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError(StrFormat("rename of '%s' over '%s' failed",
+                                     tmp.c_str(), path.c_str()));
+  }
+  return Status::OK();
+}
+
+std::span<const uint8_t> BytesOf(const std::string& s) {
+  return {reinterpret_cast<const uint8_t*>(s.data()), s.size()};
+}
+
+std::span<const uint8_t> BytesOf(const std::vector<uint8_t>& v) {
+  return {v.data(), v.size()};
+}
+
 // Bounds-checked forward cursor over a loaded file image. Every read
 // fails (returns false) instead of running past the buffer, so a
 // truncated or lying file surfaces as a clean error at the call site.
@@ -118,11 +190,10 @@ class ByteReader {
 
 Status SaveModel(const Model& model, const std::string& path) {
   GENCLUS_RETURN_IF_ERROR(model.Validate());
-  std::ofstream out(path);
-  if (!out) {
-    return Status::IoError(StrFormat("cannot open '%s' for writing",
-                                     path.c_str()));
-  }
+  // Serialize to memory first, then commit atomically: `path` either
+  // keeps its previous contents or holds the complete new model, never a
+  // torn mix.
+  std::ostringstream out;
   // Round-trip exactness: shortest representation that parses back to the
   // same double (same convention as SaveDataset).
   out << std::setprecision(17);
@@ -166,11 +237,8 @@ Status SaveModel(const Model& model, const std::string& path) {
       }
     }
   }
-  out.flush();
-  if (!out) {
-    return Status::IoError(StrFormat("write to '%s' failed", path.c_str()));
-  }
-  return Status::OK();
+  const std::string text = std::move(out).str();
+  return CommitFileAtomic(path, {BytesOf(text)});
 }
 
 Result<Model> LoadModel(const std::string& path) {
@@ -470,20 +538,7 @@ Status SaveModelBinary(const Model& model, const std::string& path) {
   AppendScalar(&header, static_cast<uint64_t>(model.theta_shards));
   PadTo(&header, kBinaryHeaderSize);  // reserved tail
 
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Status::IoError(
-        StrFormat("cannot open '%s' for writing", path.c_str()));
-  }
-  out.write(reinterpret_cast<const char*>(header.data()),
-            static_cast<std::streamsize>(header.size()));
-  out.write(reinterpret_cast<const char*>(payload.data()),
-            static_cast<std::streamsize>(payload.size()));
-  out.flush();
-  if (!out) {
-    return Status::IoError(StrFormat("write to '%s' failed", path.c_str()));
-  }
-  return Status::OK();
+  return CommitFileAtomic(path, {BytesOf(header), BytesOf(payload)});
 }
 
 Result<Model> LoadModelBinary(const std::string& path) {
@@ -495,6 +550,9 @@ Result<Model> LoadModelBinary(const std::string& path) {
   }
   std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
                              std::istreambuf_iterator<char>());
+  // Truncation injection: tests chop the file image in half to prove
+  // every downstream bounds check turns it into a clean IoError.
+  GENCLUS_FAILPOINT("model_io.load", bytes.resize(bytes.size() / 2));
   auto bad = [&](const char* why) {
     return Status::IoError(StrFormat("%s: %s", path.c_str(), why));
   };

@@ -1,11 +1,14 @@
 #include "core/server.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstring>
+#include <stdexcept>
 #include <utility>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 #include "common/mutex.h"
 #include "common/string_util.h"
 
@@ -16,6 +19,16 @@ namespace {
 // Latency rings keep the most recent samples only: percentiles reflect
 // current behavior, memory stays bounded under sustained traffic.
 constexpr size_t kMaxLatencySamples = 8192;
+
+// Smoothing of the admission-prediction EWMAs (queue wait, batch exec).
+// One sample per micro-batch: 0.25 converges in a handful of batches yet
+// rides out single-batch outliers.
+constexpr double kEwmaAlpha = 0.25;
+
+// Scheduling slack added to the predicted execution time when a deadline
+// caps its micro-batch's linger: the batch must start early enough that
+// dequeue-to-execute overhead does not eat the remaining budget.
+constexpr int64_t kLingerSlackUs = 1000;
 
 // Nearest-rank percentile, reordering `samples` in place. Successive
 // calls on the same scratch buffer are fine: nth_element needs no
@@ -46,6 +59,20 @@ double SecondsBetween(std::chrono::steady_clock::time_point from,
   return std::chrono::duration<double>(to - from).count();
 }
 
+// Folds one sample into a bit-cast-published EWMA and returns the new
+// value. Callers serialize the read-modify-write (the workers run it
+// under stats_mutex_); the atomic is only the lock-free publication
+// channel for Submit-side readers. Zero bits = no samples yet, so the
+// first sample seeds the average instead of decaying from 0.
+double FoldEwma(std::atomic<uint64_t>* bits, double sample_us) {
+  const double prev =
+      std::bit_cast<double>(bits->load(std::memory_order_relaxed));
+  const double next =
+      prev == 0.0 ? sample_us : prev + kEwmaAlpha * (sample_us - prev);
+  bits->store(std::bit_cast<uint64_t>(next), std::memory_order_relaxed);
+  return next;
+}
+
 }  // namespace
 
 Status ServerOptions::Validate() const {
@@ -60,6 +87,24 @@ Status ServerOptions::Validate() const {
   }
   if (!(theta_floor > 0.0)) {
     return Status::InvalidArgument("theta_floor must be > 0");
+  }
+  if (min_inference_iterations < 1 ||
+      min_inference_iterations > inference_iterations) {
+    return Status::InvalidArgument(
+        "min_inference_iterations must be in [1, inference_iterations]");
+  }
+  if (default_timeout_us < 0) {
+    return Status::InvalidArgument("default_timeout_us must be >= 0");
+  }
+  if (degrade_queue_wait_us < 0 || recover_queue_wait_us < 0) {
+    return Status::InvalidArgument(
+        "degradation thresholds must be >= 0");
+  }
+  if (degrade_queue_wait_us > 0 && recover_queue_wait_us > 0 &&
+      recover_queue_wait_us >= degrade_queue_wait_us) {
+    return Status::InvalidArgument(
+        "recover_queue_wait_us must be below degrade_queue_wait_us "
+        "(the hysteresis gap)");
   }
   return Status::OK();
 }
@@ -123,6 +168,7 @@ Server::Server(const Network* network, std::unique_ptr<Model> owned_model,
       model_(model),
       planner_(network, model, options.theta_shards),
       queue_(options.queue_capacity),
+      current_iterations_(options.inference_iterations),
       batch_size_histogram_(options.max_batch + 1, 0) {
   size_t num_workers = options_.num_workers;
   if (num_workers == 0) {
@@ -150,6 +196,68 @@ void Server::Stop() {
   }
 }
 
+Deadline Server::EffectiveDeadline(Deadline deadline) const {
+  if (!deadline.is_infinite()) return deadline;
+  if (options_.default_timeout_us > 0) {
+    return Deadline::AfterMicros(options_.default_timeout_us);
+  }
+  return Deadline::Infinite();
+}
+
+double Server::PredictedQueueWaitMicros() const {
+  return std::bit_cast<double>(
+      queue_wait_ewma_bits_.load(std::memory_order_relaxed));
+}
+
+double Server::PredictedExecMicros() const {
+  return std::bit_cast<double>(
+      exec_ewma_bits_.load(std::memory_order_relaxed));
+}
+
+Status Server::CheckDeadlineAdmissible(
+    const Deadline& deadline,
+    std::chrono::steady_clock::time_point now) const {
+  if (deadline.is_infinite()) return Status::OK();
+  if (deadline.Expired(now)) {
+    return Status::DeadlineExceeded("deadline already expired at submit");
+  }
+  if (!options_.cost_based_rejection) return Status::OK();
+  // Predicted service time = expected queue wait + expected batch
+  // execution; a request whose remaining budget is smaller than that is
+  // near-certain to be shed at dequeue anyway, so reject it before it
+  // occupies a queue slot and delays requests that CAN meet theirs.
+  const double predicted_us =
+      PredictedQueueWaitMicros() + PredictedExecMicros();
+  const int64_t remaining_us = deadline.RemainingMicros(now);
+  if (predicted_us > static_cast<double>(remaining_us)) {
+    return Status::DeadlineExceeded(
+        StrFormat("predicted service time %.0fus exceeds remaining "
+                  "deadline budget %lldus",
+                  predicted_us, static_cast<long long>(remaining_us)));
+  }
+  return Status::OK();
+}
+
+void Server::UpdateDegradation(double queue_wait_ewma_us) {
+  if (options_.degrade_queue_wait_us <= 0) return;
+  const double enter = static_cast<double>(options_.degrade_queue_wait_us);
+  const double exit = options_.recover_queue_wait_us > 0
+                          ? static_cast<double>(options_.recover_queue_wait_us)
+                          : enter / 4.0;
+  size_t current = current_iterations_.load(std::memory_order_relaxed);
+  if (queue_wait_ewma_us >= enter &&
+      current > options_.min_inference_iterations) {
+    // CAS, not a store: concurrent workers observing the same overload
+    // step the sweep count by at most one per observation.
+    current_iterations_.compare_exchange_strong(current, current - 1,
+                                                std::memory_order_relaxed);
+  } else if (queue_wait_ewma_us <= exit &&
+             current < options_.inference_iterations) {
+    current_iterations_.compare_exchange_strong(current, current + 1,
+                                                std::memory_order_relaxed);
+  }
+}
+
 bool Server::Enqueue(Request request, Status* rejection) {
   if (queue_.TryPush(std::move(request))) {
     accepted_.fetch_add(1, std::memory_order_relaxed);
@@ -165,9 +273,21 @@ bool Server::Enqueue(Request request, Status* rejection) {
 }
 
 Result<std::future<QueryResult>> Server::Submit(NewObjectQuery query) {
+  return Submit(std::move(query), Deadline::Infinite());
+}
+
+Result<std::future<QueryResult>> Server::Submit(NewObjectQuery query,
+                                                Deadline deadline) {
   Request request;
   request.query = std::move(query);
+  request.deadline = EffectiveDeadline(deadline);
   request.enqueued_at = std::chrono::steady_clock::now();
+  Status admission =
+      CheckDeadlineAdmissible(request.deadline, request.enqueued_at);
+  if (!admission.ok()) {
+    deadline_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return admission;
+  }
   std::future<QueryResult> future = request.promise.get_future();
   Status rejection;
   if (!Enqueue(std::move(request), &rejection)) return rejection;
@@ -176,6 +296,11 @@ Result<std::future<QueryResult>> Server::Submit(NewObjectQuery query) {
 
 std::future<InferenceResult> Server::SubmitBatch(
     std::vector<NewObjectQuery> queries) {
+  return SubmitBatch(std::move(queries), Deadline::Infinite());
+}
+
+std::future<InferenceResult> Server::SubmitBatch(
+    std::vector<NewObjectQuery> queries, Deadline deadline) {
   auto collector = std::make_shared<BatchCollector>();
   const size_t n = queries.size();
   const size_t num_clusters = model_->num_clusters();
@@ -196,14 +321,27 @@ std::future<InferenceResult> Server::SubmitBatch(
     collector->promise.set_value(std::move(empty_result));
     return future;
   }
+  const Deadline effective = EffectiveDeadline(deadline);
   const auto now = std::chrono::steady_clock::now();
+  // One admission verdict for the whole batch: every query carries the
+  // same deadline, and the prediction would not move between iterations.
+  const Status admission = CheckDeadlineAdmissible(effective, now);
   for (size_t i = 0; i < n; ++i) {
+    if (!admission.ok()) {
+      deadline_rejected_.fetch_add(1, std::memory_order_relaxed);
+      CompleteCollectorSlot(*collector, i, admission,
+                            /*membership=*/nullptr, num_clusters,
+                            kNoHardLabel, /*degraded=*/false, 0, 0, 0.0,
+                            0.0);
+      continue;
+    }
     Request request;
     request.query = std::move(queries[i]);
     request.collector = collector;
     request.slot = i;
     request.num_links = request.query.links.size();
     request.num_observations = request.query.observations.size();
+    request.deadline = effective;
     request.enqueued_at = now;
     Status rejection;
     if (!Enqueue(std::move(request), &rejection)) {
@@ -212,7 +350,8 @@ std::future<InferenceResult> Server::SubmitBatch(
       // resolves.
       CompleteCollectorSlot(*collector, i, std::move(rejection),
                             /*membership=*/nullptr, num_clusters,
-                            kNoHardLabel, 0, 0, 0.0, 0.0);
+                            kNoHardLabel, /*degraded=*/false, 0, 0, 0.0,
+                            0.0);
     }
   }
   return future;
@@ -221,7 +360,8 @@ std::future<InferenceResult> Server::SubmitBatch(
 void Server::CompleteCollectorSlot(BatchCollector& collector, size_t slot,
                                    Status status, const double* membership,
                                    size_t num_clusters, uint32_t hard_label,
-                                   size_t num_links, size_t num_observations,
+                                   bool degraded, size_t num_links,
+                                   size_t num_observations,
                                    double plan_share_seconds,
                                    double exec_share_seconds) {
   bool last = false;
@@ -239,6 +379,7 @@ void Server::CompleteCollectorSlot(BatchCollector& collector, size_t slot,
       collector.result.report.valid_queries += 1;
       collector.result.report.total_links += num_links;
       collector.result.report.total_observations += num_observations;
+      if (degraded) collector.result.report.degraded_queries += 1;
     }
     collector.result.report.plan_seconds += plan_share_seconds;
     collector.result.report.exec_seconds += exec_share_seconds;
@@ -251,7 +392,7 @@ void Server::CompleteCollectorSlot(BatchCollector& collector, size_t slot,
 }
 
 void Server::Deliver(Request& request, const InferenceResult& result,
-                     size_t row, double plan_share_seconds,
+                     size_t row, bool degraded, double plan_share_seconds,
                      double exec_share_seconds,
                      std::chrono::steady_clock::time_point dequeued_at,
                      std::chrono::steady_clock::time_point now) {
@@ -259,12 +400,14 @@ void Server::Deliver(Request& request, const InferenceResult& result,
   // its future must see stats that already include that query.
   completed_.fetch_add(1, std::memory_order_relaxed);
   const Status& status = result.statuses[row];
+  const bool mark_degraded = degraded && status.ok();
+  if (mark_degraded) degraded_.fetch_add(1, std::memory_order_relaxed);
   const size_t num_clusters = result.memberships.cols();
   if (request.collector != nullptr) {
     CompleteCollectorSlot(
         *request.collector, request.slot, status,
         status.ok() ? result.memberships.Row(row) : nullptr, num_clusters,
-        result.hard_labels[row], request.num_links,
+        result.hard_labels[row], mark_degraded, request.num_links,
         request.num_observations, plan_share_seconds, exec_share_seconds);
   } else {
     QueryResult answer;
@@ -274,20 +417,40 @@ void Server::Deliver(Request& request, const InferenceResult& result,
                                result.memberships.Row(row) + num_clusters);
     }
     answer.hard_label = result.hard_labels[row];
+    answer.degraded = mark_degraded;
     answer.queue_seconds = SecondsBetween(request.enqueued_at, dequeued_at);
     answer.total_seconds = SecondsBetween(request.enqueued_at, now);
     request.promise.set_value(std::move(answer));
   }
 }
 
-void Server::Cancel(Request& request) {
-  cancelled_.fetch_add(1, std::memory_order_relaxed);  // before fulfillment
-  Status status = Status::Cancelled("server stopped before execution");
+void Server::Shed(Request& request,
+                  std::chrono::steady_clock::time_point dequeued_at) {
+  deadline_shed_.fetch_add(1, std::memory_order_relaxed);  // before fulfillment
+  Status status =
+      Status::DeadlineExceeded("deadline expired before execution");
   if (request.collector != nullptr) {
     CompleteCollectorSlot(*request.collector, request.slot,
-                          std::move(status), nullptr,
-                          model_->num_clusters(), kNoHardLabel, 0, 0, 0.0,
-                          0.0);
+                          std::move(status), /*membership=*/nullptr,
+                          model_->num_clusters(), kNoHardLabel,
+                          /*degraded=*/false, 0, 0, 0.0, 0.0);
+  } else {
+    QueryResult answer;
+    answer.status = std::move(status);
+    answer.queue_seconds = SecondsBetween(request.enqueued_at, dequeued_at);
+    answer.total_seconds = answer.queue_seconds;
+    request.promise.set_value(std::move(answer));
+  }
+}
+
+void Server::Fail(Request& request, Status status,
+                  std::atomic<size_t>* counter) {
+  counter->fetch_add(1, std::memory_order_relaxed);  // before fulfillment
+  if (request.collector != nullptr) {
+    CompleteCollectorSlot(*request.collector, request.slot,
+                          std::move(status), /*membership=*/nullptr,
+                          model_->num_clusters(), kNoHardLabel,
+                          /*degraded=*/false, 0, 0, 0.0, 0.0);
   } else {
     QueryResult answer;
     answer.status = std::move(status);
@@ -296,55 +459,138 @@ void Server::Cancel(Request& request) {
 }
 
 // The admission loop body each worker runs: coalesce queued queries into
-// one micro-batch, plan + execute it on this worker's own session (own
-// ServeWorkspace — workers never share mutable execution state, so
-// micro-batches run concurrently), deliver per-query answers, record
-// stats. The session runs its batch serially: with num_workers sessions
-// in flight the tier already saturates the cores batch-wise, and serial
-// execution keeps per-batch latency deterministic.
+// one micro-batch (linger capped by the tightest member deadline), shed
+// members whose deadline already passed, plan + execute the rest on this
+// worker's own session (own ServeWorkspace — workers never share mutable
+// execution state, so micro-batches run concurrently), deliver per-query
+// answers, record stats and feed the admission/degradation controllers.
+// The session runs its batch serially: with num_workers sessions in
+// flight the tier already saturates the cores batch-wise, and serial
+// execution keeps per-batch latency deterministic. An execution exception
+// fails only that batch (kInternal) — the worker keeps serving.
 void Server::WorkerLoop() {
   InferSession session(model_, /*pool=*/nullptr,
                        options_.inference_iterations, options_.theta_floor);
   std::vector<Request> batch;
+  std::vector<Request> live;
   std::vector<NewObjectQuery> queries;
+  std::vector<double> queue_waits_us;
   const std::chrono::microseconds linger(options_.max_wait_us);
-  while (queue_.PopBatch(&batch, options_.max_batch, linger) > 0) {
+  // A tight-deadline member caps its batch's linger: coalescing must end
+  // early enough that the predicted execution (plus scheduling slack)
+  // still fits that member's remaining budget.
+  const auto linger_cap = [this](const Request& request) {
+    if (request.deadline.is_infinite()) {
+      return std::chrono::steady_clock::time_point::max();
+    }
+    const auto margin = std::chrono::microseconds(
+        static_cast<int64_t>(PredictedExecMicros()) + kLingerSlackUs);
+    return request.deadline.when() - margin;
+  };
+  while (queue_.PopBatch(&batch, options_.max_batch, linger, linger_cap) >
+         0) {
+    // Delay-only site: tests wedge a worker here to force queue-wait
+    // buildup (cost-based rejection, degradation entry).
+    GENCLUS_FAILPOINT("server.worker_batch");
     const auto dequeued_at = std::chrono::steady_clock::now();
     if (cancel_pending_.load(std::memory_order_relaxed)) {
-      for (Request& request : batch) Cancel(request);
+      for (Request& request : batch) {
+        Fail(request, Status::Cancelled("server stopped before execution"),
+             &cancelled_);
+      }
       continue;
     }
-    queries.clear();
-    queries.reserve(batch.size());
+    // Shed pass: drop members that cannot meet their deadline anymore —
+    // expired outright, or expiring within the predicted execution time
+    // (an answer delivered after its deadline helps nobody and delays
+    // every request queued behind it).
+    const auto exec_budget = std::chrono::microseconds(
+        static_cast<int64_t>(PredictedExecMicros()));
+    live.clear();
+    queue_waits_us.clear();
+    double max_queue_wait_us = 0.0;
     for (Request& request : batch) {
-      queries.push_back(std::move(request.query));
-    }
-    InferPlan plan = planner_.Plan(queries);
-    InferenceResult result = session.Execute(plan);
-    const auto done_at = std::chrono::steady_clock::now();
-    // Per-query attribution of the shared plan/exec cost: equal shares,
-    // so whole-batch reassembly sums back to the micro-batch totals.
-    const double share = 1.0 / static_cast<double>(batch.size());
-    const double plan_share = plan.plan_seconds * share;
-    const double exec_share = result.report.exec_seconds * share;
-    // Stats first, delivery second: the moment a future resolves, the
-    // histogram and latency rings already cover its micro-batch.
-    batches_.fetch_add(1, std::memory_order_relaxed);
-    {
-      MutexLock lock(stats_mutex_);
-      batch_size_histogram_[batch.size()] += 1;
-      plan_us_.Add(plan.plan_seconds * 1e6);
-      exec_us_.Add(result.report.exec_seconds * 1e6);
-      for (const Request& request : batch) {
-        queue_wait_us_.Add(
-            SecondsBetween(request.enqueued_at, dequeued_at) * 1e6);
-        end_to_end_us_.Add(
-            SecondsBetween(request.enqueued_at, done_at) * 1e6);
+      const double wait_us =
+          SecondsBetween(request.enqueued_at, dequeued_at) * 1e6;
+      queue_waits_us.push_back(wait_us);
+      max_queue_wait_us = std::max(max_queue_wait_us, wait_us);
+      if (request.deadline.Expired(dequeued_at + exec_budget)) {
+        Shed(request, dequeued_at);
+      } else {
+        live.push_back(std::move(request));
       }
     }
-    for (size_t i = 0; i < batch.size(); ++i) {
-      Deliver(batch[i], result, i, plan_share, exec_share, dequeued_at,
-              done_at);
+    const size_t iterations =
+        current_iterations_.load(std::memory_order_relaxed);
+    const bool degraded = iterations < options_.inference_iterations;
+    InferPlan plan;
+    InferenceResult result;
+    Status exec_error;
+    if (!live.empty()) {
+      session.set_iterations(iterations);
+      queries.clear();
+      queries.reserve(live.size());
+      for (Request& request : live) {
+        queries.push_back(std::move(request.query));
+      }
+      plan = planner_.Plan(queries);
+      try {
+        // Error-injection site: proves a throwing Execute fails its
+        // batch with kInternal while the worker keeps serving.
+        GENCLUS_FAILPOINT("server.execute",
+                          throw std::runtime_error(
+                              "injected server.execute failure"));
+        result = session.Execute(plan);
+      } catch (const std::exception& e) {
+        exec_error =
+            Status::Internal(StrFormat("batch execution failed: %s",
+                                       e.what()));
+      } catch (...) {
+        exec_error = Status::Internal("batch execution failed");
+      }
+    }
+    const auto done_at = std::chrono::steady_clock::now();
+    const bool executed = !live.empty() && exec_error.ok();
+    if (executed) batches_.fetch_add(1, std::memory_order_relaxed);
+    // Stats first, delivery second: the moment a future resolves, the
+    // histogram, rings and EWMAs already cover its micro-batch. The
+    // queue-wait EWMA folds every dequeue (even all-shed batches) so the
+    // admission controller sees the overload that caused the shedding.
+    double queue_wait_ewma_us = 0.0;
+    {
+      MutexLock lock(stats_mutex_);
+      for (const double wait_us : queue_waits_us) {
+        queue_wait_us_.Add(wait_us);
+      }
+      queue_wait_ewma_us =
+          FoldEwma(&queue_wait_ewma_bits_, max_queue_wait_us);
+      if (executed) {
+        batch_size_histogram_[live.size()] += 1;
+        plan_us_.Add(plan.plan_seconds * 1e6);
+        exec_us_.Add(result.report.exec_seconds * 1e6);
+        FoldEwma(&exec_ewma_bits_, result.report.exec_seconds * 1e6);
+        for (const Request& request : live) {
+          end_to_end_us_.Add(
+              SecondsBetween(request.enqueued_at, done_at) * 1e6);
+        }
+      }
+    }
+    UpdateDegradation(queue_wait_ewma_us);
+    if (live.empty()) continue;
+    if (!exec_error.ok()) {
+      for (Request& request : live) {
+        Fail(request, exec_error, &completed_);
+      }
+      continue;
+    }
+    // Per-query attribution of the shared plan/exec cost: equal shares,
+    // so whole-batch reassembly sums back to the micro-batch totals.
+    const double share = 1.0 / static_cast<double>(live.size());
+    const double plan_share = plan.plan_seconds * share;
+    const double exec_share = result.report.exec_seconds * share;
+    for (size_t i = 0; i < live.size(); ++i) {
+      Deliver(live[i], result, i, degraded, plan_share, exec_share,
+              dequeued_at, done_at);
     }
   }
 }
@@ -353,9 +599,17 @@ ServerStats Server::Stats() const {
   ServerStats out;
   out.accepted = accepted_.load(std::memory_order_relaxed);
   out.rejected = rejected_.load(std::memory_order_relaxed);
+  out.deadline_rejected =
+      deadline_rejected_.load(std::memory_order_relaxed);
   out.completed = completed_.load(std::memory_order_relaxed);
   out.cancelled = cancelled_.load(std::memory_order_relaxed);
+  out.deadline_shed = deadline_shed_.load(std::memory_order_relaxed);
+  out.degraded = degraded_.load(std::memory_order_relaxed);
   out.batches = batches_.load(std::memory_order_relaxed);
+  out.current_inference_iterations =
+      current_iterations_.load(std::memory_order_relaxed);
+  out.predicted_queue_wait_us = PredictedQueueWaitMicros();
+  out.predicted_exec_us = PredictedExecMicros();
   out.queue_depth = queue_.size();
   out.queue_high_water = queue_.high_water();
   // Hold stats_mutex_ only for the copies. The old code ran the

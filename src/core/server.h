@@ -25,6 +25,36 @@
 // (the fix for the old Submit's use-after-free on Engine destruction).
 // With drain_on_stop = false, requests still queued at Stop() fail fast
 // with kCancelled instead of executing.
+//
+// Deadline-aware robustness (tests/core/server_deadline_test.cc):
+//
+//   * Every Request carries a Deadline (common/deadline.h) — set per
+//     query through the Submit/SubmitBatch overloads or defaulted from
+//     ServerOptions::default_timeout_us. Infinite by default: a
+//     deadline-free caller pays one is_infinite() branch and nothing else.
+//   * Shed at dequeue: a worker drops requests whose deadline has expired
+//     (or would expire during the predicted execution) instead of doing
+//     work nobody can use. Shed futures resolve with kDeadlineExceeded.
+//   * Linger cap: a tight-deadline request caps its micro-batch's
+//     coalescing linger so the batch starts executing while that request
+//     can still meet its budget.
+//   * Cost-based early rejection: when queue-wait + execution EWMAs
+//     predict an arriving request cannot meet its deadline, Submit
+//     rejects it immediately with kDeadlineExceeded — the cheapest
+//     possible shed, before the queue ever holds it.
+//   * Graceful degradation: under sustained overload (queue-wait EWMA
+//     above degrade_queue_wait_us) workers step inference_iterations down
+//     toward min_inference_iterations, trading per-answer sweep count for
+//     throughput; answers computed with fewer sweeps are flagged
+//     (QueryResult::degraded, ServerStats::degraded) and the tier steps
+//     back up once the queue-wait EWMA falls below the recovery threshold.
+//
+// Every admitted request resolves with a definite outcome — completed,
+// kDeadlineExceeded, kCancelled, or kInternal (a worker that caught an
+// execution exception fails that batch's futures and keeps serving); the
+// accounting invariant `accepted == completed + cancelled + deadline_shed`
+// (and `submissions == accepted + rejected + deadline_rejected`) is gated
+// by bench/server_bench.cc under 3x overload.
 #pragma once
 
 #include <atomic>
@@ -36,6 +66,7 @@
 #include <vector>
 
 #include "common/bounded_queue.h"
+#include "common/deadline.h"
 #include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
@@ -58,7 +89,8 @@ struct ServerOptions {
   /// batch 256 without its queueing delay.
   size_t max_batch = 64;
   /// How long a worker lingers after the first dequeued query for more
-  /// arrivals to coalesce. 0 = take only what is already queued.
+  /// arrivals to coalesce. 0 = take only what is already queued. A
+  /// request's deadline caps its batch's linger below this.
   size_t max_wait_us = 200;
   /// Stop()/destructor policy: true executes every queued request before
   /// the workers join (pending futures complete with real answers);
@@ -73,6 +105,26 @@ struct ServerOptions {
   /// (clamped like ShardPartition::Resolve). Served memberships are
   /// bitwise identical for every choice.
   size_t theta_shards = 0;
+  /// Default per-request deadline budget in microseconds, applied to
+  /// submissions that do not carry an explicit Deadline. 0 = no default
+  /// (deadline-free requests never expire).
+  int64_t default_timeout_us = 0;
+  /// Reject a deadline-carrying request at Submit when the queue-wait +
+  /// execution EWMAs predict it cannot meet its deadline. The cheapest
+  /// shed: the request never occupies a queue slot.
+  bool cost_based_rejection = true;
+  /// Graceful degradation entry threshold: once the queue-wait EWMA
+  /// exceeds this many microseconds, workers step their fixed-point
+  /// sweep count down (one per micro-batch) toward
+  /// min_inference_iterations. 0 = degradation disabled.
+  int64_t degrade_queue_wait_us = 0;
+  /// Recovery threshold: once the queue-wait EWMA falls below this,
+  /// workers step the sweep count back up toward inference_iterations.
+  /// 0 = degrade_queue_wait_us / 4. Must be below the entry threshold —
+  /// the hysteresis gap prevents oscillation at the boundary.
+  int64_t recover_queue_wait_us = 0;
+  /// Sweep-count floor degradation never goes below.
+  size_t min_inference_iterations = 2;
 
   Status Validate() const;
 };
@@ -82,9 +134,13 @@ struct QueryResult {
   /// Validation/admission outcome; membership is meaningful only when ok.
   Status status;
   /// Membership over the model's clusters — bitwise identical to what
-  /// Engine::InferBatch returns for the same query.
+  /// Engine::InferBatch returns for the same query, unless `degraded`.
   std::vector<double> membership;
   uint32_t hard_label = kNoHardLabel;
+  /// True when the answer was computed with fewer fixed-point sweeps
+  /// than ServerOptions::inference_iterations because the tier was in
+  /// graceful-degradation mode.
+  bool degraded = false;
   /// Seconds the query waited in the queue before a worker dequeued it.
   double queue_seconds = 0.0;
   /// Seconds from admission to completion (queue + plan + execute).
@@ -110,16 +166,32 @@ struct ServerStats {
   /// Requests rejected at admission because the queue was full or the
   /// server was stopping.
   size_t rejected = 0;
-  /// Requests whose result has been delivered.
+  /// Requests rejected at admission because their deadline had already
+  /// expired or cost-based rejection predicted they could not meet it.
+  size_t deadline_rejected = 0;
+  /// Requests whose result has been delivered (including kInternal
+  /// failures from a caught execution exception).
   size_t completed = 0;
   /// Requests failed with kCancelled by a non-draining Stop().
   size_t cancelled = 0;
+  /// Admitted requests shed at dequeue with kDeadlineExceeded because
+  /// their deadline had expired (or would expire during execution).
+  size_t deadline_shed = 0;
+  /// Queries answered in graceful-degradation mode (fewer sweeps).
+  size_t degraded = 0;
   /// Micro-batches executed.
   size_t batches = 0;
+  /// Fixed-point sweep count workers are currently using — equals
+  /// ServerOptions::inference_iterations except in degradation mode.
+  size_t current_inference_iterations = 0;
+  /// Admission-control predictions (EWMAs, microseconds): what cost-based
+  /// rejection currently assumes a new request will wait / cost.
+  double predicted_queue_wait_us = 0.0;
+  double predicted_exec_us = 0.0;
   /// Queue depth right now and the highest depth ever observed.
   size_t queue_depth = 0;
   size_t queue_high_water = 0;
-  /// batch_size_histogram[s] = micro-batches that coalesced exactly s
+  /// batch_size_histogram[s] = micro-batches that executed exactly s
   /// queries (index 0 unused; size max_batch + 1).
   std::vector<size_t> batch_size_histogram;
   /// Latency percentiles over the most recent samples: time spent queued,
@@ -154,16 +226,25 @@ class Server {
 
   /// Admits one query. Returns the future carrying its eventual answer,
   /// or — immediately, never blocking — kResourceExhausted when the queue
-  /// is at capacity / kFailedPrecondition when the server is stopped.
+  /// is at capacity / kFailedPrecondition when the server is stopped /
+  /// kDeadlineExceeded when the deadline has expired or cost-based
+  /// rejection predicts it cannot be met. The no-deadline overload
+  /// applies ServerOptions::default_timeout_us (infinite when 0).
   Result<std::future<QueryResult>> Submit(NewObjectQuery query);
+  Result<std::future<QueryResult>> Submit(NewObjectQuery query,
+                                          Deadline deadline);
 
   /// Admits a whole batch and returns one future for the assembled
   /// InferenceResult: slot i holds query i's status/membership/hard
   /// label, bitwise identical to Engine::InferBatch on the same queries.
-  /// Queries that do not fit the queue fail their slot with
-  /// kResourceExhausted (the batch future still completes). Never blocks.
+  /// Queries that do not fit the queue (or fail deadline admission) fail
+  /// their slot with kResourceExhausted / kDeadlineExceeded — the batch
+  /// future still completes. Never blocks. `deadline` applies to every
+  /// query of the batch.
   std::future<InferenceResult> SubmitBatch(
       std::vector<NewObjectQuery> queries);
+  std::future<InferenceResult> SubmitBatch(
+      std::vector<NewObjectQuery> queries, Deadline deadline);
 
   /// Closes the queue (further Submits are rejected) and joins the
   /// workers; pending requests drain or cancel per
@@ -194,23 +275,47 @@ class Server {
     size_t slot = 0;
     size_t num_links = 0;
     size_t num_observations = 0;
+    Deadline deadline;
     std::chrono::steady_clock::time_point enqueued_at;
   };
 
   Server(const Network* network, std::unique_ptr<Model> owned_model,
          const Model* model, ServerOptions options);
 
+  // The deadline a submission actually carries: the explicit one, or the
+  // options default when the explicit one is infinite.
+  Deadline EffectiveDeadline(Deadline deadline) const;
+  // Deadline admission: kDeadlineExceeded when already expired, or when
+  // cost_based_rejection's EWMA prediction says the budget cannot be met.
+  Status CheckDeadlineAdmissible(
+      const Deadline& deadline,
+      std::chrono::steady_clock::time_point now) const;
+  // Lock-free reads of the admission-prediction EWMAs (microseconds).
+  double PredictedQueueWaitMicros() const;
+  double PredictedExecMicros() const;
+  // Steps current_iterations_ one sweep down (overload) or up (recovery)
+  // per executed micro-batch, between min_inference_iterations and
+  // inference_iterations, with the configured hysteresis gap.
+  void UpdateDegradation(double queue_wait_ewma_us);
+
   bool Enqueue(Request request, Status* rejection);
   void WorkerLoop();
   void Deliver(Request& request, const InferenceResult& result, size_t row,
-               double plan_share_seconds, double exec_share_seconds,
+               bool degraded, double plan_share_seconds,
+               double exec_share_seconds,
                std::chrono::steady_clock::time_point dequeued_at,
                std::chrono::steady_clock::time_point now);
-  void Cancel(Request& request);
+  // Fails one dequeued-but-expired request with kDeadlineExceeded.
+  void Shed(Request& request,
+            std::chrono::steady_clock::time_point dequeued_at);
+  // Fails one live request with `status` (non-draining Stop's kCancelled,
+  // or kInternal after a caught execution exception), counting it in
+  // `counter` before the promise is fulfilled.
+  void Fail(Request& request, Status status, std::atomic<size_t>* counter);
   static void CompleteCollectorSlot(BatchCollector& collector, size_t slot,
                                     Status status, const double* membership,
                                     size_t num_clusters, uint32_t hard_label,
-                                    size_t num_links,
+                                    bool degraded, size_t num_links,
                                     size_t num_observations,
                                     double plan_share_seconds,
                                     double exec_share_seconds);
@@ -235,9 +340,19 @@ class Server {
   // once per micro-batch.
   std::atomic<size_t> accepted_{0};
   std::atomic<size_t> rejected_{0};
+  std::atomic<size_t> deadline_rejected_{0};
   std::atomic<size_t> completed_{0};
   std::atomic<size_t> cancelled_{0};
+  std::atomic<size_t> deadline_shed_{0};
+  std::atomic<size_t> degraded_{0};
   std::atomic<size_t> batches_{0};
+  // Degradation controller state: the sweep count workers use right now.
+  std::atomic<size_t> current_iterations_;
+  // Admission-prediction EWMAs, published as bit-cast doubles so Submit
+  // reads them lock-free; written by workers under stats_mutex_ (the
+  // mutex serializes read-modify-write, the atomic publishes the value).
+  std::atomic<uint64_t> queue_wait_ewma_bits_{0};
+  std::atomic<uint64_t> exec_ewma_bits_{0};
   struct SampleRing {
     std::vector<double> samples;  // microseconds
     size_t next = 0;

@@ -164,5 +164,55 @@ TEST(BoundedQueueTest, MpmcStressAccountsForEveryItemOnce) {
   EXPECT_EQ(seen.size(), static_cast<size_t>(kProducers * kPerProducer));
 }
 
+TEST(BoundedQueueTest, ItemCapTightensTheLinger) {
+  // An item whose cap lies in the past must end the linger immediately:
+  // the serving tier relies on this so a tight-deadline request starts
+  // executing instead of coalescing past its budget.
+  BoundedQueue<int> queue(16);
+  ASSERT_TRUE(queue.TryPush(1));
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<int> batch;
+  const size_t popped = queue.PopBatch(
+      &batch, 8, std::chrono::seconds(5), [&](const int&) {
+        return start - std::chrono::milliseconds(1);  // already capped
+      });
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(popped, 1u);
+  EXPECT_LT(elapsed, std::chrono::seconds(1));
+}
+
+TEST(BoundedQueueTest, UncappedItemsKeepTheFullLinger) {
+  // time_point::max() caps change nothing: the batch still lingers long
+  // enough to coalesce a late producer's item.
+  BoundedQueue<int> queue(16);
+  ASSERT_TRUE(queue.TryPush(1));
+  std::thread late_producer([&queue] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    queue.TryPush(2);
+  });
+  std::vector<int> batch;
+  const size_t popped = queue.PopBatch(
+      &batch, 2, std::chrono::seconds(5), [](const int&) {
+        return std::chrono::steady_clock::time_point::max();
+      });
+  late_producer.join();
+  EXPECT_EQ(popped, 2u);
+  EXPECT_EQ(batch, (std::vector<int>{1, 2}));
+}
+
+#if defined(GENCLUS_FAILPOINTS)
+TEST(BoundedQueueTest, PushFailpointSimulatesAQueueStorm) {
+  // Armed "bounded_queue.push" makes admission behave as if the queue
+  // were at capacity — the deterministic stand-in for a real storm.
+  BoundedQueue<int> queue(16);
+  Failpoints::Arm("bounded_queue.push", {.max_fires = 2});
+  EXPECT_FALSE(queue.TryPush(1));
+  EXPECT_FALSE(queue.TryPush(2));
+  EXPECT_TRUE(queue.TryPush(3));  // max_fires exhausted
+  EXPECT_EQ(queue.size(), 1u);
+  Failpoints::DisarmAll();
+}
+#endif
+
 }  // namespace
 }  // namespace genclus

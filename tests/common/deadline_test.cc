@@ -1,0 +1,76 @@
+// Deadline (common/deadline.h): the monotonic budget type every serving
+// request carries. Pins the saturation semantics the admission loop
+// relies on — an infinite deadline never expires, never caps a linger,
+// and reports saturated budgets, while finite deadlines expire exactly
+// at their instant and clamp remaining budgets at zero.
+#include "common/deadline.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <limits>
+
+namespace genclus {
+namespace {
+
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  const Deadline deadline;
+  EXPECT_TRUE(deadline.is_infinite());
+  EXPECT_FALSE(deadline.Expired());
+  EXPECT_EQ(deadline.when(), Deadline::Clock::time_point::max());
+  EXPECT_EQ(deadline, Deadline::Infinite());
+}
+
+TEST(DeadlineTest, InfiniteBudgetsSaturate) {
+  const Deadline deadline = Deadline::Infinite();
+  EXPECT_EQ(deadline.RemainingMicros(),
+            std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(deadline.RemainingSeconds(),
+            std::numeric_limits<double>::infinity());
+  // Even a "now" far in the future never expires an infinite deadline.
+  EXPECT_FALSE(
+      deadline.Expired(Deadline::Clock::now() + std::chrono::hours(24)));
+}
+
+TEST(DeadlineTest, ExpiresExactlyAtItsInstant) {
+  const auto now = Deadline::Clock::now();
+  const Deadline deadline = Deadline::At(now + milliseconds(10));
+  EXPECT_FALSE(deadline.is_infinite());
+  EXPECT_FALSE(deadline.Expired(now));
+  EXPECT_FALSE(deadline.Expired(now + milliseconds(10) - microseconds(1)));
+  EXPECT_TRUE(deadline.Expired(now + milliseconds(10)));  // inclusive
+  EXPECT_TRUE(deadline.Expired(now + milliseconds(11)));
+}
+
+TEST(DeadlineTest, RemainingBudgetClampsAtZero) {
+  const auto now = Deadline::Clock::now();
+  const Deadline deadline = Deadline::At(now + microseconds(500));
+  EXPECT_EQ(deadline.RemainingMicros(now), 500);
+  EXPECT_DOUBLE_EQ(deadline.RemainingSeconds(now), 500e-6);
+  EXPECT_EQ(deadline.RemainingMicros(now + microseconds(500)), 0);
+  EXPECT_EQ(deadline.RemainingMicros(now + milliseconds(5)), 0);
+  EXPECT_EQ(deadline.RemainingSeconds(now + milliseconds(5)), 0.0);
+}
+
+TEST(DeadlineTest, AfterAndAfterMicrosAnchorAtNow) {
+  const auto before = Deadline::Clock::now();
+  const Deadline deadline = Deadline::AfterMicros(50000);
+  const auto after = Deadline::Clock::now();
+  EXPECT_GE(deadline.when(), before + milliseconds(50));
+  EXPECT_LE(deadline.when(), after + milliseconds(50));
+  EXPECT_FALSE(deadline.Expired(after));
+  EXPECT_TRUE(deadline.Expired(after + milliseconds(51)));
+}
+
+TEST(DeadlineTest, EqualityComparesInstants) {
+  const auto now = Deadline::Clock::now();
+  EXPECT_EQ(Deadline::At(now), Deadline::At(now));
+  EXPECT_FALSE(Deadline::At(now) == Deadline::At(now + microseconds(1)));
+  EXPECT_FALSE(Deadline::At(now) == Deadline::Infinite());
+}
+
+}  // namespace
+}  // namespace genclus

@@ -1,0 +1,117 @@
+// Failpoints (common/failpoint.h): the registry's trigger semantics.
+// Fire() is an always-linked function, so skip_hits / max_fires / fail /
+// hit accounting are testable in every lane — only the GENCLUS_FAILPOINT
+// macro (exercised by the armed-site tests in bounded_queue_test,
+// thread_pool_test, model_io_test and server_deadline_test) needs the
+// GENCLUS_FAILPOINTS build.
+#include "common/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace genclus {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Failpoints::DisarmAll(); }
+};
+
+TEST_F(FailpointTest, UnarmedSiteNeverTriggers) {
+  EXPECT_FALSE(Failpoints::Fire("failpoint_test.unarmed"));
+  EXPECT_EQ(Failpoints::HitCount("failpoint_test.unarmed"), 0u);
+}
+
+TEST_F(FailpointTest, ArmedSiteTriggersAndCountsHits) {
+  Failpoints::Arm("failpoint_test.basic");
+  EXPECT_TRUE(Failpoints::Fire("failpoint_test.basic"));
+  EXPECT_TRUE(Failpoints::Fire("failpoint_test.basic"));
+  EXPECT_EQ(Failpoints::HitCount("failpoint_test.basic"), 2u);
+  Failpoints::Disarm("failpoint_test.basic");
+  EXPECT_FALSE(Failpoints::Fire("failpoint_test.basic"));
+  EXPECT_EQ(Failpoints::HitCount("failpoint_test.basic"), 0u);
+}
+
+TEST_F(FailpointTest, SkipHitsDelaysTheFirstTrigger) {
+  // skip_hits = 2: the third hit is the first trigger.
+  Failpoints::Arm("failpoint_test.nth", {.skip_hits = 2});
+  EXPECT_FALSE(Failpoints::Fire("failpoint_test.nth"));
+  EXPECT_FALSE(Failpoints::Fire("failpoint_test.nth"));
+  EXPECT_TRUE(Failpoints::Fire("failpoint_test.nth"));
+  EXPECT_EQ(Failpoints::HitCount("failpoint_test.nth"), 3u);
+}
+
+TEST_F(FailpointTest, MaxFiresQuietsTheSiteButKeepsCounting) {
+  Failpoints::Arm("failpoint_test.once", {.max_fires = 1});
+  EXPECT_TRUE(Failpoints::Fire("failpoint_test.once"));
+  EXPECT_FALSE(Failpoints::Fire("failpoint_test.once"));
+  EXPECT_FALSE(Failpoints::Fire("failpoint_test.once"));
+  EXPECT_EQ(Failpoints::HitCount("failpoint_test.once"), 3u);
+}
+
+TEST_F(FailpointTest, FailFalseMakesADelayOnlySite) {
+  // fail = false: the site triggers (delay applies) but the action body
+  // must not run — Fire returns false.
+  Failpoints::Arm("failpoint_test.delay",
+                  {.delay_us = 2000, .fail = false});
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(Failpoints::Fire("failpoint_test.delay"));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, std::chrono::microseconds(2000));
+  EXPECT_EQ(Failpoints::HitCount("failpoint_test.delay"), 1u);
+}
+
+TEST_F(FailpointTest, RearmResetsCounters) {
+  Failpoints::Arm("failpoint_test.rearm", {.max_fires = 1});
+  EXPECT_TRUE(Failpoints::Fire("failpoint_test.rearm"));
+  EXPECT_FALSE(Failpoints::Fire("failpoint_test.rearm"));
+  Failpoints::Arm("failpoint_test.rearm", {.max_fires = 1});
+  EXPECT_EQ(Failpoints::HitCount("failpoint_test.rearm"), 0u);
+  EXPECT_TRUE(Failpoints::Fire("failpoint_test.rearm"));
+}
+
+TEST_F(FailpointTest, DisarmAllClearsEverything) {
+  Failpoints::Arm("failpoint_test.a");
+  Failpoints::Arm("failpoint_test.b");
+  Failpoints::DisarmAll();
+  EXPECT_FALSE(Failpoints::Fire("failpoint_test.a"));
+  EXPECT_FALSE(Failpoints::Fire("failpoint_test.b"));
+}
+
+TEST_F(FailpointTest, ConcurrentFiresRespectMaxFiresExactly) {
+  // max_fires is a hard cap even under contention: exactly that many
+  // Fire() calls may return true.
+  Failpoints::Arm("failpoint_test.race", {.max_fires = 5});
+  constexpr size_t kThreads = 4;
+  constexpr size_t kPerThread = 200;
+  std::atomic<size_t> triggers{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        if (Failpoints::Fire("failpoint_test.race")) {
+          triggers.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(triggers.load(), 5u);
+  EXPECT_EQ(Failpoints::HitCount("failpoint_test.race"),
+            kThreads * kPerThread);
+}
+
+TEST_F(FailpointTest, MacroCompiledStateMatchesBuildFlag) {
+#if defined(GENCLUS_FAILPOINTS)
+  EXPECT_TRUE(Failpoints::kEnabled);
+#else
+  EXPECT_FALSE(Failpoints::kEnabled);
+#endif
+}
+
+}  // namespace
+}  // namespace genclus

@@ -107,5 +107,15 @@ TEST(ResultTest, AssignOrReturnPropagatesError) {
   EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
 }
 
+TEST(StatusTest, DeadlineExceededFactoryAndName) {
+  const Status s = Status::DeadlineExceeded("budget spent");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(s.message(), "budget spent");
+  EXPECT_EQ(s.ToString(), "DeadlineExceeded: budget spent");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+}
+
 }  // namespace
 }  // namespace genclus

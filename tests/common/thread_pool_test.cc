@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/failpoint.h"
+
 namespace genclus {
 namespace {
 
@@ -378,6 +380,26 @@ TEST(ThreadPoolTest, ReusableAcrossCalls) {
     EXPECT_EQ(count.load(), 100);
   }
 }
+
+#if defined(GENCLUS_FAILPOINTS)
+TEST(ThreadPoolTest, TaskFailpointSurfacesFromWaitAndPoolKeepsServing) {
+  // "thread_pool.task" throws inside the worker before the task body:
+  // Wait() must rethrow it, and the pool must keep serving afterwards.
+  ThreadPool pool(2);
+  Failpoints::Arm("thread_pool.task", {.max_fires = 1});
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&ran] { ran.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  Failpoints::DisarmAll();
+  // The injected throw consumed exactly one task; the rest ran.
+  EXPECT_EQ(ran.load(), 7);
+  pool.Submit([&ran] { ran.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 8);
+}
+#endif
 
 }  // namespace
 }  // namespace genclus

@@ -15,6 +15,7 @@
 #include <string>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "core/engine.h"
 #include "tests/core/test_fixtures.h"
 
@@ -349,6 +350,68 @@ TEST(ModelIoBinaryTest, LoadRejectsBadMagicAndVersionAndTextFile) {
   WriteFileBytes(file.path(), good);
   EXPECT_FALSE(LoadModel(file.path()).ok());
 }
+
+TEST(ModelIoTest, SuccessfulSavesLeaveNoTempDebris) {
+  // Saves commit through a sibling .tmp + rename; on success the temp
+  // must be gone and only the target remain.
+  const Model model = TrainPlantedModel();
+  ScopedFile text(TempPath("genclus_model_atomic.model"));
+  ScopedFile binary(TempPath("genclus_model_atomic.bin"));
+  ASSERT_TRUE(SaveModel(model, text.path()).ok());
+  ASSERT_TRUE(SaveModelBinary(model, binary.path()).ok());
+  EXPECT_TRUE(std::filesystem::exists(text.path()));
+  EXPECT_TRUE(std::filesystem::exists(binary.path()));
+  EXPECT_FALSE(std::filesystem::exists(text.path() + ".tmp"));
+  EXPECT_FALSE(std::filesystem::exists(binary.path() + ".tmp"));
+}
+
+#if defined(GENCLUS_FAILPOINTS)
+TEST(ModelIoTest, InjectedSaveCrashLeavesPreviousFileIntact) {
+  // "model_io.save" simulates a crash mid-write: the save fails, but the
+  // previously committed file must survive byte-for-byte — the whole
+  // point of the write-to-temp + rename protocol.
+  const Model model = TrainPlantedModel();
+  for (const bool binary : {false, true}) {
+    ScopedFile file(TempPath(binary ? "genclus_model_crash.bin"
+                                    : "genclus_model_crash.model"));
+    ScopedFile debris(file.path() + ".tmp");
+    auto save = [&](const Model& m) {
+      return binary ? SaveModelBinary(m, file.path())
+                    : SaveModel(m, file.path());
+    };
+    ASSERT_TRUE(save(model).ok());
+    const std::string committed = ReadFileBytes(file.path());
+
+    Failpoints::Arm("model_io.save", {.max_fires = 1});
+    const Status crashed = save(model);
+    Failpoints::DisarmAll();
+    ASSERT_FALSE(crashed.ok());
+    EXPECT_EQ(crashed.code(), StatusCode::kIoError);
+    // Target intact; the half-written temp is the only residue.
+    EXPECT_EQ(ReadFileBytes(file.path()), committed);
+
+    // And the survivor still loads.
+    if (binary) {
+      EXPECT_TRUE(LoadModelBinary(file.path()).ok());
+    } else {
+      EXPECT_TRUE(LoadModel(file.path()).ok());
+    }
+  }
+}
+
+TEST(ModelIoTest, InjectedLoadTruncationFailsCleanly) {
+  // "model_io.load" halves the in-memory file image: every downstream
+  // bounds check must turn that into a clean IoError, never a crash.
+  const Model model = TrainPlantedModel();
+  ScopedFile file(TempPath("genclus_model_load_trunc.bin"));
+  ASSERT_TRUE(SaveModelBinary(model, file.path()).ok());
+  Failpoints::Arm("model_io.load", {.max_fires = 1});
+  auto loaded = LoadModelBinary(file.path());
+  Failpoints::DisarmAll();
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+#endif
 
 }  // namespace
 }  // namespace genclus

@@ -27,6 +27,12 @@ is caught in review rather than by a flaky drift gate:
       outside src/common/mutex.h. Everything else must use the annotated
       genclus::Mutex/MutexLock/CondVar wrappers so Clang's
       -Wthread-safety analysis can see every lock.
+  R5  No GENCLUS_FAILPOINT sites in src/core or src/linalg outside the
+      sanctioned robustness surfaces (src/core/server.cc,
+      src/core/model_io.cc). A failpoint inside the numeric hot path
+      (EM sweep, SpMM, planner) would be a branch whose firing perturbs
+      timing and — if it mutates state — the bitwise pipeline; fault
+      injection belongs at the serving/IO boundaries.
 
 Scope: src/**/*.{h,cc}. Tests, benches and examples are exempt by
 design — benches time with wall clocks and tests spawn raw threads to
@@ -97,6 +103,10 @@ RANDOM_OK = {"src/common/random.h", "src/common/random.cc",
 THREAD_OK = {"src/common/thread_pool.h", "src/common/thread_pool.cc",
              "src/core/server.h", "src/core/server.cc"}
 SYNC_OK = {"src/common/mutex.h"}
+# Files in the strict directories allowed to host failpoint sites (R5):
+# the serving tier and model IO — robustness boundaries, not hot loops.
+FAILPOINT_OK = {"src/core/server.cc", "src/core/model_io.cc"}
+FAILPOINT_RE = re.compile(r"\bGENCLUS_FAILPOINT\s*\(")
 # Accumulation-order-sensitive directories for the unordered-container
 # include/type ban (R1's strict form).
 STRICT_UNORDERED_DIRS = ("src/core/", "src/linalg/")
@@ -232,6 +242,14 @@ def scan_file(root: Path, rel: str, findings: list[Finding],
                         f"use the annotated genclus::Mutex/MutexLock/"
                         f"CondVar (common/mutex.h) so -Wthread-safety "
                         f"sees the lock")
+
+        if (rel.startswith(STRICT_UNORDERED_DIRS)
+                and rel not in FAILPOINT_OK
+                and FAILPOINT_RE.search(code)):
+            add(idx, raw, "R5",
+                "GENCLUS_FAILPOINT site in the numeric hot path; fault "
+                "injection is confined to the serving/IO boundaries "
+                "(src/core/server.cc, src/core/model_io.cc)")
 
 
 def main() -> int:
