@@ -58,6 +58,24 @@ struct GenClusConfig {
   /// EM converges when max |Theta_t - Theta_{t-1}| drops below this.
   double em_tolerance = 1e-4;
 
+  /// Convergence-aware EM sweeps: a reduction block whose per-block
+  /// max |Theta| change stayed below this tolerance for
+  /// `block_convergence_sweeps` consecutive sweeps is skipped — its Theta
+  /// rows and cached component statistics are carried forward — until a
+  /// block it reads (an out-link neighborhood block) moves again, which
+  /// re-arms it. 0 (default) disables skipping. Skip decisions derive only
+  /// from the deterministic per-block deltas, so fitted models stay
+  /// bitwise invariant to thread count x shard count; skipping is an
+  /// approximation bounded by this tolerance (a skipped block's rows lag
+  /// by < tol per sweep). Must be <= em_tolerance when non-zero: a
+  /// skipped block's frozen delta then sits below the global convergence
+  /// test and can never stall it.
+  double block_convergence_tol = 0.0;
+
+  /// Consecutive quiet sweeps before a block is skipped (see
+  /// block_convergence_tol). Must be >= 1.
+  size_t block_convergence_sweeps = 2;
+
   /// Maximum Newton-Raphson iterations per strength-learning step (t2).
   size_t newton_iterations = 50;
 

@@ -11,51 +11,45 @@
 
 namespace genclus {
 
-Result<FitResult> Engine::Fit(const Dataset& dataset,
-                              const FitOptions& options) {
-  GENCLUS_RETURN_IF_ERROR(dataset.Validate());
-  const Schema& schema = dataset.network.schema();
-  GENCLUS_RETURN_IF_ERROR(
-      options.config.Validate(schema.num_link_types()));
-
-  std::vector<const Attribute*> attrs;
-  std::vector<ModelAttributeInfo> attr_info;
-  attrs.reserve(options.attributes.size());
-  attr_info.reserve(options.attributes.size());
-  for (const std::string& name : options.attributes) {
+Status Engine::ResolveAttributes(const Dataset& dataset,
+                                 const std::vector<std::string>& names,
+                                 std::vector<const Attribute*>* attrs,
+                                 std::vector<ModelAttributeInfo>* info) {
+  attrs->reserve(names.size());
+  info->reserve(names.size());
+  for (const std::string& name : names) {
     AttributeId id = dataset.FindAttribute(name);
     if (id == kInvalidAttribute) {
       return Status::NotFound(
           StrFormat("attribute '%s' not in dataset", name.c_str()));
     }
     const Attribute& attribute = dataset.attributes[id];
-    attrs.push_back(&attribute);
-    ModelAttributeInfo info;
-    info.name = attribute.name();
-    info.kind = attribute.kind();
-    info.vocab_size = attribute.kind() == AttributeKind::kCategorical
-                          ? attribute.vocab_size()
-                          : 0;
-    attr_info.push_back(std::move(info));
+    attrs->push_back(&attribute);
+    ModelAttributeInfo entry;
+    entry.name = attribute.name();
+    entry.kind = attribute.kind();
+    entry.vocab_size = attribute.kind() == AttributeKind::kCategorical
+                           ? attribute.vocab_size()
+                           : 0;
+    info->push_back(std::move(entry));
   }
+  return Status::OK();
+}
 
-  WallTimer timer;
-  GenClus algorithm(&dataset.network, std::move(attrs), options.config);
-  algorithm.SetProgressObserver(options.observer);
-  algorithm.SetCancellationToken(options.cancellation);
-  GENCLUS_ASSIGN_OR_RETURN(GenClusResult run, algorithm.Run());
-
+FitResult Engine::AssembleFitResult(const Schema& schema, GenClusResult run,
+                                    std::vector<ModelAttributeInfo> info,
+                                    size_t theta_shards_request,
+                                    double total_seconds) {
   FitResult out;
   out.model.theta = std::move(run.theta);
   // Stamp the resolved shard count the fit ran with, so serving adopts
   // the same partition by default and both model formats persist it.
   out.model.theta_shards =
-      ShardPartition::Resolve(options.config.theta_shards,
-                              out.model.theta.rows())
+      ShardPartition::Resolve(theta_shards_request, out.model.theta.rows())
           .num_shards();
   out.model.gamma = std::move(run.gamma);
   out.model.components = std::move(run.components);
-  out.model.attributes = std::move(attr_info);
+  out.model.attributes = std::move(info);
   out.model.objective = run.objective;
   out.model.link_types.reserve(schema.num_link_types());
   for (LinkTypeId r = 0; r < schema.num_link_types(); ++r) {
@@ -65,13 +59,36 @@ Result<FitResult> Engine::Fit(const Dataset& dataset,
   out.report.objective = run.objective;
   out.report.outer_iterations =
       run.trace.empty() ? 0 : run.trace.size() - 1;
+  out.report.em_blocks_skipped = run.em_blocks_skipped;
+  out.report.em_final_block_deltas = std::move(run.em_final_block_deltas);
   out.report.trace = std::move(run.trace);
   for (const OuterIterationRecord& record : out.report.trace) {
     out.report.em_seconds += record.em_seconds;
     out.report.strength_seconds += record.strength_seconds;
   }
-  out.report.total_seconds = timer.Seconds();
+  out.report.total_seconds = total_seconds;
   return out;
+}
+
+Result<FitResult> Engine::Fit(const Dataset& dataset,
+                              const FitOptions& options) {
+  GENCLUS_RETURN_IF_ERROR(dataset.Validate());
+  const Schema& schema = dataset.network.schema();
+  GENCLUS_RETURN_IF_ERROR(
+      options.config.Validate(schema.num_link_types()));
+
+  std::vector<const Attribute*> attrs;
+  std::vector<ModelAttributeInfo> attr_info;
+  GENCLUS_RETURN_IF_ERROR(
+      ResolveAttributes(dataset, options.attributes, &attrs, &attr_info));
+
+  WallTimer timer;
+  GenClus algorithm(&dataset.network, std::move(attrs), options.config);
+  algorithm.SetProgressObserver(options.observer);
+  algorithm.SetCancellationToken(options.cancellation);
+  GENCLUS_ASSIGN_OR_RETURN(GenClusResult run, algorithm.Run());
+  return AssembleFitResult(schema, std::move(run), std::move(attr_info),
+                           options.config.theta_shards, timer.Seconds());
 }
 
 // Batch planner plus a pool of InferSessions. Sessions are created

@@ -74,6 +74,13 @@ struct FitReport {
   double strength_seconds = 0.0;
   /// Per-outer-iteration records, including the initial gamma at index 0.
   std::vector<OuterIterationRecord> trace;
+  /// Block sweeps skipped by convergence-aware EM skipping, summed over
+  /// every EM phase (0 unless config.block_convergence_tol > 0; the
+  /// per-iteration split is in the trace).
+  size_t em_blocks_skipped = 0;
+  /// Per-block max |Theta| change at the last EM sweep of the final outer
+  /// iteration (frozen values for blocks skipped there).
+  std::vector<double> em_final_block_deltas;
 };
 
 /// Result of Engine::Fit: the trained artifact plus the run summary.
@@ -98,6 +105,8 @@ struct EngineOptions {
   size_t theta_shards = 0;
 };
 
+struct RefitOptions;  // core/update.h
+
 /// Reusable serving object: a Network + trained Model + thread pool +
 /// batch planner/session. The network must outlive the engine; the model
 /// is owned.
@@ -108,6 +117,15 @@ class Engine {
   /// options.cancellation fires mid-run.
   static Result<FitResult> Fit(const Dataset& dataset,
                                const FitOptions& options);
+
+  /// Retrains on a grown dataset warm-starting from `prev_model`:
+  /// surviving nodes keep their Theta rows, new nodes are seeded by the
+  /// fold-in path, and components/gamma carry over — so a refresh costs
+  /// iterations-to-delta instead of iterations-from-scratch. Defined in
+  /// core/update.cc; see RefitOptions there.
+  static Result<FitResult> Refit(const Dataset& dataset,
+                                 const Model& prev_model,
+                                 const RefitOptions& options);
 
   /// Builds a serving engine after checking that `model` is internally
   /// consistent and matches `network` (node count, link-type names).
@@ -149,6 +167,21 @@ class Engine {
 
   Engine(const Network* network, std::unique_ptr<Model> model,
          EngineOptions options);
+
+  // Shared by Fit and Refit (core/update.cc): resolves the attribute-name
+  // subset against the dataset and records the model-side attribute info.
+  static Status ResolveAttributes(const Dataset& dataset,
+                                  const std::vector<std::string>& names,
+                                  std::vector<const Attribute*>* attrs,
+                                  std::vector<ModelAttributeInfo>* info);
+
+  // Shared by Fit and Refit: packages a finished GenClus run into the
+  // Model + FitReport pair, stamping the resolved shard count and the
+  // schema's link-type names.
+  static FitResult AssembleFitResult(const Schema& schema, GenClusResult run,
+                                     std::vector<ModelAttributeInfo> info,
+                                     size_t theta_shards_request,
+                                     double total_seconds);
 
   const Network* network_;
   // Heap-held so the planner/session pointers into the model survive

@@ -39,6 +39,13 @@ void GenClus::SetCancellationToken(const CancellationToken* token) {
   cancellation_ = token;
 }
 
+void GenClus::SetWarmStart(Matrix theta,
+                           std::vector<AttributeComponents> components) {
+  has_warm_start_ = true;
+  warm_theta_ = std::move(theta);
+  warm_components_ = std::move(components);
+}
+
 Result<GenClusResult> GenClus::Run() {
   const size_t num_relations = network_->schema().num_link_types();
   GENCLUS_RETURN_IF_ERROR(config_.Validate(num_relations));
@@ -69,9 +76,42 @@ Result<GenClusResult> GenClus::Run() {
     result.trace.push_back(std::move(initial));
   }
 
-  // Theta'_0, beta'_0 via best-of-seeds (§4.3 initialization).
-  BestOfSeedsInit(optimizer, *network_, attributes_, config_, gamma, &rng,
-                  &result.theta, &result.components);
+  // Theta'_0, beta'_0: either the caller-provided warm start (the refit
+  // path) or best-of-seeds (§4.3 initialization).
+  if (has_warm_start_) {
+    if (warm_theta_.rows() != network_->num_nodes() ||
+        warm_theta_.cols() != config_.num_clusters) {
+      return Status::InvalidArgument(StrFormat(
+          "warm-start theta is %zu x %zu, want %zu x %zu",
+          warm_theta_.rows(), warm_theta_.cols(), network_->num_nodes(),
+          config_.num_clusters));
+    }
+    if (warm_components_.size() != attributes_.size()) {
+      return Status::InvalidArgument(StrFormat(
+          "warm start carries %zu component sets, attribute subset has %zu",
+          warm_components_.size(), attributes_.size()));
+    }
+    for (size_t t = 0; t < attributes_.size(); ++t) {
+      const AttributeComponents& comp = warm_components_[t];
+      const Attribute& attr = *attributes_[t];
+      const bool kind_ok = comp.kind() == attr.kind();
+      const bool shape_ok =
+          kind_ok && comp.num_clusters() == config_.num_clusters &&
+          (attr.kind() != AttributeKind::kCategorical ||
+           comp.beta().cols() == attr.vocab_size());
+      if (!shape_ok) {
+        return Status::InvalidArgument(StrFormat(
+            "warm-start components for attribute %zu do not match its "
+            "kind/shape", t));
+      }
+    }
+    result.theta = std::move(warm_theta_);
+    result.components = std::move(warm_components_);
+    has_warm_start_ = false;
+  } else {
+    BestOfSeedsInit(optimizer, *network_, attributes_, config_, gamma, &rng,
+                    &result.theta, &result.components);
+  }
 
   for (size_t outer = 1; outer <= config_.outer_iterations; ++outer) {
     if (cancellation_ && cancellation_->IsCancellationRequested()) {
@@ -91,6 +131,12 @@ Result<GenClusResult> GenClus::Run() {
                                      &result.components, &em_workspace);
     record.em_seconds = em_timer.Seconds();
     record.em_iterations = em_stats.iterations;
+    record.em_block_sweeps = em_stats.iterations * em_stats.blocks;
+    for (size_t skipped : em_stats.skipped_per_sweep) {
+      record.em_blocks_skipped += skipped;
+    }
+    result.em_blocks_skipped += record.em_blocks_skipped;
+    result.em_final_block_deltas = std::move(em_stats.final_block_deltas);
     record.em_objective = G1Objective(*network_, attributes_,
                                       result.components, result.theta, gamma);
 

@@ -27,6 +27,11 @@ struct OuterIterationRecord {
   size_t em_iterations = 0;
   double em_seconds = 0.0;
   double strength_seconds = 0.0;
+  /// Block sweeps skipped by convergence-aware skipping during this
+  /// iteration's EM phase, out of `em_block_sweeps` total (iterations x
+  /// reduction blocks). Both 0 when block_convergence_tol == 0.
+  size_t em_blocks_skipped = 0;
+  size_t em_block_sweeps = 0;
 };
 
 /// Full output of a GenClus run.
@@ -43,6 +48,12 @@ struct GenClusResult {
   bool converged = false;
   /// Per-outer-iteration records, including the initial gamma at index 0.
   std::vector<OuterIterationRecord> trace;
+  /// Total block sweeps skipped across every EM phase (sum of the trace's
+  /// em_blocks_skipped).
+  size_t em_blocks_skipped = 0;
+  /// Per-block max |Theta| change at the last EM iteration of the final
+  /// outer iteration (frozen values for blocks skipped there).
+  std::vector<double> em_final_block_deltas;
 
   /// Hard labels: argmax_k theta(v, k).
   std::vector<uint32_t> HardLabels() const;
@@ -83,6 +94,15 @@ class GenClus {
   /// owned; must outlive Run().
   void SetCancellationToken(const CancellationToken* token);
 
+  /// Warm start: Run() begins from this Theta / these components instead
+  /// of the best-of-seeds initialization (the refit path, Engine::Refit).
+  /// `theta` must be num_nodes x num_clusters with rows on the simplex;
+  /// `components` must match the attribute subset in order and shape —
+  /// Run() fails with InvalidArgument otherwise. config.warm_start should
+  /// stay true, or later outer iterations re-initialize from seeds.
+  void SetWarmStart(Matrix theta,
+                    std::vector<AttributeComponents> components);
+
   /// Runs Algorithm 1 and returns the clustering, strengths and trace.
   Result<GenClusResult> Run();
 
@@ -93,6 +113,9 @@ class GenClus {
   std::unique_ptr<ThreadPool> pool_;
   ProgressObserver* observer_ = nullptr;
   const CancellationToken* cancellation_ = nullptr;
+  bool has_warm_start_ = false;
+  Matrix warm_theta_;
+  std::vector<AttributeComponents> warm_components_;
 };
 
 /// Compatibility shim over the Engine/Model API (core/engine.h): resolves

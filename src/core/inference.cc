@@ -20,7 +20,11 @@ Status ValidateModelForServing(const Network& network, const Model& model) {
   if (model.theta.cols() < 2) {
     return Status::FailedPrecondition("model has no clustering");
   }
-  if (model.theta.rows() != network.num_nodes() ||
+  // The model may cover MORE nodes than the network (a refreshed model
+  // hot-swapped into a server still planning against the old network —
+  // queries only link to nodes the network can address, all of which
+  // have Θ rows), never fewer.
+  if (model.theta.rows() < network.num_nodes() ||
       model.gamma.size() != network.schema().num_link_types()) {
     return Status::InvalidArgument("model does not match network");
   }

@@ -194,6 +194,12 @@ struct InferenceResult {
   std::vector<Status> statuses;
   Matrix memberships;
   std::vector<uint32_t> hard_labels;
+  /// Version of the model that answered each query — filled only by the
+  /// serving tier's collector path (core/server.h), where answers of one
+  /// logical batch can straddle a SwapModel; empty on the direct
+  /// Engine/InferSession paths. Slot i is 0 for queries that failed
+  /// before execution.
+  std::vector<uint64_t> model_versions;
   ServeReport report;
 
   size_t size() const { return statuses.size(); }

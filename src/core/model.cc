@@ -62,14 +62,11 @@ Status Model::Validate() const {
   return Status::OK();
 }
 
-Status Model::ValidateAgainst(const Network& network) const {
-  GENCLUS_RETURN_IF_ERROR(Validate());
-  if (num_nodes() != network.num_nodes()) {
-    return Status::InvalidArgument(StrFormat(
-        "model trained on %zu nodes, network has %zu", num_nodes(),
-        network.num_nodes()));
-  }
-  const Schema& schema = network.schema();
+namespace {
+
+// Link-type name check shared by both network-compatibility validators.
+Status CheckSchemaLinkTypes(const std::vector<std::string>& link_types,
+                            const Schema& schema) {
   if (link_types.size() != schema.num_link_types()) {
     return Status::InvalidArgument(StrFormat(
         "model trained with %zu link types, schema declares %zu",
@@ -83,6 +80,28 @@ Status Model::ValidateAgainst(const Network& network) const {
     }
   }
   return Status::OK();
+}
+
+}  // namespace
+
+Status Model::ValidateAgainst(const Network& network) const {
+  GENCLUS_RETURN_IF_ERROR(Validate());
+  if (num_nodes() != network.num_nodes()) {
+    return Status::InvalidArgument(StrFormat(
+        "model trained on %zu nodes, network has %zu", num_nodes(),
+        network.num_nodes()));
+  }
+  return CheckSchemaLinkTypes(link_types, network.schema());
+}
+
+Status Model::ValidateForServing(const Network& network) const {
+  GENCLUS_RETURN_IF_ERROR(Validate());
+  if (num_nodes() < network.num_nodes()) {
+    return Status::InvalidArgument(StrFormat(
+        "model covers %zu nodes, network has %zu", num_nodes(),
+        network.num_nodes()));
+  }
+  return CheckSchemaLinkTypes(link_types, network.schema());
 }
 
 }  // namespace genclus

@@ -77,6 +77,20 @@ struct Model {
   /// Validate() plus compatibility with `network`: node count and
   /// link-type names must match the schema the model was trained on.
   Status ValidateAgainst(const Network& network) const;
+
+  /// ValidateAgainst relaxed for the serving/swap path: the model may
+  /// cover MORE nodes than the network (a refreshed model trained on a
+  /// grown dataset swapped into a server still planning against the old
+  /// network — fold-in queries only ever read rows the network can
+  /// address), never fewer.
+  Status ValidateForServing(const Network& network) const;
+
+  /// Content fingerprint: the FNV-1a64 checksum of the binary container's
+  /// payload (core/model_io.h), computed without touching the filesystem.
+  /// Two models fingerprint equal iff SaveModel would write byte-equal
+  /// payloads — the identity Server stamps on swapped models and the
+  /// bench drift gates compare. Defined in model_io.cc.
+  uint64_t Fingerprint() const;
 };
 
 }  // namespace genclus

@@ -455,10 +455,13 @@ Result<Model> LoadModel(const std::string& path) {
   return model;
 }
 
-Status SaveModelBinary(const Model& model, const std::string& path) {
-  GENCLUS_RETURN_IF_ERROR(model.Validate());
-  GENCLUS_RETURN_IF_ERROR(RequireLittleEndian());
-  const size_t num_nodes = model.num_nodes();
+namespace {
+
+// Serializes everything after the 64-byte header: objective, link types
+// + gammas, components, the aligned shard table and the raw Θ blocks.
+// Shared by SaveModelBinary and Model::Fingerprint, so the fingerprint
+// IS the container's payload checksum.
+std::vector<uint8_t> BuildModelPayload(const Model& model) {
   const size_t num_clusters = model.num_clusters();
 
   std::vector<uint8_t> payload;
@@ -525,6 +528,22 @@ Status SaveModelBinary(const Model& model, const std::string& path) {
                 model.theta.data().data() + entry.node_begin * num_clusters,
                 entry.theta_bytes);
   }
+  return payload;
+}
+
+}  // namespace
+
+uint64_t Model::Fingerprint() const {
+  const std::vector<uint8_t> payload = BuildModelPayload(*this);
+  return Fnv1a64(payload.data(), payload.size());
+}
+
+Status SaveModelBinary(const Model& model, const std::string& path) {
+  GENCLUS_RETURN_IF_ERROR(model.Validate());
+  GENCLUS_RETURN_IF_ERROR(RequireLittleEndian());
+  const size_t num_nodes = model.num_nodes();
+  const size_t num_clusters = model.num_clusters();
+  std::vector<uint8_t> payload = BuildModelPayload(model);
 
   std::vector<uint8_t> header;
   header.reserve(kBinaryHeaderSize);

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cmath>
 #include <cstring>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
@@ -109,6 +110,23 @@ Status ServerOptions::Validate() const {
   return Status::OK();
 }
 
+// One published model snapshot (see server.h). `planner` is built against
+// `model` once at publication; Plan() is const, so every worker on this
+// version shares it without synchronization.
+struct Server::VersionedModel {
+  std::shared_ptr<const Model> model;
+  BatchPlanner planner;
+  uint64_t version;
+  uint64_t fingerprint;
+
+  VersionedModel(const Network* network, std::shared_ptr<const Model> m,
+                 size_t theta_shards, uint64_t v)
+      : model(std::move(m)),
+        planner(network, model.get(), theta_shards),
+        version(v),
+        fingerprint(model->Fingerprint()) {}
+};
+
 // Whole-batch reassembly state. The result is preallocated at submit time
 // (zero membership rows, kNoHardLabel) and each completion fills its slot;
 // `remaining` counts down under `mutex` and the thread that takes it to
@@ -136,20 +154,26 @@ void Server::SampleRing::Add(double us) {
 Result<std::unique_ptr<Server>> Server::Create(const Network* network,
                                                Model model,
                                                ServerOptions options) {
-  if (network == nullptr) {
-    return Status::InvalidArgument("network must not be null");
-  }
-  GENCLUS_RETURN_IF_ERROR(options.Validate());
-  GENCLUS_RETURN_IF_ERROR(model.ValidateAgainst(*network));
-  auto owned = std::make_unique<Model>(std::move(model));
-  const Model* raw = owned.get();
-  return std::unique_ptr<Server>(
-      new Server(network, std::move(owned), raw, options));
+  return Create(network, std::make_shared<const Model>(std::move(model)),
+                options);
 }
 
 Result<std::unique_ptr<Server>> Server::Create(const Network* network,
                                                const Model* model,
                                                ServerOptions options) {
+  if (model == nullptr) {
+    return Status::InvalidArgument("model must not be null");
+  }
+  // Non-owning shared_ptr: the caller keeps ownership (and the outlives
+  // contract); the server's snapshot machinery is oblivious either way.
+  return Create(network,
+                std::shared_ptr<const Model>(model, [](const Model*) {}),
+                options);
+}
+
+Result<std::unique_ptr<Server>> Server::Create(
+    const Network* network, std::shared_ptr<const Model> model,
+    ServerOptions options) {
   if (network == nullptr) {
     return Status::InvalidArgument("network must not be null");
   }
@@ -158,16 +182,20 @@ Result<std::unique_ptr<Server>> Server::Create(const Network* network,
   }
   GENCLUS_RETURN_IF_ERROR(options.Validate());
   GENCLUS_RETURN_IF_ERROR(model->ValidateAgainst(*network));
-  return std::unique_ptr<Server>(new Server(network, nullptr, model, options));
+  auto first = std::make_shared<const VersionedModel>(
+      network, std::move(model), options.theta_shards, /*v=*/1);
+  return std::unique_ptr<Server>(new Server(network, std::move(first),
+                                            options));
 }
 
-Server::Server(const Network* network, std::unique_ptr<Model> owned_model,
-               const Model* model, ServerOptions options)
+Server::Server(const Network* network,
+               std::shared_ptr<const VersionedModel> first,
+               ServerOptions options)
     : options_(options),
-      owned_model_(std::move(owned_model)),
-      model_(model),
-      planner_(network, model, options.theta_shards),
+      network_(network),
+      num_clusters_(first->model->num_clusters()),
       queue_(options.queue_capacity),
+      current_model_(std::move(first)),
       current_iterations_(options.inference_iterations),
       batch_size_histogram_(options.max_batch + 1, 0) {
   size_t num_workers = options_.num_workers;
@@ -195,6 +223,49 @@ void Server::Stop() {
     if (worker.joinable()) worker.join();
   }
 }
+
+std::shared_ptr<const Server::VersionedModel> Server::CurrentModel() const {
+  MutexLock lock(model_mutex_);
+  return current_model_;
+}
+
+Status Server::SwapModel(std::shared_ptr<const Model> model) {
+  if (model == nullptr) {
+    return Status::InvalidArgument("model must not be null");
+  }
+  // ValidateForServing, not ValidateAgainst: a refreshed model trained on
+  // a grown dataset legitimately covers more nodes than the serving
+  // network. K is pinned because SubmitBatch preallocates K-wide result
+  // rows at admission, before knowing which model will answer.
+  GENCLUS_RETURN_IF_ERROR(model->ValidateForServing(*network_));
+  if (model->num_clusters() != num_clusters_) {
+    return Status::InvalidArgument(StrFormat(
+        "swapped model has %zu clusters, server was created with %zu",
+        model->num_clusters(), num_clusters_));
+  }
+  // Build the snapshot (planner + fingerprint — the expensive part)
+  // outside the lock; only version assignment and publication are
+  // serialized.
+  auto replacement = std::make_shared<VersionedModel>(
+      network_, std::move(model), options_.theta_shards, /*v=*/0);
+  {
+    MutexLock lock(model_mutex_);
+    replacement->version = current_model_->version + 1;
+    current_model_ = std::move(replacement);
+  }
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status Server::SwapModel(Model model) {
+  return SwapModel(std::make_shared<const Model>(std::move(model)));
+}
+
+std::shared_ptr<const Model> Server::model() const {
+  return CurrentModel()->model;
+}
+
+uint64_t Server::model_version() const { return CurrentModel()->version; }
 
 Deadline Server::EffectiveDeadline(Deadline deadline) const {
   if (!deadline.is_infinite()) return deadline;
@@ -303,7 +374,7 @@ std::future<InferenceResult> Server::SubmitBatch(
     std::vector<NewObjectQuery> queries, Deadline deadline) {
   auto collector = std::make_shared<BatchCollector>();
   const size_t n = queries.size();
-  const size_t num_clusters = model_->num_clusters();
+  const size_t num_clusters = num_clusters_;
   InferenceResult empty_result;
   {
     // The collector is not shared yet, but its state is guarded — take
@@ -313,6 +384,7 @@ std::future<InferenceResult> Server::SubmitBatch(
     collector->result.statuses.assign(n, Status::OK());
     collector->result.memberships = Matrix(n, num_clusters);
     collector->result.hard_labels.assign(n, kNoHardLabel);
+    collector->result.model_versions.assign(n, 0);
     collector->result.report.batch_size = n;
     if (n == 0) empty_result = std::move(collector->result);
   }
@@ -331,8 +403,8 @@ std::future<InferenceResult> Server::SubmitBatch(
       deadline_rejected_.fetch_add(1, std::memory_order_relaxed);
       CompleteCollectorSlot(*collector, i, admission,
                             /*membership=*/nullptr, num_clusters,
-                            kNoHardLabel, /*degraded=*/false, 0, 0, 0.0,
-                            0.0);
+                            kNoHardLabel, /*degraded=*/false,
+                            /*model_version=*/0, 0, 0, 0.0, 0.0);
       continue;
     }
     Request request;
@@ -350,8 +422,8 @@ std::future<InferenceResult> Server::SubmitBatch(
       // resolves.
       CompleteCollectorSlot(*collector, i, std::move(rejection),
                             /*membership=*/nullptr, num_clusters,
-                            kNoHardLabel, /*degraded=*/false, 0, 0, 0.0,
-                            0.0);
+                            kNoHardLabel, /*degraded=*/false,
+                            /*model_version=*/0, 0, 0, 0.0, 0.0);
     }
   }
   return future;
@@ -360,8 +432,8 @@ std::future<InferenceResult> Server::SubmitBatch(
 void Server::CompleteCollectorSlot(BatchCollector& collector, size_t slot,
                                    Status status, const double* membership,
                                    size_t num_clusters, uint32_t hard_label,
-                                   bool degraded, size_t num_links,
-                                   size_t num_observations,
+                                   bool degraded, uint64_t model_version,
+                                   size_t num_links, size_t num_observations,
                                    double plan_share_seconds,
                                    double exec_share_seconds) {
   bool last = false;
@@ -375,6 +447,7 @@ void Server::CompleteCollectorSlot(BatchCollector& collector, size_t slot,
                   num_clusters * sizeof(double));
     }
     collector.result.hard_labels[slot] = hard_label;
+    collector.result.model_versions[slot] = model_version;
     if (ok) {
       collector.result.report.valid_queries += 1;
       collector.result.report.total_links += num_links;
@@ -392,8 +465,8 @@ void Server::CompleteCollectorSlot(BatchCollector& collector, size_t slot,
 }
 
 void Server::Deliver(Request& request, const InferenceResult& result,
-                     size_t row, bool degraded, double plan_share_seconds,
-                     double exec_share_seconds,
+                     size_t row, bool degraded, uint64_t model_version,
+                     double plan_share_seconds, double exec_share_seconds,
                      std::chrono::steady_clock::time_point dequeued_at,
                      std::chrono::steady_clock::time_point now) {
   // Counted BEFORE the promise is fulfilled: a caller that just resolved
@@ -407,8 +480,9 @@ void Server::Deliver(Request& request, const InferenceResult& result,
     CompleteCollectorSlot(
         *request.collector, request.slot, status,
         status.ok() ? result.memberships.Row(row) : nullptr, num_clusters,
-        result.hard_labels[row], mark_degraded, request.num_links,
-        request.num_observations, plan_share_seconds, exec_share_seconds);
+        result.hard_labels[row], mark_degraded, model_version,
+        request.num_links, request.num_observations, plan_share_seconds,
+        exec_share_seconds);
   } else {
     QueryResult answer;
     answer.status = status;
@@ -420,6 +494,7 @@ void Server::Deliver(Request& request, const InferenceResult& result,
     answer.degraded = mark_degraded;
     answer.queue_seconds = SecondsBetween(request.enqueued_at, dequeued_at);
     answer.total_seconds = SecondsBetween(request.enqueued_at, now);
+    answer.model_version = model_version;
     request.promise.set_value(std::move(answer));
   }
 }
@@ -432,8 +507,9 @@ void Server::Shed(Request& request,
   if (request.collector != nullptr) {
     CompleteCollectorSlot(*request.collector, request.slot,
                           std::move(status), /*membership=*/nullptr,
-                          model_->num_clusters(), kNoHardLabel,
-                          /*degraded=*/false, 0, 0, 0.0, 0.0);
+                          num_clusters_, kNoHardLabel,
+                          /*degraded=*/false, /*model_version=*/0, 0, 0,
+                          0.0, 0.0);
   } else {
     QueryResult answer;
     answer.status = std::move(status);
@@ -449,8 +525,9 @@ void Server::Fail(Request& request, Status status,
   if (request.collector != nullptr) {
     CompleteCollectorSlot(*request.collector, request.slot,
                           std::move(status), /*membership=*/nullptr,
-                          model_->num_clusters(), kNoHardLabel,
-                          /*degraded=*/false, 0, 0, 0.0, 0.0);
+                          num_clusters_, kNoHardLabel,
+                          /*degraded=*/false, /*model_version=*/0, 0, 0,
+                          0.0, 0.0);
   } else {
     QueryResult answer;
     answer.status = std::move(status);
@@ -468,9 +545,20 @@ void Server::Fail(Request& request, Status status,
 // flight the tier already saturates the cores batch-wise, and serial
 // execution keeps per-batch latency deterministic. An execution exception
 // fails only that batch (kInternal) — the worker keeps serving.
+//
+// Model swaps are observed per batch: the worker pins the current
+// VersionedModel snapshot before planning, so a SwapModel racing this
+// batch takes effect at the NEXT dequeue — never mid-batch. The
+// InferSession (whose ServeWorkspace caches model-side tables) is rebuilt
+// lazily on the first batch after the pinned snapshot changes; a rebuild
+// failure fails only that batch with kInternal and keeps the previous
+// session, so the worker still serves the old model until a rebuild
+// succeeds.
 void Server::WorkerLoop() {
-  InferSession session(model_, /*pool=*/nullptr,
-                       options_.inference_iterations, options_.theta_floor);
+  // Built lazily against `pinned` (the snapshot the session's workspace
+  // caches tables for); nullopt until the first non-empty batch.
+  std::shared_ptr<const VersionedModel> pinned;
+  std::optional<InferSession> session;
   std::vector<Request> batch;
   std::vector<Request> live;
   std::vector<NewObjectQuery> queries;
@@ -526,27 +614,56 @@ void Server::WorkerLoop() {
     InferPlan plan;
     InferenceResult result;
     Status exec_error;
+    uint64_t batch_model_version = 0;
     if (!live.empty()) {
-      session.set_iterations(iterations);
-      queries.clear();
-      queries.reserve(live.size());
-      for (Request& request : live) {
-        queries.push_back(std::move(request.query));
+      // Pin the model snapshot this whole batch runs on; a concurrent
+      // SwapModel affects only later dequeues. Rebuild the session when
+      // the snapshot changed since the last batch (or never existed).
+      std::shared_ptr<const VersionedModel> current = CurrentModel();
+      if (pinned != current) {
+        try {
+          // Error-injection site: proves a worker exception during the
+          // post-swap session rebuild fails only that batch (kInternal)
+          // while the worker keeps its old session and keeps serving.
+          GENCLUS_FAILPOINT("server.swap_model",
+                            throw std::runtime_error(
+                                "injected server.swap_model rebuild "
+                                "failure"));
+          session.emplace(current->model.get(), /*pool=*/nullptr,
+                          options_.inference_iterations,
+                          options_.theta_floor);
+          pinned = std::move(current);
+        } catch (const std::exception& e) {
+          exec_error = Status::Internal(StrFormat(
+              "session rebuild after model swap failed: %s", e.what()));
+        } catch (...) {
+          exec_error =
+              Status::Internal("session rebuild after model swap failed");
+        }
       }
-      plan = planner_.Plan(queries);
-      try {
-        // Error-injection site: proves a throwing Execute fails its
-        // batch with kInternal while the worker keeps serving.
-        GENCLUS_FAILPOINT("server.execute",
-                          throw std::runtime_error(
-                              "injected server.execute failure"));
-        result = session.Execute(plan);
-      } catch (const std::exception& e) {
-        exec_error =
-            Status::Internal(StrFormat("batch execution failed: %s",
-                                       e.what()));
-      } catch (...) {
-        exec_error = Status::Internal("batch execution failed");
+      if (exec_error.ok()) {
+        batch_model_version = pinned->version;
+        session->set_iterations(iterations);
+        queries.clear();
+        queries.reserve(live.size());
+        for (Request& request : live) {
+          queries.push_back(std::move(request.query));
+        }
+        plan = pinned->planner.Plan(queries);
+        try {
+          // Error-injection site: proves a throwing Execute fails its
+          // batch with kInternal while the worker keeps serving.
+          GENCLUS_FAILPOINT("server.execute",
+                            throw std::runtime_error(
+                                "injected server.execute failure"));
+          result = session->Execute(plan);
+        } catch (const std::exception& e) {
+          exec_error =
+              Status::Internal(StrFormat("batch execution failed: %s",
+                                         e.what()));
+        } catch (...) {
+          exec_error = Status::Internal("batch execution failed");
+        }
       }
     }
     const auto done_at = std::chrono::steady_clock::now();
@@ -589,8 +706,8 @@ void Server::WorkerLoop() {
     const double plan_share = plan.plan_seconds * share;
     const double exec_share = result.report.exec_seconds * share;
     for (size_t i = 0; i < live.size(); ++i) {
-      Deliver(live[i], result, i, degraded, plan_share, exec_share,
-              dequeued_at, done_at);
+      Deliver(live[i], result, i, degraded, batch_model_version, plan_share,
+              exec_share, dequeued_at, done_at);
     }
   }
 }
@@ -612,6 +729,12 @@ ServerStats Server::Stats() const {
   out.predicted_exec_us = PredictedExecMicros();
   out.queue_depth = queue_.size();
   out.queue_high_water = queue_.high_water();
+  {
+    const std::shared_ptr<const VersionedModel> current = CurrentModel();
+    out.model_version = current->version;
+    out.model_fingerprint = current->fingerprint;
+  }
+  out.model_swaps = swaps_.load(std::memory_order_relaxed);
   // Hold stats_mutex_ only for the copies. The old code ran the
   // nth_element percentile extraction (4 rings x up to 8192 samples)
   // inside this critical section, stalling every worker's per-batch

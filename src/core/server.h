@@ -55,6 +55,29 @@
 // accounting invariant `accepted == completed + cancelled + deadline_shed`
 // (and `submissions == accepted + rejected + deadline_rejected`) is gated
 // by bench/server_bench.cc under 3x overload.
+//
+// Zero-downtime model hot-swap (tests/core/server_swap_test.cc):
+//
+//   * The served model lives behind SwapModel() as an RCU-style versioned
+//     snapshot: a shared_ptr<const VersionedModel> bundling the model,
+//     its BatchPlanner, a monotonically increasing version and the
+//     model's content Fingerprint(). SwapModel validates the replacement
+//     (ValidateForServing — it may cover MORE nodes than the network,
+//     e.g. a Refit on a grown dataset; K must not change) and publishes
+//     it under a short mutex; readers take shared_ptr snapshots.
+//   * Each worker pins the current snapshot for the duration of one
+//     micro-batch: in-flight batches finish (and are attributed) on the
+//     model they started with, batches dequeued after the swap plan and
+//     execute against the new one. No request is ever dropped or
+//     mis-attributed by a swap.
+//   * A worker's InferSession/ServeWorkspace is rebuilt lazily on the
+//     first batch it runs after a swap (snapshot identity change). A
+//     rebuild failure (exercised via the "server.swap_model" failpoint)
+//     fails only that batch with kInternal and keeps the worker's old
+//     session — the tier keeps serving.
+//   * QueryResult::model_version, InferenceResult::model_versions and
+//     ServerStats::{model_version, model_fingerprint, model_swaps} stamp
+//     exactly which model answered what.
 #pragma once
 
 #include <atomic>
@@ -145,6 +168,10 @@ struct QueryResult {
   double queue_seconds = 0.0;
   /// Seconds from admission to completion (queue + plan + execute).
   double total_seconds = 0.0;
+  /// Version of the model that answered this query (1 for the model the
+  /// server was created with, incremented per SwapModel). 0 when the
+  /// request failed before execution (rejected, shed, cancelled).
+  uint64_t model_version = 0;
 
   bool ok() const { return status.ok(); }
 };
@@ -191,6 +218,12 @@ struct ServerStats {
   /// Queue depth right now and the highest depth ever observed.
   size_t queue_depth = 0;
   size_t queue_high_water = 0;
+  /// Version of the currently served model (1 = the model the server was
+  /// created with) and its content fingerprint (Model::Fingerprint).
+  uint64_t model_version = 0;
+  uint64_t model_fingerprint = 0;
+  /// Successful SwapModel calls so far.
+  size_t model_swaps = 0;
   /// batch_size_histogram[s] = micro-batches that executed exactly s
   /// queries (index 0 unused; size max_batch + 1).
   std::vector<size_t> batch_size_histogram;
@@ -205,8 +238,10 @@ struct ServerStats {
 /// Micro-batching fold-in server over a (network, model) pair. Create it
 /// once, Submit from any number of threads, Stop (or destroy) to shut
 /// down. The network must outlive the server; the model is either owned
-/// (Model overload) or borrowed (const Model* overload — must outlive the
-/// server and stay unmutated, the contract Engine relies on).
+/// (Model / shared_ptr overloads) or borrowed (const Model* overload —
+/// must outlive the server and stay unmutated, the contract Engine relies
+/// on). SwapModel replaces the served model at runtime with zero dropped
+/// requests (see the header comment).
 class Server {
  public:
   /// Validates options and model-vs-network consistency, then starts the
@@ -217,6 +252,9 @@ class Server {
   static Result<std::unique_ptr<Server>> Create(const Network* network,
                                                 const Model* model,
                                                 ServerOptions options = {});
+  static Result<std::unique_ptr<Server>> Create(
+      const Network* network, std::shared_ptr<const Model> model,
+      ServerOptions options = {});
 
   /// Stops (draining per options) and joins the workers.
   ~Server();
@@ -257,7 +295,23 @@ class Server {
   /// stalls the workers' per-batch recording.
   ServerStats Stats() const GENCLUS_EXCLUDES(stats_mutex_);
 
-  const Model& model() const { return *model_; }
+  /// Replaces the served model. Validates the replacement with
+  /// Model::ValidateForServing (it may cover more nodes than the network,
+  /// never fewer; K must equal the current model's — SubmitBatch
+  /// preallocates K-wide result rows at admission, before knowing which
+  /// model will answer). On success the new model is published
+  /// immediately: micro-batches already dequeued finish on the model they
+  /// pinned, every batch dequeued afterwards plans against the new one.
+  /// Never blocks request execution; callable from any thread, including
+  /// concurrently with Submit/SubmitBatch/Stats.
+  Status SwapModel(std::shared_ptr<const Model> model)
+      GENCLUS_EXCLUDES(model_mutex_);
+  Status SwapModel(Model model) GENCLUS_EXCLUDES(model_mutex_);
+
+  /// Snapshot of the currently served model (keeps it alive even across
+  /// a concurrent swap) and its version (1 = creation model).
+  std::shared_ptr<const Model> model() const GENCLUS_EXCLUDES(model_mutex_);
+  uint64_t model_version() const GENCLUS_EXCLUDES(model_mutex_);
   size_t num_workers() const { return workers_.size(); }
   const ServerOptions& options() const { return options_; }
 
@@ -265,6 +319,13 @@ class Server {
   // A whole-batch submission being reassembled from its scattered
   // per-query completions; the last completion fulfills the promise.
   struct BatchCollector;
+
+  // One published model snapshot: the model, the planner built against it
+  // (Plan is const — one planner is shared by every worker on that
+  // version), the monotonically increasing version and the content
+  // fingerprint. Immutable after publication; lifetime managed by
+  // shared_ptr so in-flight batches outlive a swap safely.
+  struct VersionedModel;
 
   // One admitted query in flight: delivered either through its own
   // promise (Submit) or into a collector slot (SubmitBatch).
@@ -279,8 +340,12 @@ class Server {
     std::chrono::steady_clock::time_point enqueued_at;
   };
 
-  Server(const Network* network, std::unique_ptr<Model> owned_model,
-         const Model* model, ServerOptions options);
+  Server(const Network* network, std::shared_ptr<const VersionedModel> first,
+         ServerOptions options);
+
+  // The model snapshot a worker pins for one micro-batch.
+  std::shared_ptr<const VersionedModel> CurrentModel() const
+      GENCLUS_EXCLUDES(model_mutex_);
 
   // The deadline a submission actually carries: the explicit one, or the
   // options default when the explicit one is infinite.
@@ -301,8 +366,8 @@ class Server {
   bool Enqueue(Request request, Status* rejection);
   void WorkerLoop();
   void Deliver(Request& request, const InferenceResult& result, size_t row,
-               bool degraded, double plan_share_seconds,
-               double exec_share_seconds,
+               bool degraded, uint64_t model_version,
+               double plan_share_seconds, double exec_share_seconds,
                std::chrono::steady_clock::time_point dequeued_at,
                std::chrono::steady_clock::time_point now);
   // Fails one dequeued-but-expired request with kDeadlineExceeded.
@@ -315,19 +380,28 @@ class Server {
   static void CompleteCollectorSlot(BatchCollector& collector, size_t slot,
                                     Status status, const double* membership,
                                     size_t num_clusters, uint32_t hard_label,
-                                    bool degraded, size_t num_links,
-                                    size_t num_observations,
+                                    bool degraded, uint64_t model_version,
+                                    size_t num_links, size_t num_observations,
                                     double plan_share_seconds,
                                     double exec_share_seconds);
 
-  // options_ and the model/planner pointers are written only during
+  // options_, network_ and num_clusters_ are written only during
   // construction, before the worker threads start; they need no guard.
+  // (num_clusters_ is cached because rejection/shed paths need K without
+  // taking the model snapshot, and SwapModel pins it anyway.)
   ServerOptions options_;
-  std::unique_ptr<Model> owned_model_;
-  const Model* model_;
-  BatchPlanner planner_;
+  const Network* network_;
+  size_t num_clusters_;
   BoundedQueue<Request> queue_;  // internally synchronized
   std::vector<std::thread> workers_;
+
+  // The served model, behind a short mutex: writers (SwapModel) publish a
+  // new snapshot, readers (workers, Stats, SubmitBatch) copy the
+  // shared_ptr and release. Never held across plan/execute.
+  mutable Mutex model_mutex_;
+  std::shared_ptr<const VersionedModel> current_model_
+      GENCLUS_GUARDED_BY(model_mutex_);
+  std::atomic<size_t> swaps_{0};
 
   // Stop() coordination: set before Close() so a non-draining stop makes
   // workers cancel instead of executing what they pop.

@@ -1,0 +1,206 @@
+#include "hin/delta.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace genclus {
+
+namespace {
+
+// Rebuilds `attr` over `num_nodes` nodes, copying every observation of
+// the first min(attr.num_nodes(), num_nodes) nodes.
+Result<Attribute> ResizeAttribute(const Attribute& attr, size_t num_nodes) {
+  const size_t copied = std::min(attr.num_nodes(), num_nodes);
+  if (attr.kind() == AttributeKind::kCategorical) {
+    Attribute out =
+        Attribute::Categorical(attr.name(), attr.vocab_size(), num_nodes);
+    if (!attr.term_names().empty()) {
+      out.SetTermNames(attr.term_names());
+    }
+    for (NodeId v = 0; v < copied; ++v) {
+      for (const TermCount& tc : attr.TermCounts(v)) {
+        GENCLUS_RETURN_IF_ERROR(out.AddTermCount(v, tc.term, tc.count));
+      }
+    }
+    return out;
+  }
+  Attribute out = Attribute::Numerical(attr.name(), num_nodes);
+  for (NodeId v = 0; v < copied; ++v) {
+    for (double x : attr.Values(v)) {
+      GENCLUS_RETURN_IF_ERROR(out.AddValue(v, x));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Dataset> ApplyNetworkDelta(const Dataset& base,
+                                  const NetworkDelta& delta) {
+  const Network& net = base.network;
+  const size_t base_nodes = net.num_nodes();
+  const size_t total_nodes = base_nodes + delta.nodes.size();
+  if (!delta.node_labels.empty() &&
+      delta.node_labels.size() != delta.nodes.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "delta carries %zu node labels for %zu new nodes",
+        delta.node_labels.size(), delta.nodes.size()));
+  }
+
+  NetworkBuilder builder(net.schema());
+  for (NodeId v = 0; v < base_nodes; ++v) {
+    GENCLUS_ASSIGN_OR_RETURN(
+        NodeId id, builder.AddNode(net.node_type(v), net.node_name(v)));
+    (void)id;
+  }
+  for (const DeltaNode& node : delta.nodes) {
+    GENCLUS_ASSIGN_OR_RETURN(NodeId id,
+                             builder.AddNode(node.type, node.name));
+    (void)id;
+  }
+  // Every base link appears exactly once in the out-adjacency of its
+  // source, so one out-link pass replays them all.
+  for (NodeId v = 0; v < base_nodes; ++v) {
+    for (const LinkEntry& e : net.OutLinks(v)) {
+      GENCLUS_RETURN_IF_ERROR(
+          builder.AddLink(v, e.neighbor, e.type, e.weight));
+    }
+  }
+  for (const DeltaLink& link : delta.links) {
+    if (link.src >= total_nodes || link.dst >= total_nodes) {
+      return Status::InvalidArgument(StrFormat(
+          "delta link %u -> %u addresses past the grown node count %zu",
+          link.src, link.dst, total_nodes));
+    }
+    GENCLUS_RETURN_IF_ERROR(
+        builder.AddLink(link.src, link.dst, link.type, link.weight));
+  }
+
+  Dataset out;
+  GENCLUS_ASSIGN_OR_RETURN(out.network, std::move(builder).Build());
+
+  out.attributes.reserve(base.attributes.size());
+  for (const Attribute& attr : base.attributes) {
+    GENCLUS_ASSIGN_OR_RETURN(Attribute grown,
+                             ResizeAttribute(attr, total_nodes));
+    out.attributes.push_back(std::move(grown));
+  }
+  for (const DeltaObservation& obs : delta.observations) {
+    if (obs.attribute >= out.attributes.size()) {
+      return Status::InvalidArgument(StrFormat(
+          "delta observation references unknown attribute %u",
+          obs.attribute));
+    }
+    if (obs.node >= total_nodes) {
+      return Status::InvalidArgument(StrFormat(
+          "delta observation addresses node %u past the grown node count "
+          "%zu", obs.node, total_nodes));
+    }
+    Attribute& attr = out.attributes[obs.attribute];
+    if (attr.kind() == AttributeKind::kCategorical) {
+      GENCLUS_RETURN_IF_ERROR(
+          attr.AddTermCount(obs.node, obs.term, obs.count));
+    } else {
+      GENCLUS_RETURN_IF_ERROR(attr.AddValue(obs.node, obs.value));
+    }
+  }
+
+  out.labels = Labels(total_nodes);
+  if (base.labels.size() == base_nodes) {
+    for (NodeId v = 0; v < base_nodes; ++v) {
+      out.labels.Set(v, base.labels.Get(v));
+    }
+  }
+  for (size_t i = 0; i < delta.node_labels.size(); ++i) {
+    out.labels.Set(static_cast<NodeId>(base_nodes + i),
+                   delta.node_labels[i]);
+  }
+
+  GENCLUS_RETURN_IF_ERROR(out.Validate());
+  return out;
+}
+
+Result<Dataset> SliceDatasetPrefix(const Dataset& full, size_t num_nodes,
+                                   NetworkDelta* remainder) {
+  const Network& net = full.network;
+  const size_t total = net.num_nodes();
+  if (num_nodes > total) {
+    return Status::InvalidArgument(StrFormat(
+        "prefix of %zu nodes requested from a %zu-node dataset", num_nodes,
+        total));
+  }
+  const bool has_labels = full.labels.size() == total;
+
+  NetworkBuilder builder(net.schema());
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    GENCLUS_ASSIGN_OR_RETURN(
+        NodeId id, builder.AddNode(net.node_type(v), net.node_name(v)));
+    (void)id;
+  }
+  if (remainder != nullptr) {
+    *remainder = NetworkDelta();
+    remainder->nodes.reserve(total - num_nodes);
+    for (NodeId v = static_cast<NodeId>(num_nodes); v < total; ++v) {
+      remainder->nodes.push_back({net.node_type(v), net.node_name(v)});
+      if (has_labels) {
+        remainder->node_labels.push_back(full.labels.Get(v));
+      }
+    }
+  }
+  for (NodeId v = 0; v < total; ++v) {
+    for (const LinkEntry& e : net.OutLinks(v)) {
+      if (v < num_nodes && e.neighbor < num_nodes) {
+        GENCLUS_RETURN_IF_ERROR(
+            builder.AddLink(v, e.neighbor, e.type, e.weight));
+      } else if (remainder != nullptr) {
+        remainder->links.push_back({v, e.neighbor, e.type, e.weight});
+      }
+    }
+  }
+
+  Dataset out;
+  GENCLUS_ASSIGN_OR_RETURN(out.network, std::move(builder).Build());
+
+  out.attributes.reserve(full.attributes.size());
+  for (size_t t = 0; t < full.attributes.size(); ++t) {
+    const Attribute& attr = full.attributes[t];
+    GENCLUS_ASSIGN_OR_RETURN(Attribute sliced,
+                             ResizeAttribute(attr, num_nodes));
+    out.attributes.push_back(std::move(sliced));
+    if (remainder == nullptr) continue;
+    const AttributeId id = static_cast<AttributeId>(t);
+    for (NodeId v = static_cast<NodeId>(num_nodes); v < total; ++v) {
+      if (attr.kind() == AttributeKind::kCategorical) {
+        for (const TermCount& tc : attr.TermCounts(v)) {
+          DeltaObservation obs;
+          obs.attribute = id;
+          obs.node = v;
+          obs.term = tc.term;
+          obs.count = tc.count;
+          remainder->observations.push_back(obs);
+        }
+      } else {
+        for (double x : attr.Values(v)) {
+          DeltaObservation obs;
+          obs.attribute = id;
+          obs.node = v;
+          obs.value = x;
+          remainder->observations.push_back(obs);
+        }
+      }
+    }
+  }
+
+  out.labels = Labels(num_nodes);
+  if (has_labels) {
+    for (NodeId v = 0; v < num_nodes; ++v) {
+      out.labels.Set(v, full.labels.Get(v));
+    }
+  }
+
+  GENCLUS_RETURN_IF_ERROR(out.Validate());
+  return out;
+}
+
+}  // namespace genclus

@@ -351,6 +351,32 @@ TEST(ModelIoBinaryTest, LoadRejectsBadMagicAndVersionAndTextFile) {
   EXPECT_FALSE(LoadModel(file.path()).ok());
 }
 
+TEST(ModelIoBinaryTest, FingerprintMatchesContainerChecksum) {
+  // Model::Fingerprint is DEFINED as the binary container's payload
+  // checksum, computed without touching the filesystem: the u64 at
+  // header bytes 24..31 of a fresh save must equal it exactly.
+  const Model model = TrainPlantedModel();
+  ScopedFile file(TempPath("genclus_model_fingerprint.bin"));
+  ASSERT_TRUE(SaveModelBinary(model, file.path()).ok());
+  std::ifstream in(file.path(), std::ios::binary);
+  ASSERT_TRUE(in.good());
+  in.seekg(24);
+  uint64_t stored = 0;
+  in.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+  ASSERT_TRUE(in.good());
+  EXPECT_EQ(model.Fingerprint(), stored);
+
+  // Stable across copies and round-trips; sensitive to any content bit.
+  const Model copy = model;
+  EXPECT_EQ(copy.Fingerprint(), model.Fingerprint());
+  auto loaded = LoadModelBinary(file.path());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().Fingerprint(), model.Fingerprint());
+  Model perturbed = model;
+  perturbed.theta(0, 0) = perturbed.theta(0, 0) * (1.0 + 1e-12);
+  EXPECT_NE(perturbed.Fingerprint(), model.Fingerprint());
+}
+
 TEST(ModelIoTest, SuccessfulSavesLeaveNoTempDebris) {
   // Saves commit through a sibling .tmp + rename; on success the temp
   // must be gone and only the target remain.

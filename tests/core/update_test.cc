@@ -1,0 +1,253 @@
+// Incremental model maintenance (core/update.h):
+//   * Engine::Refit warm-starts from a previous model — surviving nodes
+//     keep their Theta rows as the initial iterate, new nodes are seeded
+//     by fold-in, gamma/components carry over — and lands within NMI
+//     tolerance of a from-scratch fit on the grown dataset;
+//   * a warm start from the converged model on the SAME dataset converges
+//     (nearly) immediately — the degenerate refit every nightly job hits
+//     when nothing arrived;
+//   * ApplyUpdates folds NetworkDelta batches into a Dataset + Model in
+//     place: shapes grow, every row stays on the K-simplex, untouched
+//     rows are bitwise untouched, and the result is independent of how
+//     the same growth is split into delta batches;
+//   * both paths validate their inputs (shrunk dataset, node-count
+//     mismatch, bad options).
+#include "core/update.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "core/engine.h"
+#include "eval/nmi.h"
+#include "hin/delta.h"
+#include "tests/core/test_fixtures.h"
+
+namespace genclus {
+namespace {
+
+using testing::MakeTwoCommunityNetwork;
+
+class UpdateTest : public ::testing::Test {
+ protected:
+  // One grown fixture shared by the suite: `full` is the 8-per-side
+  // network, `base` its two-thirds prefix, `remainder` the growth delta
+  // between them. Fitting once keeps the file fast.
+  static void SetUpTestSuite() {
+    full_ = new testing::TwoCommunityNetwork(
+        MakeTwoCommunityNetwork(8, 1.0, 901));
+    const size_t total = full_->dataset.network.num_nodes();
+    auto remainder = new NetworkDelta();
+    auto base = SliceDatasetPrefix(full_->dataset, (2 * total) / 3,
+                                   remainder);
+    ASSERT_TRUE(base.ok()) << base.status().ToString();
+    base_ = new Dataset(std::move(base).value());
+    remainder_ = remainder;
+
+    FitOptions options;
+    options.attributes = {"text"};
+    options.config = testing::PlantedFixtureConfig(902);
+    auto fit = Engine::Fit(*base_, options);
+    ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+    base_model_ = new Model(std::move(fit).value().model);
+  }
+
+  static void TearDownTestSuite() {
+    delete base_model_;
+    base_model_ = nullptr;
+    delete remainder_;
+    remainder_ = nullptr;
+    delete base_;
+    base_ = nullptr;
+    delete full_;
+    full_ = nullptr;
+  }
+
+  static void ExpectRowsOnSimplex(const Matrix& theta) {
+    for (size_t v = 0; v < theta.rows(); ++v) {
+      double sum = 0.0;
+      for (size_t k = 0; k < theta.cols(); ++k) {
+        EXPECT_GT(theta(v, k), 0.0) << "v=" << v;
+        sum += theta(v, k);
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-9) << "v=" << v;
+    }
+  }
+
+  static double LabelNmi(const Model& model, const Dataset& dataset) {
+    std::vector<uint32_t> truth(dataset.network.num_nodes());
+    for (NodeId v = 0; v < dataset.network.num_nodes(); ++v) {
+      truth[v] = dataset.labels.Get(v);
+    }
+    return NormalizedMutualInformation(model.HardLabels(), truth);
+  }
+
+  static testing::TwoCommunityNetwork* full_;
+  static Dataset* base_;
+  static NetworkDelta* remainder_;
+  static Model* base_model_;
+};
+
+testing::TwoCommunityNetwork* UpdateTest::full_ = nullptr;
+Dataset* UpdateTest::base_ = nullptr;
+NetworkDelta* UpdateTest::remainder_ = nullptr;
+Model* UpdateTest::base_model_ = nullptr;
+
+TEST_F(UpdateTest, RefitMatchesFullFitQualityOnGrownDataset) {
+  FitOptions full_options;
+  full_options.attributes = {"text"};
+  full_options.config = testing::PlantedFixtureConfig(903);
+  auto fullfit = Engine::Fit(full_->dataset, full_options);
+  ASSERT_TRUE(fullfit.ok()) << fullfit.status().ToString();
+
+  RefitOptions options;
+  options.config = testing::PlantedFixtureConfig(904);
+  auto refit = Engine::Refit(full_->dataset, *base_model_, options);
+  ASSERT_TRUE(refit.ok()) << refit.status().ToString();
+
+  const Model& warm = refit.value().model;
+  EXPECT_EQ(warm.num_nodes(), full_->dataset.network.num_nodes());
+  EXPECT_EQ(warm.num_clusters(), base_model_->num_clusters());
+  ExpectRowsOnSimplex(warm.theta);
+  EXPECT_TRUE(warm.ValidateAgainst(full_->dataset.network).ok());
+
+  // The refit must recover the planted structure as well as the
+  // from-scratch fit (the bench gates the cost side of this bargain).
+  const double full_nmi = LabelNmi(fullfit.value().model, full_->dataset);
+  const double warm_nmi = LabelNmi(warm, full_->dataset);
+  EXPECT_GE(warm_nmi, full_nmi - 0.01)
+      << "full=" << full_nmi << " warm=" << warm_nmi;
+}
+
+TEST_F(UpdateTest, RefitOnUnchangedDatasetConvergesImmediately) {
+  RefitOptions options;
+  options.config = testing::PlantedFixtureConfig(905);
+  auto refit = Engine::Refit(*base_, *base_model_, options);
+  ASSERT_TRUE(refit.ok()) << refit.status().ToString();
+  // Warm-started at the converged iterate with carried gamma, the outer
+  // loop's gamma step has nothing to move: it must stop at the tolerance
+  // well before the iteration cap.
+  EXPECT_TRUE(refit.value().report.converged);
+  EXPECT_LT(refit.value().report.outer_iterations,
+            options.config.outer_iterations);
+}
+
+TEST_F(UpdateTest, RefitValidatesInputs) {
+  RefitOptions options;
+  options.config = testing::PlantedFixtureConfig(906);
+  // A refit cannot shrink: the previous model covers more nodes than the
+  // dataset.
+  FitOptions base_options;
+  base_options.attributes = {"text"};
+  base_options.config = testing::PlantedFixtureConfig(907);
+  auto fullfit = Engine::Fit(full_->dataset, base_options);
+  ASSERT_TRUE(fullfit.ok()) << fullfit.status().ToString();
+  auto shrunk = Engine::Refit(*base_, fullfit.value().model, options);
+  EXPECT_EQ(shrunk.status().code(), StatusCode::kInvalidArgument);
+
+  RefitOptions bad;
+  bad.config = testing::PlantedFixtureConfig(908);
+  bad.seed_sweeps = 0;
+  EXPECT_EQ(Engine::Refit(full_->dataset, *base_model_, bad)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(UpdateTest, ApplyUpdatesGrowsModelInPlace) {
+  Dataset dataset = *base_;
+  Model model = *base_model_;
+  const size_t base_nodes = dataset.network.num_nodes();
+  const Matrix before = model.theta;
+
+  const NetworkDelta& delta = *remainder_;
+  auto report = ApplyUpdates(&dataset, &model, {&delta, 1});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  EXPECT_EQ(dataset.network.num_nodes(),
+            full_->dataset.network.num_nodes());
+  EXPECT_EQ(model.num_nodes(), dataset.network.num_nodes());
+  EXPECT_EQ(report.value().deltas_applied, 1u);
+  EXPECT_EQ(report.value().new_nodes, delta.nodes.size());
+  EXPECT_GE(report.value().touched_nodes, delta.nodes.size());
+  ExpectRowsOnSimplex(model.theta);
+  EXPECT_TRUE(model.ValidateAgainst(dataset.network).ok());
+
+  // Rows never touched by the delta (no new out-link, no new observation)
+  // must be bitwise untouched.
+  std::vector<bool> touched(base_nodes, false);
+  for (const DeltaLink& link : delta.links) {
+    if (link.src < base_nodes) touched[link.src] = true;
+  }
+  for (const DeltaObservation& obs : delta.observations) {
+    if (obs.node < base_nodes) touched[obs.node] = true;
+  }
+  for (size_t v = 0; v < base_nodes; ++v) {
+    if (touched[v]) continue;
+    for (size_t k = 0; k < model.num_clusters(); ++k) {
+      EXPECT_EQ(model.theta(v, k), before(v, k)) << "v=" << v;
+    }
+  }
+}
+
+TEST_F(UpdateTest, ApplyUpdatesIsBatchSplitInvariant) {
+  // The same growth applied as one delta or replayed node-by-node (each
+  // batch sliced from the full dataset) must produce identical model
+  // state: the Jacobi rounds see the same final dataset either way, and
+  // the touched set is the union.
+  Dataset one_dataset = *base_;
+  Model one_model = *base_model_;
+  UpdateOptions options;
+  options.refresh_components = true;
+  auto one = ApplyUpdates(&one_dataset, &one_model, {remainder_, 1},
+                          options);
+  ASSERT_TRUE(one.ok()) << one.status().ToString();
+
+  // Split the remainder into two cuts through an intermediate slice.
+  const size_t base_nodes = base_->network.num_nodes();
+  const size_t total = full_->dataset.network.num_nodes();
+  const size_t mid = base_nodes + (total - base_nodes) / 2;
+  NetworkDelta second;
+  auto mid_dataset = SliceDatasetPrefix(full_->dataset, mid, &second);
+  ASSERT_TRUE(mid_dataset.ok()) << mid_dataset.status().ToString();
+  NetworkDelta first;
+  auto mid_base = SliceDatasetPrefix(mid_dataset.value(), base_nodes,
+                                     &first);
+  ASSERT_TRUE(mid_base.ok()) << mid_base.status().ToString();
+
+  Dataset two_dataset = *base_;
+  Model two_model = *base_model_;
+  std::vector<NetworkDelta> deltas = {std::move(first), std::move(second)};
+  auto two = ApplyUpdates(&two_dataset, &two_model, deltas, options);
+  ASSERT_TRUE(two.ok()) << two.status().ToString();
+
+  ASSERT_EQ(one_model.num_nodes(), two_model.num_nodes());
+  EXPECT_EQ(one_model.Fingerprint(), two_model.Fingerprint());
+}
+
+TEST_F(UpdateTest, ApplyUpdatesValidatesInputs) {
+  Dataset dataset = *base_;
+  Model model = *base_model_;
+  const NetworkDelta& delta = *remainder_;
+
+  UpdateOptions bad;
+  bad.rounds = 0;
+  EXPECT_EQ(ApplyUpdates(&dataset, &model, {&delta, 1}, bad)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  // Model/dataset node-count mismatch: streaming requires them in sync.
+  Dataset grown = *base_;
+  auto pre = ApplyNetworkDelta(grown, delta);
+  ASSERT_TRUE(pre.ok());
+  grown = std::move(pre).value();
+  Model stale = *base_model_;
+  EXPECT_EQ(ApplyUpdates(&grown, &stale, {&delta, 1}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace genclus

@@ -1,0 +1,169 @@
+// Streaming dataset growth (hin/delta.h):
+//   * ApplyNetworkDelta appends nodes in order (base ids survive), wires
+//     links between any mix of old and new nodes, and applies late
+//     attribute observations by kind;
+//   * SliceDatasetPrefix o ApplyNetworkDelta is the identity: slicing a
+//     dataset into a prefix plus remainder and replaying the remainder
+//     reproduces the full dataset exactly — the contract the
+//     incremental-maintenance fixtures (refit_bench, update_test) rely on;
+//   * malformed deltas fail with InvalidArgument and leave nothing
+//     half-applied (the base is const).
+#include "hin/delta.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/core/test_fixtures.h"
+
+namespace genclus {
+namespace {
+
+using testing::MakeTwoCommunityNetwork;
+
+testing::TwoCommunityNetwork MakeFixture() {
+  return MakeTwoCommunityNetwork(/*docs_per_side=*/4, /*text_fraction=*/1.0,
+                                 /*seed=*/77);
+}
+
+// Structural equality of two datasets: types, names, per-node out-links
+// (order included — Build sorts them deterministically), attribute
+// observations, labels.
+void ExpectDatasetsEqual(const Dataset& a, const Dataset& b) {
+  ASSERT_EQ(a.network.num_nodes(), b.network.num_nodes());
+  ASSERT_EQ(a.network.num_links(), b.network.num_links());
+  for (NodeId v = 0; v < a.network.num_nodes(); ++v) {
+    EXPECT_EQ(a.network.node_type(v), b.network.node_type(v)) << "v=" << v;
+    EXPECT_EQ(a.network.node_name(v), b.network.node_name(v)) << "v=" << v;
+    const auto la = a.network.OutLinks(v);
+    const auto lb = b.network.OutLinks(v);
+    ASSERT_EQ(la.size(), lb.size()) << "v=" << v;
+    for (size_t i = 0; i < la.size(); ++i) {
+      EXPECT_EQ(la[i].neighbor, lb[i].neighbor) << "v=" << v;
+      EXPECT_EQ(la[i].type, lb[i].type) << "v=" << v;
+      EXPECT_EQ(la[i].weight, lb[i].weight) << "v=" << v;
+    }
+  }
+  ASSERT_EQ(a.attributes.size(), b.attributes.size());
+  for (size_t x = 0; x < a.attributes.size(); ++x) {
+    const Attribute& xa = a.attributes[x];
+    const Attribute& xb = b.attributes[x];
+    ASSERT_EQ(xa.kind(), xb.kind());
+    EXPECT_EQ(xa.name(), xb.name());
+    for (NodeId v = 0; v < a.network.num_nodes(); ++v) {
+      if (xa.kind() == AttributeKind::kCategorical) {
+        const auto& ta = xa.TermCounts(v);
+        const auto& tb = xb.TermCounts(v);
+        ASSERT_EQ(ta.size(), tb.size()) << "x=" << x << " v=" << v;
+        for (size_t i = 0; i < ta.size(); ++i) {
+          EXPECT_EQ(ta[i].term, tb[i].term);
+          EXPECT_EQ(ta[i].count, tb[i].count);
+        }
+      } else {
+        EXPECT_EQ(xa.Values(v), xb.Values(v)) << "x=" << x << " v=" << v;
+      }
+    }
+  }
+  ASSERT_EQ(a.labels.size(), b.labels.size());
+  for (NodeId v = 0; v < a.labels.size(); ++v) {
+    EXPECT_EQ(a.labels.Get(v), b.labels.Get(v)) << "v=" << v;
+  }
+}
+
+TEST(DeltaTest, ApplyGrowsNetworkAndAttributes) {
+  const auto fx = MakeFixture();
+  const size_t base_nodes = fx.dataset.network.num_nodes();
+
+  NetworkDelta delta;
+  delta.nodes.push_back({fx.doc_type, "new_doc"});
+  const NodeId fresh = static_cast<NodeId>(base_nodes);
+  // Old -> new and new -> old links, plus a late observation on an OLD
+  // node (the trickle-in attribute case).
+  delta.links.push_back({fresh, fx.docs[0], fx.doc_doc, 2.0});
+  delta.links.push_back({fx.docs[1], fresh, fx.doc_doc, 1.0});
+  delta.observations.push_back({/*attribute=*/0, fresh, /*term=*/1,
+                                /*count=*/3.0});
+  delta.observations.push_back({/*attribute=*/0, fx.docs[2], /*term=*/0,
+                                /*count=*/1.0});
+  delta.node_labels = {0};
+
+  auto grown = ApplyNetworkDelta(fx.dataset, delta);
+  ASSERT_TRUE(grown.ok()) << grown.status().ToString();
+  const Dataset& out = grown.value();
+  EXPECT_EQ(out.network.num_nodes(), base_nodes + 1);
+  EXPECT_EQ(out.network.num_links(), fx.dataset.network.num_links() + 2);
+  EXPECT_EQ(out.network.node_type(fresh), fx.doc_type);
+  EXPECT_EQ(out.network.node_name(fresh), "new_doc");
+  ASSERT_EQ(out.network.OutLinks(fresh).size(), 1u);
+  EXPECT_EQ(out.network.OutLinks(fresh)[0].neighbor, fx.docs[0]);
+  EXPECT_EQ(out.network.OutLinks(fresh)[0].weight, 2.0);
+  // New node's bag holds the delta observation; the old node's bag gained
+  // one count of term 0 on top of whatever the fixture planted.
+  ASSERT_EQ(out.attributes[0].TermCounts(fresh).size(), 1u);
+  EXPECT_EQ(out.attributes[0].TermCounts(fresh)[0].term, 1u);
+  EXPECT_EQ(out.attributes[0].TermCounts(fresh)[0].count, 3.0);
+  EXPECT_EQ(out.attributes[0].TotalObservations(),
+            fx.dataset.attributes[0].TotalObservations() + 4.0);
+  EXPECT_EQ(out.labels.Get(fresh), 0u);
+  // Base ids survive untouched.
+  EXPECT_EQ(out.network.node_name(fx.docs[0]),
+            fx.dataset.network.node_name(fx.docs[0]));
+  EXPECT_TRUE(out.Validate().ok());
+}
+
+TEST(DeltaTest, EmptyDeltaIsIdentity) {
+  const auto fx = MakeFixture();
+  auto same = ApplyNetworkDelta(fx.dataset, NetworkDelta{});
+  ASSERT_TRUE(same.ok()) << same.status().ToString();
+  ExpectDatasetsEqual(fx.dataset, same.value());
+}
+
+TEST(DeltaTest, SliceThenApplyRoundTrips) {
+  const auto fx = MakeFixture();
+  const size_t total = fx.dataset.network.num_nodes();
+  // Every split point, including the degenerate ones: empty prefix and
+  // full prefix (empty remainder).
+  for (size_t cut : {size_t{0}, size_t{1}, total / 2, total - 1, total}) {
+    NetworkDelta remainder;
+    auto prefix = SliceDatasetPrefix(fx.dataset, cut, &remainder);
+    ASSERT_TRUE(prefix.ok()) << "cut=" << cut << ": "
+                             << prefix.status().ToString();
+    EXPECT_EQ(prefix.value().network.num_nodes(), cut);
+    EXPECT_EQ(remainder.nodes.size(), total - cut);
+    auto rebuilt = ApplyNetworkDelta(prefix.value(), remainder);
+    ASSERT_TRUE(rebuilt.ok()) << "cut=" << cut << ": "
+                              << rebuilt.status().ToString();
+    ExpectDatasetsEqual(fx.dataset, rebuilt.value());
+  }
+}
+
+TEST(DeltaTest, RejectsMalformedDeltas) {
+  const auto fx = MakeFixture();
+  const NodeId out_of_range =
+      static_cast<NodeId>(fx.dataset.network.num_nodes());
+
+  NetworkDelta bad_link;
+  bad_link.links.push_back({fx.docs[0], out_of_range, fx.doc_doc, 1.0});
+  EXPECT_EQ(ApplyNetworkDelta(fx.dataset, bad_link).status().code(),
+            StatusCode::kInvalidArgument);
+
+  NetworkDelta bad_attr;
+  bad_attr.observations.push_back(
+      {static_cast<AttributeId>(fx.dataset.attributes.size()), fx.docs[0],
+       0, 1.0});
+  EXPECT_EQ(ApplyNetworkDelta(fx.dataset, bad_attr).status().code(),
+            StatusCode::kInvalidArgument);
+
+  NetworkDelta bad_labels;
+  bad_labels.nodes.push_back({fx.doc_type, "n"});
+  bad_labels.node_labels = {0, 1};  // two labels, one node
+  EXPECT_EQ(ApplyNetworkDelta(fx.dataset, bad_labels).status().code(),
+            StatusCode::kInvalidArgument);
+
+  EXPECT_EQ(SliceDatasetPrefix(fx.dataset,
+                               fx.dataset.network.num_nodes() + 1, nullptr)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace genclus
